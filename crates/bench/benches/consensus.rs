@@ -1,0 +1,66 @@
+//! Criterion benchmarks of the PBFT atomic broadcast: ordering throughput
+//! as the control-plane size grows (the messaging-cost side of Fig. 12a).
+
+use bft::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Drives `payloads` submissions through an in-memory replica group until
+/// everything is delivered; returns the delivered count of replica 0.
+fn order_payloads(n: u32, payloads: u64) -> u64 {
+    let cfg = BftConfig::new(n);
+    let mut replicas: Vec<Replica<u64>> = (0..n).map(|i| Replica::new(ReplicaId(i), cfg)).collect();
+    let mut queue: Vec<(ReplicaId, ReplicaId, BftMessage<u64>)> = Vec::new();
+    let mut delivered = 0u64;
+
+    let apply = |at: ReplicaId,
+                     outs: Vec<Output<u64>>,
+                     queue: &mut Vec<(ReplicaId, ReplicaId, BftMessage<u64>)>,
+                     delivered: &mut u64| {
+        for out in outs {
+            match out {
+                Output::Send(to, msg) => queue.push((at, to, msg)),
+                Output::Broadcast(msg) => {
+                    for i in 0..n {
+                        if i != at.0 {
+                            queue.push((at, ReplicaId(i), msg.clone()));
+                        }
+                    }
+                }
+                Output::Deliver(_, _) => {
+                    if at.0 == 0 {
+                        *delivered += 1;
+                    }
+                }
+            }
+        }
+    };
+
+    for p in 0..payloads {
+        let submitter = (p % n as u64) as usize;
+        let outs = replicas[submitter].submit(1000 + p);
+        apply(ReplicaId(submitter as u32), outs, &mut queue, &mut delivered);
+    }
+    while let Some((from, to, msg)) = queue.pop() {
+        let outs = replicas[to.0 as usize].handle(from, msg);
+        apply(to, outs, &mut queue, &mut delivered);
+    }
+    delivered
+}
+
+fn bench_ordering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pbft_order_100_payloads");
+    for n in [4u32, 7, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, &n| {
+            bch.iter(|| {
+                let delivered = order_payloads(n, 100);
+                assert_eq!(delivered, 100);
+                black_box(delivered)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ordering);
+criterion_main!(benches);

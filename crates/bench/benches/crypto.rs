@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks of the from-scratch threshold cryptography.
+//!
+//! These measurements ground the simulator's [`cicero_core::config::CostModel`]:
+//! EXPERIMENTS.md compares them against the modeled per-operation costs
+//! (which are calibrated to the paper's 2012-era Xeon testbed, not to this
+//! host).
+
+use blscrypto::bls::{self, SecretKey};
+use blscrypto::curves::{g1_generator, hash_to_g1};
+use blscrypto::dkg;
+use blscrypto::fields::Fr;
+use blscrypto::pairing::pairing;
+use blscrypto::reshare;
+use blscrypto::shamir;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_field_and_curve(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Fr::random(&mut rng);
+    let b = Fr::random(&mut rng);
+    c.bench_function("fr_mul", |bch| bch.iter(|| black_box(a * b)));
+    let g1 = g1_generator();
+    c.bench_function("g1_scalar_mul", |bch| bch.iter(|| black_box(g1.mul_fr(a))));
+    c.bench_function("hash_to_g1", |bch| {
+        bch.iter(|| black_box(hash_to_g1(b"bench message", "BENCH")))
+    });
+    let p = g1.to_affine();
+    let q = blscrypto::curves::g2_generator().to_affine();
+    c.bench_function("pairing", |bch| bch.iter(|| black_box(pairing(&p, &q))));
+}
+
+fn bench_bls(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let sk = SecretKey::generate(&mut rng);
+    let pk = sk.public_key();
+    let msg = b"install flow rule 42";
+    let sig = sk.sign(msg);
+    c.bench_function("bls_sign", |bch| bch.iter(|| black_box(sk.sign(msg))));
+    c.bench_function("bls_verify", |bch| {
+        bch.iter(|| black_box(bls::verify(&pk, msg, &sig)))
+    });
+
+    // Threshold: 4 shares, quorum 2 (the paper's n=4 control plane).
+    let out = dkg::run_trusted_dealer_free(4, 1, &mut rng).unwrap();
+    let partials: Vec<_> = out.participants[..2]
+        .iter()
+        .map(|p| bls::sign_share(&p.share, msg))
+        .collect();
+    c.bench_function("threshold_sign_share", |bch| {
+        bch.iter(|| black_box(bls::sign_share(&out.participants[0].share, msg)))
+    });
+    c.bench_function("threshold_aggregate_q2", |bch| {
+        bch.iter(|| black_box(bls::aggregate(&partials).unwrap()))
+    });
+    let agg = bls::aggregate(&partials).unwrap();
+    c.bench_function("threshold_verify_aggregate", |bch| {
+        bch.iter(|| black_box(bls::verify(&out.group_public_key, msg, &agg)))
+    });
+}
+
+fn bench_dkg_and_reshare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ceremonies");
+    group.sample_size(10);
+    group.bench_function("dkg_n4_t1", |bch| {
+        bch.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(dkg::run_trusted_dealer_free(4, 1, &mut rng).unwrap())
+        })
+    });
+    let mut rng = StdRng::seed_from_u64(4);
+    let out = dkg::run_trusted_dealer_free(4, 1, &mut rng).unwrap();
+    group.bench_function("reshare_4_to_5", |bch| {
+        bch.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            black_box(
+                reshare::run_reshare(&out, dkg::DkgConfig::byzantine(5).unwrap(), &mut rng)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("shamir_share_reconstruct_t3_n10", |bch| {
+        bch.iter(|| {
+            let mut rng = StdRng::seed_from_u64(6);
+            let secret = Fr::random(&mut rng);
+            let (_, shares) = shamir::share_secret(secret, 3, 10, &mut rng);
+            black_box(shamir::reconstruct(&shares[..4], 3).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_field_and_curve, bench_bls, bench_dkg_and_reshare);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! `cargo bench -p bench --bench figures` — regenerates every table and
+//! figure of the paper's evaluation at paper scale (5000 flows per run)
+//! and prints the series. This is the harness referenced by EXPERIMENTS.md.
+
+fn main() {
+    // Under `cargo bench`, Cargo passes `--bench`; ignore arguments.
+    let t0 = std::time::Instant::now();
+    print!("{}", bench::run_all(bench::Scale::full()));
+    eprintln!("[all figures took {:.1?}]", t0.elapsed());
+}

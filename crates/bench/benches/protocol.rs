@@ -1,0 +1,95 @@
+//! Criterion benchmarks of the protocol-layer data structures: the wire
+//! codec, update schedulers, flow tables and routing — the per-message
+//! software costs the simulator's `CostModel` abstracts.
+
+use controller::scheduler::{
+    DependencyGraphScheduler, ReversePathScheduler, UpdateScheduler,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use netmodel::flowtable::FlowTable;
+use netmodel::routing::route;
+use netmodel::topology::Topology;
+use southbound::codec::Wire;
+use southbound::types::*;
+use std::hint::black_box;
+
+fn sample_updates(n: u32) -> Vec<NetworkUpdate> {
+    (0..n)
+        .map(|i| NetworkUpdate {
+            id: UpdateId {
+                event: EventId(1),
+                seq: i,
+            },
+            switch: SwitchId(i),
+            kind: UpdateKind::Install(FlowRule {
+                matcher: FlowMatch {
+                    src: HostId(0),
+                    dst: HostId(99),
+                },
+                action: FlowAction::Forward(NextHop::Switch(SwitchId(i + 1))),
+            }),
+        })
+        .collect()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let event = Event {
+        id: EventId(7),
+        kind: EventKind::PacketIn {
+            switch: SwitchId(3),
+            flow: FlowId(10),
+            src: HostId(1),
+            dst: HostId(2),
+        },
+        origin: DomainId(0),
+        forwarded: false,
+    };
+    let bytes = event.to_wire();
+    c.bench_function("codec_encode_event", |b| b.iter(|| black_box(event.to_wire())));
+    c.bench_function("codec_decode_event", |b| {
+        b.iter(|| black_box(Event::from_wire(&bytes).unwrap()))
+    });
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let updates = sample_updates(8);
+    c.bench_function("schedule_reverse_path_8", |b| {
+        b.iter(|| black_box(ReversePathScheduler.schedule(&updates)))
+    });
+    c.bench_function("schedule_dependency_graph_8", |b| {
+        b.iter(|| black_box(DependencyGraphScheduler::new().schedule(&updates)))
+    });
+}
+
+fn bench_flow_table(c: &mut Criterion) {
+    let mut table = FlowTable::new();
+    for i in 0..10_000u32 {
+        table.install(FlowRule {
+            matcher: FlowMatch {
+                src: HostId(i),
+                dst: HostId(i + 1),
+            },
+            action: FlowAction::Forward(NextHop::Switch(SwitchId(1))),
+        });
+    }
+    c.bench_function("flow_table_lookup_10k_rules", |b| {
+        b.iter(|| {
+            black_box(table.lookup(FlowMatch {
+                src: HostId(5000),
+                dst: HostId(5001),
+            }))
+        })
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let topo = Topology::multi_pod(4, 40, 4, 4, 4);
+    let hosts = topo.hosts();
+    let (src, dst) = (hosts[0].id, hosts.last().unwrap().id);
+    c.bench_function("route_pod_fabric_4x40racks", |b| {
+        b.iter(|| black_box(route(&topo, src, dst).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_codec, bench_schedulers, bench_flow_table, bench_routing);
+criterion_main!(benches);

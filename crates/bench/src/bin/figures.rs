@@ -1,0 +1,45 @@
+//! Regenerates the paper's evaluation figures.
+//!
+//! Usage:
+//!   figures                 # all figures, paper scale (5000 flows)
+//!   figures --quick         # all figures, reduced scale
+//!   figures fig11a fig12d   # selected figures
+//!   figures table2 calib    # the capability matrix / calibration anchors
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick {
+        bench::Scale::quick()
+    } else {
+        bench::Scale::full()
+    };
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    let sections: [(&str, Box<dyn Fn() -> String>); 11] = [
+        ("table2", Box::new(bench::table2)),
+        ("calib", Box::new(bench::calibration)),
+        ("ablation", Box::new(bench::ablation)),
+        ("fig11a", Box::new(move || bench::fig11a(scale))),
+        ("fig11b", Box::new(move || bench::fig11b(scale))),
+        ("fig11c", Box::new(move || bench::fig11c(scale))),
+        ("fig11d", Box::new(move || bench::fig11d(scale))),
+        ("fig12a", Box::new(move || bench::fig12a(scale))),
+        ("fig12b", Box::new(move || bench::fig12b(scale))),
+        ("fig12c", Box::new(move || bench::fig12c(scale))),
+        ("fig12d", Box::new(move || bench::fig12d(scale))),
+    ];
+
+    for (name, run) in sections {
+        if wanted.is_empty() || wanted.contains(&name) {
+            let t0 = std::time::Instant::now();
+            print!("{}", run());
+            eprintln!("[{name} took {:.1?}]", t0.elapsed());
+            println!();
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! # bft — PBFT-style atomic broadcast (the paper's BFT-SMaRt stand-in)
+//!
+//! Cicero broadcasts every data-plane event through an atomic broadcast so
+//! all controllers process events in the same order (paper §3.2, "event
+//! broadcast – controller agreement"). The paper uses the BFT-SMaRt
+//! library; this crate reimplements the primitive as a **sans-io PBFT state
+//! machine** ([`replica::Replica`]) so it can run inside simulated
+//! controller actors and be tested under adversarial schedules.
+//!
+//! Guarantees (standard atomic broadcast, for `n = 3f + 1` replicas of which
+//! at most `f` are Byzantine):
+//!
+//! * **Agreement / total order** — correct replicas deliver the same
+//!   payloads in the same sequence order;
+//! * **Validity** — a payload submitted by a correct replica is eventually
+//!   delivered (after at most a view change per faulty primary);
+//! * **Integrity** — a payload is delivered at most once (digest dedup).
+//!
+//! ```
+//! use bft::prelude::*;
+//!
+//! let cfg = BftConfig::new(4);
+//! assert_eq!(cfg.f(), 1);
+//! assert_eq!(cfg.quorum(), 3);
+//! let mut primary: Replica<u64> = Replica::new(ReplicaId(0), cfg);
+//! let outputs = primary.submit(42);
+//! assert!(outputs.iter().any(|o| matches!(o, Output::Broadcast(BftMessage::PrePrepare { .. }))));
+//! ```
+
+pub mod message;
+pub mod replica;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::message::{BftMessage, BftPayload, Digest, Prepared, ReplicaId, Seq, Slot, View};
+    pub use crate::replica::{BftConfig, Output, Replica};
+}
+
+pub use prelude::*;
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn config_quorums() {
+        for (n, f, q) in [(4, 1, 3), (7, 2, 5), (10, 3, 7), (1, 0, 1)] {
+            let cfg = BftConfig::new(n);
+            assert_eq!(cfg.f(), f);
+            assert_eq!(cfg.quorum(), q);
+        }
+    }
+
+    #[test]
+    fn primary_rotates() {
+        let cfg = BftConfig::new(4);
+        assert_eq!(cfg.primary(0), ReplicaId(0));
+        assert_eq!(cfg.primary(1), ReplicaId(1));
+        assert_eq!(cfg.primary(4), ReplicaId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "replica id out of range")]
+    fn out_of_range_replica() {
+        let _ = Replica::<u64>::new(ReplicaId(4), BftConfig::new(4));
+    }
+}

@@ -1,0 +1,583 @@
+//! The PBFT replica as a sans-io state machine.
+//!
+//! The replica never touches a network: [`Replica::handle`],
+//! [`Replica::submit`] and [`Replica::on_tick`] return [`Output`]s that the
+//! embedding (the Cicero controller actor, or an in-memory test harness)
+//! routes. This keeps the consensus logic deterministic and directly
+//! testable under adversarial schedules.
+//!
+//! Protocol: three-phase PBFT (pre-prepare / prepare / commit) with quorums
+//! of `2f + 1` out of `n = 3f + 1`, plus a view-change protocol that adopts
+//! prepared certificates into the new view and fills sequence gaps with
+//! `Noop` slots (PBFT's null requests) so delivery stays contiguous.
+//! Message authenticity is assumed from the transport (the controller layer
+//! runs over authenticated channels; the paper's BFT-SMaRt deployment makes
+//! the same assumption), while *equivocation* — conflicting proposals — is
+//! detected by digest. Checkpoint garbage collection is omitted: simulation
+//! runs are finite (documented deviation from BFT-SMaRt).
+
+use crate::message::{BftMessage, BftPayload, Digest, Prepared, ReplicaId, Seq, Slot, View};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+
+/// Consensus group parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BftConfig {
+    /// Group size.
+    pub n: u32,
+    /// Progress-timeout in ticks before a view change is initiated.
+    pub view_timeout_ticks: u32,
+}
+
+impl BftConfig {
+    /// Creates a config; any `n >= 1` is accepted (an `n < 4` group
+    /// tolerates zero faults).
+    pub fn new(n: u32) -> Self {
+        BftConfig {
+            n,
+            view_timeout_ticks: 8,
+        }
+    }
+
+    /// Maximum tolerated Byzantine faults `⌊(n-1)/3⌋`.
+    pub fn f(&self) -> u32 {
+        (self.n.saturating_sub(1)) / 3
+    }
+
+    /// Quorum size `2f + 1`.
+    pub fn quorum(&self) -> usize {
+        (2 * self.f() + 1) as usize
+    }
+
+    /// The primary of a view.
+    pub fn primary(&self, view: View) -> ReplicaId {
+        ReplicaId((view % self.n as u64) as u32)
+    }
+}
+
+/// Actions the embedding must perform.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Output<P> {
+    /// Send to one replica.
+    Send(ReplicaId, BftMessage<P>),
+    /// Send to every *other* replica.
+    Broadcast(BftMessage<P>),
+    /// The payload is totally ordered: hand it to the application. Delivery
+    /// order (by `Seq`) is identical at all correct replicas.
+    Deliver(Seq, P),
+}
+
+#[derive(Clone, Debug)]
+struct Entry<P> {
+    view: View,
+    digest: Option<Digest>,
+    slot: Option<Slot<P>>,
+    prepare_votes: BTreeMap<(View, Digest), BTreeSet<ReplicaId>>,
+    commit_votes: BTreeMap<(View, Digest), BTreeSet<ReplicaId>>,
+    prepared: bool,
+    committed: bool,
+    delivered: bool,
+}
+
+impl<P> Default for Entry<P> {
+    fn default() -> Self {
+        Entry {
+            view: 0,
+            digest: None,
+            slot: None,
+            prepare_votes: BTreeMap::new(),
+            commit_votes: BTreeMap::new(),
+            prepared: false,
+            committed: false,
+            delivered: false,
+        }
+    }
+}
+
+/// A PBFT replica.
+pub struct Replica<P> {
+    id: ReplicaId,
+    cfg: BftConfig,
+    view: View,
+    in_view_change: bool,
+    target_view: View,
+    next_seq: Seq,
+    entries: BTreeMap<Seq, Entry<P>>,
+    last_delivered: Seq,
+    pending: VecDeque<(Digest, P)>,
+    /// Digest → sequence of proposals in the *current view* (cleared on
+    /// view entry). Used both for dedup and to re-broadcast a pre-prepare
+    /// when a backup re-forwards a request it missed the proposal for.
+    proposed_this_view: HashMap<Digest, Seq>,
+    delivered_digests: HashSet<Digest>,
+    ticks_waiting: u32,
+    view_change_votes: BTreeMap<View, BTreeMap<ReplicaId, Vec<Prepared<P>>>>,
+}
+
+impl<P: BftPayload> Replica<P> {
+    /// Creates replica `id` of a group described by `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the group.
+    pub fn new(id: ReplicaId, cfg: BftConfig) -> Self {
+        assert!(id.0 < cfg.n, "replica id out of range");
+        Replica {
+            id,
+            cfg,
+            view: 0,
+            in_view_change: false,
+            target_view: 0,
+            next_seq: 1,
+            entries: BTreeMap::new(),
+            last_delivered: 0,
+            pending: VecDeque::new(),
+            proposed_this_view: HashMap::new(),
+            delivered_digests: HashSet::new(),
+            ticks_waiting: 0,
+            view_change_votes: BTreeMap::new(),
+        }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// The current view.
+    pub fn view(&self) -> View {
+        self.view
+    }
+
+    /// `true` iff this replica is the current primary.
+    pub fn is_primary(&self) -> bool {
+        self.cfg.primary(self.view) == self.id && !self.in_view_change
+    }
+
+    /// Number of payload-or-noop slots delivered so far.
+    pub fn delivered_count(&self) -> u64 {
+        self.last_delivered
+    }
+
+    /// Submits a payload for total ordering (replicas are their own
+    /// clients in the Cicero control plane).
+    ///
+    /// The request is broadcast to *all* replicas (as a PBFT client would):
+    /// the primary proposes it, and every backup tracks it in its pending
+    /// set so that a faulty primary makes the whole group — not just the
+    /// submitter — time out and change views.
+    pub fn submit(&mut self, payload: P) -> Vec<Output<P>> {
+        let digest = payload.digest();
+        if self.delivered_digests.contains(&digest)
+            || self.pending.iter().any(|(d, _)| *d == digest)
+        {
+            return Vec::new();
+        }
+        self.pending.push_back((digest, payload.clone()));
+        let mut out = vec![Output::Broadcast(BftMessage::Forward {
+            payload: payload.clone(),
+        })];
+        if self.is_primary() {
+            out.extend(self.propose(payload));
+        }
+        out
+    }
+
+    fn propose(&mut self, payload: P) -> Vec<Output<P>> {
+        let digest = payload.digest();
+        if self.delivered_digests.contains(&digest) {
+            return Vec::new();
+        }
+        if let Some(&seq) = self.proposed_this_view.get(&digest) {
+            // Already proposed in this view: re-broadcast the binding so
+            // backups that entered the view after the original pre-prepare
+            // (and dropped it) still receive it.
+            if let Some(e) = self.entries.get(&seq) {
+                if e.view == self.view && !e.committed {
+                    if let Some(slot) = e.slot.clone() {
+                        return vec![Output::Broadcast(BftMessage::PrePrepare {
+                            view: self.view,
+                            seq,
+                            slot,
+                        })];
+                    }
+                }
+            }
+            return Vec::new();
+        }
+        self.proposed_this_view.insert(digest, self.next_seq);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let view = self.view;
+        let slot = Slot::Payload(payload);
+        let mut out = vec![Output::Broadcast(BftMessage::PrePrepare {
+            view,
+            seq,
+            slot: slot.clone(),
+        })];
+        out.extend(self.accept_preprepare(view, seq, slot));
+        out
+    }
+
+    fn entry(&mut self, seq: Seq) -> &mut Entry<P> {
+        self.entries.entry(seq).or_default()
+    }
+
+    /// Registers the pre-prepare locally (both at the primary and at
+    /// backups) and casts the implicit/explicit prepare votes.
+    fn accept_preprepare(&mut self, view: View, seq: Seq, slot: Slot<P>) -> Vec<Output<P>> {
+        let digest = slot.digest();
+        let primary = self.cfg.primary(view);
+        let me = self.id;
+        {
+            let e = self.entry(seq);
+            if e.committed {
+                return Vec::new();
+            }
+            if e.digest == Some(digest) && e.view == view {
+                // Duplicate pre-prepare; votes below are idempotent.
+            } else if e.digest.is_some() && e.view == view {
+                // Equivocation within a view: refuse the second binding.
+                return Vec::new();
+            } else {
+                e.view = view;
+                e.digest = Some(digest);
+                e.slot = Some(slot);
+                e.prepared = false;
+            }
+            // The pre-prepare is the primary's prepare vote; ours follows.
+            let votes = e.prepare_votes.entry((view, digest)).or_default();
+            votes.insert(primary);
+            votes.insert(me);
+        }
+        if let Slot::Payload(p) = self.entries[&seq].slot.as_ref().expect("just set") {
+            let d = p.digest();
+            self.proposed_this_view.insert(d, seq);
+        }
+        let mut out = Vec::new();
+        if me != primary {
+            out.push(Output::Broadcast(BftMessage::Prepare { view, seq, digest }));
+        }
+        out.extend(self.check_prepared(seq));
+        out
+    }
+
+    fn check_prepared(&mut self, seq: Seq) -> Vec<Output<P>> {
+        let quorum = self.cfg.quorum();
+        let me = self.id;
+        let (view, digest) = {
+            let Some(e) = self.entries.get_mut(&seq) else {
+                return Vec::new();
+            };
+            let (Some(digest), false) = (e.digest, e.prepared) else {
+                return Vec::new();
+            };
+            let view = e.view;
+            let votes = e
+                .prepare_votes
+                .get(&(view, digest))
+                .map(|v| v.len())
+                .unwrap_or(0);
+            if votes < quorum {
+                return Vec::new();
+            }
+            e.prepared = true;
+            e.commit_votes.entry((view, digest)).or_default().insert(me);
+            (view, digest)
+        };
+        let mut out = vec![Output::Broadcast(BftMessage::Commit { view, seq, digest })];
+        out.extend(self.check_committed(seq));
+        out
+    }
+
+    fn check_committed(&mut self, seq: Seq) -> Vec<Output<P>> {
+        let quorum = self.cfg.quorum();
+        {
+            let Some(e) = self.entries.get_mut(&seq) else {
+                return Vec::new();
+            };
+            if e.committed || !e.prepared {
+                return Vec::new();
+            }
+            let (Some(digest), view) = (e.digest, e.view) else {
+                return Vec::new();
+            };
+            let votes = e
+                .commit_votes
+                .get(&(view, digest))
+                .map(|v| v.len())
+                .unwrap_or(0);
+            if votes < quorum {
+                return Vec::new();
+            }
+            e.committed = true;
+        }
+        self.try_deliver()
+    }
+
+    fn try_deliver(&mut self) -> Vec<Output<P>> {
+        let mut out = Vec::new();
+        loop {
+            let next = self.last_delivered + 1;
+            let Some(e) = self.entries.get_mut(&next) else {
+                break;
+            };
+            if !e.committed || e.delivered {
+                break;
+            }
+            e.delivered = true;
+            let slot = e.slot.clone().expect("committed entries carry slots");
+            self.last_delivered = next;
+            self.ticks_waiting = 0;
+            if let Slot::Payload(payload) = slot {
+                let digest = payload.digest();
+                self.pending.retain(|(d, _)| *d != digest);
+                // Execution-layer dedup (as in PBFT): a request re-proposed
+                // across views may commit at two sequence numbers; only its
+                // first occurrence is delivered.
+                if self.delivered_digests.insert(digest) {
+                    out.push(Output::Deliver(next, payload));
+                }
+            }
+        }
+        out
+    }
+
+    /// Handles a protocol message from `from`.
+    pub fn handle(&mut self, from: ReplicaId, msg: BftMessage<P>) -> Vec<Output<P>> {
+        match msg {
+            BftMessage::Forward { payload } => {
+                let digest = payload.digest();
+                if !self.delivered_digests.contains(&digest)
+                    && !self.pending.iter().any(|(d, _)| *d == digest)
+                {
+                    self.pending.push_back((digest, payload.clone()));
+                }
+                if self.is_primary() {
+                    self.propose(payload)
+                } else {
+                    Vec::new()
+                }
+            }
+            BftMessage::PrePrepare { view, seq, slot } => {
+                if view != self.view || self.in_view_change || from != self.cfg.primary(view) {
+                    return Vec::new();
+                }
+                self.accept_preprepare(view, seq, slot)
+            }
+            BftMessage::Prepare { view, seq, digest } => {
+                if view != self.view || self.in_view_change {
+                    return Vec::new();
+                }
+                self.entry(seq)
+                    .prepare_votes
+                    .entry((view, digest))
+                    .or_default()
+                    .insert(from);
+                self.check_prepared(seq)
+            }
+            BftMessage::Commit { view, seq, digest } => {
+                if view != self.view || self.in_view_change {
+                    return Vec::new();
+                }
+                self.entry(seq)
+                    .commit_votes
+                    .entry((view, digest))
+                    .or_default()
+                    .insert(from);
+                self.check_committed(seq)
+            }
+            BftMessage::ViewChange { new_view, prepared } => {
+                self.handle_view_change(from, new_view, prepared)
+            }
+            BftMessage::NewView {
+                view,
+                voters,
+                reproposals,
+            } => self.handle_new_view(from, view, voters, reproposals),
+        }
+    }
+
+    /// Progress clock: the embedding calls this on a fixed cadence; after
+    /// `view_timeout_ticks` without delivery progress while work is pending,
+    /// the replica votes to change views.
+    pub fn on_tick(&mut self) -> Vec<Output<P>> {
+        // Liveness signals: our own undelivered submissions, or a committed
+        // slot stuck behind a gap. (A merely *prepared* foreign entry is the
+        // submitter's liveness problem, not ours — avoids spurious view
+        // changes on stale entries.)
+        let gap = self
+            .entries
+            .range(self.last_delivered + 1..)
+            .any(|(_, e)| e.committed && !e.delivered);
+        let waiting = !self.pending.is_empty() || gap;
+        if !waiting {
+            self.ticks_waiting = 0;
+            return Vec::new();
+        }
+        self.ticks_waiting += 1;
+        if self.ticks_waiting <= self.cfg.view_timeout_ticks {
+            return Vec::new();
+        }
+        self.ticks_waiting = 0;
+        let next = self.target_view.max(self.view) + 1;
+        self.vote_view_change(next)
+    }
+
+    fn prepared_certificates(&self) -> Vec<Prepared<P>> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.prepared && !e.delivered)
+            .filter_map(|(&seq, e)| {
+                Some(Prepared {
+                    view: e.view,
+                    seq,
+                    digest: e.digest?,
+                    slot: e.slot.clone()?,
+                })
+            })
+            .collect()
+    }
+
+    fn vote_view_change(&mut self, new_view: View) -> Vec<Output<P>> {
+        if new_view <= self.view {
+            return Vec::new();
+        }
+        self.in_view_change = true;
+        self.target_view = new_view;
+        let prepared = self.prepared_certificates();
+        self.view_change_votes
+            .entry(new_view)
+            .or_default()
+            .insert(self.id, prepared.clone());
+        let mut out = vec![Output::Broadcast(BftMessage::ViewChange {
+            new_view,
+            prepared,
+        })];
+        out.extend(self.maybe_install_view(new_view));
+        out
+    }
+
+    fn handle_view_change(
+        &mut self,
+        from: ReplicaId,
+        new_view: View,
+        prepared: Vec<Prepared<P>>,
+    ) -> Vec<Output<P>> {
+        if new_view <= self.view {
+            return Vec::new();
+        }
+        self.view_change_votes
+            .entry(new_view)
+            .or_default()
+            .insert(from, prepared);
+        let mut out = Vec::new();
+        // Join rule: seeing f+1 votes for a higher view, join it (liveness
+        // when the timeout hasn't fired locally yet).
+        let votes = self.view_change_votes[&new_view].len();
+        let joined = self.view_change_votes[&new_view].contains_key(&self.id);
+        if !joined && votes > self.cfg.f() as usize && new_view > self.target_view {
+            out.extend(self.vote_view_change(new_view));
+        }
+        out.extend(self.maybe_install_view(new_view));
+        out
+    }
+
+    /// Common view-entry bookkeeping.
+    fn enter_view(&mut self, view: View) {
+        self.view = view;
+        self.in_view_change = false;
+        self.ticks_waiting = 0;
+        self.proposed_this_view.clear();
+        self.view_change_votes = self.view_change_votes.split_off(&(view + 1));
+    }
+
+    fn maybe_install_view(&mut self, new_view: View) -> Vec<Output<P>> {
+        if self.cfg.primary(new_view) != self.id || new_view <= self.view {
+            return Vec::new();
+        }
+        let Some(votes) = self.view_change_votes.get(&new_view) else {
+            return Vec::new();
+        };
+        if votes.len() < self.cfg.quorum() {
+            return Vec::new();
+        }
+        // Adopt, per sequence number, the prepared certificate with the
+        // highest view among the quorum's reports; fill gaps with noops.
+        let mut adopt: BTreeMap<Seq, Prepared<P>> = BTreeMap::new();
+        for certs in votes.values() {
+            for c in certs {
+                if c.seq <= self.last_delivered {
+                    continue;
+                }
+                let better = adopt
+                    .get(&c.seq)
+                    .map(|prev| c.view > prev.view)
+                    .unwrap_or(true);
+                if better {
+                    adopt.insert(c.seq, c.clone());
+                }
+            }
+        }
+        let voters: Vec<ReplicaId> = votes.keys().copied().collect();
+        let max_seq = adopt.keys().next_back().copied().unwrap_or(self.last_delivered);
+        let mut reproposals: Vec<(Seq, Slot<P>)> = Vec::new();
+        for seq in self.last_delivered + 1..=max_seq {
+            let slot = adopt
+                .get(&seq)
+                .map(|c| c.slot.clone())
+                .unwrap_or(Slot::Noop);
+            reproposals.push((seq, slot));
+        }
+
+        // Enter the view as its primary.
+        self.enter_view(new_view);
+        self.next_seq = max_seq + 1;
+
+        let mut out = vec![Output::Broadcast(BftMessage::NewView {
+            view: new_view,
+            voters,
+            reproposals: reproposals.clone(),
+        })];
+        for (seq, slot) in reproposals {
+            out.extend(self.accept_preprepare(new_view, seq, slot));
+        }
+        // Re-propose our own pending requests in the new view.
+        let pending: Vec<P> = self.pending.iter().map(|(_, p)| p.clone()).collect();
+        for p in pending {
+            out.extend(self.propose(p));
+        }
+        out
+    }
+
+    fn handle_new_view(
+        &mut self,
+        from: ReplicaId,
+        view: View,
+        voters: Vec<ReplicaId>,
+        reproposals: Vec<(Seq, Slot<P>)>,
+    ) -> Vec<Output<P>> {
+        if view <= self.view || from != self.cfg.primary(view) {
+            return Vec::new();
+        }
+        if voters.len() < self.cfg.quorum() {
+            return Vec::new();
+        }
+        self.enter_view(view);
+        let mut out = Vec::new();
+        for (seq, slot) in reproposals {
+            out.extend(self.accept_preprepare(view, seq, slot));
+        }
+        // Re-forward pending requests to the new primary (it de-duplicates
+        // against its own re-proposals by digest).
+        let primary = self.cfg.primary(view);
+        for (_, payload) in self.pending.iter() {
+            out.push(Output::Send(
+                primary,
+                BftMessage::Forward {
+                    payload: payload.clone(),
+                },
+            ));
+        }
+        out
+    }
+}

@@ -1,0 +1,926 @@
+//! The BLS12-381 groups `G1 = E(Fp)[r]` with `E: y² = x³ + 4`, and
+//! `G2 = E'(Fp2)[r]` with the sextic twist `E': y² = x³ + 4(u+1)`.
+//!
+//! The group law (Jacobian coordinates) is written once, generically over the
+//! [`Field`] trait. Generators are **derived at first use** rather than
+//! hard-coded: a seeded try-and-increment point is multiplied by the curve
+//! cofactor, and the cofactors themselves are computed from the BLS parameter
+//! `x` with [`crate::bigint`] (for the twist, the correct group order among
+//! the CM candidates is selected by testing sample points). This removes any
+//! reliance on transcribed 96-byte constants; the subgroup checks in the unit
+//! tests then pin everything down.
+
+use crate::bigint::{BigInt, BigUint};
+use crate::fields::{Fp, Fr};
+use crate::sha256::sha256_parts;
+use crate::tower::{Field, Fp2};
+use std::marker::PhantomData;
+use std::sync::OnceLock;
+
+/// Per-curve parameters (base field + the constant `b`).
+pub trait CurveParams: 'static + Copy + Clone + Eq + std::fmt::Debug {
+    /// Coordinate field.
+    type Base: Field;
+    /// Human-readable name used in `Debug` output.
+    const NAME: &'static str;
+    /// The short-Weierstrass constant `b` (`a` is zero for BLS curves).
+    fn b() -> Self::Base;
+}
+
+/// Marker type for `E(Fp): y² = x³ + 4`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct G1Params;
+impl CurveParams for G1Params {
+    type Base = Fp;
+    const NAME: &'static str = "G1";
+    fn b() -> Fp {
+        Fp::from_u64(4)
+    }
+}
+
+/// Marker type for the twist `E'(Fp2): y² = x³ + 4(u+1)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct G2Params;
+impl CurveParams for G2Params {
+    type Base = Fp2;
+    const NAME: &'static str = "G2";
+    fn b() -> Fp2 {
+        Fp2::new(Fp::from_u64(4), Fp::from_u64(4))
+    }
+}
+
+/// An affine curve point (or the point at infinity).
+#[derive(Clone, Copy)]
+pub struct Affine<C: CurveParams> {
+    /// x-coordinate (meaningless when `infinity`).
+    pub x: C::Base,
+    /// y-coordinate (meaningless when `infinity`).
+    pub y: C::Base,
+    /// `true` for the identity element.
+    pub infinity: bool,
+}
+
+impl<C: CurveParams> PartialEq for Affine<C> {
+    fn eq(&self, other: &Self) -> bool {
+        if self.infinity || other.infinity {
+            return self.infinity == other.infinity;
+        }
+        self.x == other.x && self.y == other.y
+    }
+}
+impl<C: CurveParams> Eq for Affine<C> {}
+
+impl<C: CurveParams> std::fmt::Debug for Affine<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.infinity {
+            write!(f, "{}(infinity)", C::NAME)
+        } else {
+            write!(f, "{}({:?}, {:?})", C::NAME, self.x, self.y)
+        }
+    }
+}
+
+impl<C: CurveParams> Affine<C> {
+    /// The identity element.
+    pub fn identity() -> Self {
+        Affine {
+            x: C::Base::zero(),
+            y: C::Base::zero(),
+            infinity: true,
+        }
+    }
+
+    /// `true` iff this is the point at infinity.
+    pub fn is_identity(&self) -> bool {
+        self.infinity
+    }
+
+    /// Checks the curve equation `y² = x³ + b` (identity is on the curve).
+    pub fn is_on_curve(&self) -> bool {
+        if self.infinity {
+            return true;
+        }
+        self.y.square() == self.x.square() * self.x + C::b()
+    }
+
+    /// Attempts to lift an x-coordinate onto the curve, returning the point
+    /// with the "smaller" root (callers pick the sign explicitly).
+    pub fn from_x(x: C::Base) -> Option<Self> {
+        let y2 = x.square() * x + C::b();
+        let y = y2.sqrt()?;
+        Some(Affine {
+            x,
+            y,
+            infinity: false,
+        })
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Self {
+        if self.infinity {
+            *self
+        } else {
+            Affine {
+                x: self.x,
+                y: -self.y,
+                infinity: false,
+            }
+        }
+    }
+
+    /// Converts to Jacobian projective coordinates.
+    pub fn to_projective(&self) -> Projective<C> {
+        if self.infinity {
+            Projective::identity()
+        } else {
+            Projective {
+                x: self.x,
+                y: self.y,
+                z: C::Base::one(),
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    /// Scalar multiplication by an `Fr` element.
+    pub fn mul_fr(&self, k: Fr) -> Projective<C> {
+        self.to_projective().mul_fr(k)
+    }
+}
+
+/// A Jacobian projective point (`x = X/Z²`, `y = Y/Z³`; identity has `Z = 0`).
+#[derive(Clone, Copy)]
+pub struct Projective<C: CurveParams> {
+    x: C::Base,
+    y: C::Base,
+    z: C::Base,
+    _marker: PhantomData<C>,
+}
+
+impl<C: CurveParams> std::fmt::Debug for Projective<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&self.to_affine(), f)
+    }
+}
+
+impl<C: CurveParams> PartialEq for Projective<C> {
+    fn eq(&self, other: &Self) -> bool {
+        // (X1/Z1², Y1/Z1³) == (X2/Z2², Y2/Z2³) without inversions.
+        let self_id = self.is_identity();
+        let other_id = other.is_identity();
+        if self_id || other_id {
+            return self_id == other_id;
+        }
+        let z1z1 = self.z.square();
+        let z2z2 = other.z.square();
+        self.x * z2z2 == other.x * z1z1
+            && self.y * z2z2 * other.z == other.y * z1z1 * self.z
+    }
+}
+impl<C: CurveParams> Eq for Projective<C> {}
+
+impl<C: CurveParams> Projective<C> {
+    /// The identity element.
+    pub fn identity() -> Self {
+        Projective {
+            x: C::Base::one(),
+            y: C::Base::one(),
+            z: C::Base::zero(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// `true` iff this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Point doubling (`a = 0` Jacobian formulas).
+    pub fn double(&self) -> Self {
+        if self.is_identity() || self.y.is_zero() {
+            return Projective::identity();
+        }
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = b.square();
+        let d = ((self.x + b).square() - a - c).double();
+        let e = a.double() + a;
+        let f = e.square();
+        let x3 = f - d.double();
+        let eight_c = c.double().double().double();
+        let y3 = e * (d - x3) - eight_c;
+        let z3 = (self.y * self.z).double();
+        Projective {
+            x: x3,
+            y: y3,
+            z: z3,
+            _marker: PhantomData,
+        }
+    }
+
+    /// General point addition.
+    pub fn add(&self, other: &Self) -> Self {
+        if self.is_identity() {
+            return *other;
+        }
+        if other.is_identity() {
+            return *self;
+        }
+        let z1z1 = self.z.square();
+        let z2z2 = other.z.square();
+        let u1 = self.x * z2z2;
+        let u2 = other.x * z1z1;
+        let s1 = self.y * other.z * z2z2;
+        let s2 = other.y * self.z * z1z1;
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.double();
+            }
+            return Projective::identity();
+        }
+        let h = u2 - u1;
+        let i = h.double().square();
+        let j = h * i;
+        let rr = (s2 - s1).double();
+        let v = u1 * i;
+        let x3 = rr.square() - j - v.double();
+        let y3 = rr * (v - x3) - (s1 * j).double();
+        let z3 = ((self.z + other.z).square() - z1z1 - z2z2) * h;
+        Projective {
+            x: x3,
+            y: y3,
+            z: z3,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Self {
+        Projective {
+            x: self.x,
+            y: -self.y,
+            z: self.z,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Scalar multiplication by little-endian `u64` limbs (double-and-add).
+    pub fn mul_limbs(&self, limbs: &[u64]) -> Self {
+        let mut acc = Projective::identity();
+        for i in (0..limbs.len() * 64).rev() {
+            acc = acc.double();
+            if (limbs[i / 64] >> (i % 64)) & 1 == 1 {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+
+    /// Scalar multiplication by an `Fr` scalar.
+    pub fn mul_fr(&self, k: Fr) -> Self {
+        self.mul_limbs(&k.to_raw())
+    }
+
+    /// Scalar multiplication by a [`BigUint`] (for cofactor clearing).
+    pub fn mul_biguint(&self, k: &BigUint) -> Self {
+        self.mul_limbs(k.limbs())
+    }
+
+    /// Converts back to affine coordinates.
+    pub fn to_affine(&self) -> Affine<C> {
+        if self.is_identity() {
+            return Affine::identity();
+        }
+        let z_inv = self.z.invert().expect("non-identity has non-zero z");
+        let z_inv2 = z_inv.square();
+        let z_inv3 = z_inv2 * z_inv;
+        Affine {
+            x: self.x * z_inv2,
+            y: self.y * z_inv3,
+            infinity: false,
+        }
+    }
+
+    /// `true` iff `r · self` is the identity (the point is in the prime-order
+    /// subgroup).
+    pub fn is_torsion_free(&self) -> bool {
+        self.mul_limbs(&Fr::MODULUS).is_identity()
+    }
+
+    /// Sums an iterator of points.
+    pub fn sum<I: IntoIterator<Item = Self>>(iter: I) -> Self {
+        iter.into_iter()
+            .fold(Projective::identity(), |acc, p| acc.add(&p))
+    }
+}
+
+impl<C: CurveParams> std::ops::Add for Projective<C> {
+    type Output = Projective<C>;
+    fn add(self, rhs: Projective<C>) -> Projective<C> {
+        Projective::add(&self, &rhs)
+    }
+}
+impl<C: CurveParams> std::ops::Neg for Projective<C> {
+    type Output = Projective<C>;
+    fn neg(self) -> Projective<C> {
+        Projective::neg(&self)
+    }
+}
+
+/// `G1` affine point.
+pub type G1Affine = Affine<G1Params>;
+/// `G1` projective point.
+pub type G1Projective = Projective<G1Params>;
+/// `G2` affine point.
+pub type G2Affine = Affine<G2Params>;
+/// `G2` projective point.
+pub type G2Projective = Projective<G2Params>;
+
+/// The (absolute value of the) BLS parameter `x = -0xd201000000010000`.
+pub const X_ABS: u64 = 0xd201_0000_0001_0000;
+
+struct Constants {
+    h1: BigUint,
+    h2: BigUint,
+    g1: G1Projective,
+    g2: G2Projective,
+}
+
+static CONSTANTS: OnceLock<Constants> = OnceLock::new();
+
+fn p_big() -> BigUint {
+    BigUint::from_limbs_le(&Fp::MODULUS)
+}
+fn r_big() -> BigUint {
+    BigUint::from_limbs_le(&Fr::MODULUS)
+}
+
+/// Derives a deterministic non-identity curve point from a seed label by
+/// try-and-increment (before cofactor clearing).
+fn seeded_point<C: CurveParams>(
+    label: &str,
+    base_from_ctr: impl Fn(u64) -> C::Base,
+) -> Affine<C> {
+    for ctr in 0..u64::MAX {
+        let x = base_from_ctr(ctr);
+        if let Some(p) = Affine::<C>::from_x(x) {
+            let _ = label;
+            return p;
+        }
+    }
+    unreachable!("try-and-increment terminates with overwhelming probability")
+}
+
+fn fp_from_label(label: &str, ctr: u64, part: u8) -> Fp {
+    let d0 = sha256_parts(label, &[&ctr.to_be_bytes(), &[part, 0]]);
+    let d1 = sha256_parts(label, &[&ctr.to_be_bytes(), &[part, 1]]);
+    let mut wide = [0u8; 64];
+    wide[..32].copy_from_slice(&d0);
+    wide[32..].copy_from_slice(&d1);
+    Fp::from_bytes_wide(&wide)
+}
+
+fn g1_seeded(label: &str) -> G1Affine {
+    seeded_point::<G1Params>(label, |ctr| fp_from_label(label, ctr, 0))
+}
+
+fn g2_seeded(label: &str) -> G2Affine {
+    seeded_point::<G2Params>(label, |ctr| {
+        Fp2::new(fp_from_label(label, ctr, 0), fp_from_label(label, ctr, 1))
+    })
+}
+
+/// Computes the order of `E'(Fp2)` by evaluating the CM candidates and
+/// testing them against sample points on the twist.
+fn twist_order() -> BigUint {
+    let p = p_big();
+    let one = BigUint::one();
+    let p2 = p.mul(&p);
+    let p2p1 = p2.add(&one);
+    // Trace over Fp: t = x + 1 (negative). |t - something| handled via BigInt.
+    let t = BigInt::new(true, BigUint::from_u64(X_ABS).sub(&one)); // t = 1 - X_ABS
+    // Trace over Fp2: t2 = t² - 2p.
+    let t2 = t.mul(&t).sub(&BigInt::from_biguint(p.clone().add(&p)));
+    // CM with discriminant -3: t2² - 4p² = -3 v².
+    let four_p2 = p2.add(&p2).add(&p2).add(&p2);
+    let t2_sq = t2.mul(&t2).into_biguint();
+    let diff = four_p2.sub(&t2_sq);
+    let (v2_sq, rem3) = diff.div_rem(&BigUint::from_u64(3));
+    assert!(rem3.is_zero(), "CM discriminant is not -3?");
+    let v2 = v2_sq.isqrt();
+    assert_eq!(v2.mul(&v2), v2_sq, "v2 is not a perfect square");
+    let v2 = BigInt::from_biguint(v2);
+    let three_v2 = v2.add(&v2).add(&v2);
+    let two = BigUint::from_u64(2);
+
+    // The six curves in the sextic-twist class over Fq (q = p², CM disc -3)
+    // have orders q + 1 - tr with tr in {±t2, ±(t2+3v)/2, ±(t2-3v)/2}.
+    let mut traces = vec![
+        t2.clone(),
+        BigInt::new(!t2.is_negative(), t2.magnitude().clone()),
+    ];
+    for sum in [t2.add(&three_v2), t2.sub(&three_v2)] {
+        let (half, rem) = sum.magnitude().div_rem(&two);
+        if !rem.is_zero() {
+            continue;
+        }
+        traces.push(BigInt::new(sum.is_negative(), half.clone()));
+        traces.push(BigInt::new(!sum.is_negative(), half));
+    }
+    let mut candidates = Vec::new();
+    for tr in traces {
+        let n = BigInt::from_biguint(p2p1.clone()).sub(&tr);
+        if !n.is_negative() {
+            candidates.push(n.into_biguint());
+        }
+    }
+
+    let r = r_big();
+    let samples: Vec<G2Affine> = (0..3)
+        .map(|i| g2_seeded(&format!("BLS12381_TWIST_ORDER_SAMPLE_{i}")))
+        .collect();
+    for n in candidates {
+        if !n.rem(&r).is_zero() {
+            continue;
+        }
+        // Hasse bound sanity: |n - (p²+1)| <= 2p.
+        let lo = p2p1.clone().sub(&p.clone().add(&p));
+        let hi = p2p1.clone().add(&p.clone().add(&p));
+        if n < lo || n > hi {
+            continue;
+        }
+        if samples
+            .iter()
+            .all(|s| s.to_projective().mul_biguint(&n).is_identity())
+        {
+            return n;
+        }
+    }
+    panic!("no twist-order candidate annihilates the sample points");
+}
+
+fn constants() -> &'static Constants {
+    CONSTANTS.get_or_init(|| {
+        let p = p_big();
+        let r = r_big();
+        // #E(Fp) = p + 1 - t = p + X_ABS (t = 1 - X_ABS).
+        let order1 = p.add(&BigUint::from_u64(X_ABS));
+        let (h1, rem) = order1.div_rem(&r);
+        assert!(rem.is_zero(), "r does not divide #E(Fp)");
+
+        let order2 = twist_order();
+        let (h2, rem) = order2.div_rem(&r);
+        assert!(rem.is_zero(), "r does not divide #E'(Fp2)");
+
+        let g1 = g1_seeded("CICERO_BLS12381_G1_GENERATOR")
+            .to_projective()
+            .mul_biguint(&h1);
+        assert!(!g1.is_identity(), "G1 generator degenerated");
+        assert!(g1.is_torsion_free(), "G1 generator not in r-torsion");
+
+        let g2 = g2_seeded("CICERO_BLS12381_G2_GENERATOR")
+            .to_projective()
+            .mul_biguint(&h2);
+        assert!(!g2.is_identity(), "G2 generator degenerated");
+        assert!(g2.is_torsion_free(), "G2 generator not in r-torsion");
+
+        Constants { h1, h2, g1, g2 }
+    })
+}
+
+/// The fixed `G1` generator (derived deterministically at first use).
+pub fn g1_generator() -> G1Projective {
+    constants().g1
+}
+
+/// The fixed `G2` generator (derived deterministically at first use).
+pub fn g2_generator() -> G2Projective {
+    constants().g2
+}
+
+/// The `G1` cofactor `#E(Fp) / r`.
+pub fn g1_cofactor() -> BigUint {
+    constants().h1.clone()
+}
+
+/// The `G2` cofactor `#E'(Fp2) / r`.
+pub fn g2_cofactor() -> BigUint {
+    constants().h2.clone()
+}
+
+/// Hashes an arbitrary message into `G1` (try-and-increment + cofactor
+/// clearing), with a domain-separation tag.
+///
+/// This is the `H: {0,1}* → G1` of BLS signatures. Not constant-time; see
+/// the crate-level caveats.
+///
+/// # Examples
+///
+/// ```
+/// use blscrypto::curves::hash_to_g1;
+/// let p = hash_to_g1(b"flow rule", "EXAMPLE");
+/// assert!(p.is_torsion_free());
+/// ```
+pub fn hash_to_g1(msg: &[u8], domain: &str) -> G1Projective {
+    let h1 = &constants().h1;
+    for ctr in 0..u64::MAX {
+        let d0 = sha256_parts(domain, &[msg, &ctr.to_be_bytes(), &[0]]);
+        let d1 = sha256_parts(domain, &[msg, &ctr.to_be_bytes(), &[1]]);
+        let mut wide = [0u8; 64];
+        wide[..32].copy_from_slice(&d0);
+        wide[32..].copy_from_slice(&d1);
+        let x = Fp::from_bytes_wide(&wide);
+        if let Some(mut point) = G1Affine::from_x(x) {
+            // Choose the root's sign from the hash so both roots are reachable.
+            if d0[31] & 1 == 1 {
+                point = point.neg();
+            }
+            let cleared = point.to_projective().mul_biguint(h1);
+            if !cleared.is_identity() {
+                return cleared;
+            }
+        }
+    }
+    unreachable!("try-and-increment terminates with overwhelming probability")
+}
+
+// ----- serialization -------------------------------------------------------
+
+impl Fp {
+    /// `true` iff `self > -self` as big-endian integers (the "sign" bit of
+    /// compressed encodings).
+    fn is_lexicographically_largest(&self) -> bool {
+        self.to_bytes_be() > (-*self).to_bytes_be()
+    }
+}
+
+impl Fp2 {
+    /// Lexicographic order on `(c1, c0)` — the standard convention for
+    /// compressed `G2` encodings.
+    fn is_lexicographically_largest(&self) -> bool {
+        let neg = -*self;
+        (self.c1.to_bytes_be(), self.c0.to_bytes_be())
+            > (neg.c1.to_bytes_be(), neg.c0.to_bytes_be())
+    }
+}
+
+const FLAG_COMPRESSED: u8 = 0b1000_0000;
+const FLAG_INFINITY: u8 = 0b0100_0000;
+const FLAG_SIGN: u8 = 0b0010_0000;
+
+impl G1Affine {
+    /// Compressed size in bytes (x-coordinate + flag bits, as in the
+    /// IETF/Zcash BLS12-381 convention).
+    pub const COMPRESSED_BYTES: usize = 48;
+
+    /// Serializes to the 48-byte compressed form: big-endian `x` with the
+    /// top three bits used as compression / infinity / sign flags.
+    pub fn to_compressed(self) -> [u8; 48] {
+        let mut out = [0u8; 48];
+        if self.infinity {
+            out[0] = FLAG_COMPRESSED | FLAG_INFINITY;
+            return out;
+        }
+        out.copy_from_slice(&self.x.to_bytes_be());
+        out[0] |= FLAG_COMPRESSED;
+        if self.y.is_lexicographically_largest() {
+            out[0] |= FLAG_SIGN;
+        }
+        out
+    }
+
+    /// Deserializes a compressed point, recomputing `y` and validating
+    /// curve membership and `r`-torsion.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` for malformed flags, non-canonical `x`, x-coordinates
+    /// off the curve, or points outside the prime-order subgroup.
+    pub fn from_compressed(bytes: &[u8; 48]) -> Option<Self> {
+        if bytes[0] & FLAG_COMPRESSED == 0 {
+            return None;
+        }
+        if bytes[0] & FLAG_INFINITY != 0 {
+            // Infinity must have every other bit clear.
+            let mut rest = *bytes;
+            rest[0] &= !(FLAG_COMPRESSED | FLAG_INFINITY);
+            return rest.iter().all(|&b| b == 0).then(G1Affine::identity);
+        }
+        let sign = bytes[0] & FLAG_SIGN != 0;
+        let mut xb = *bytes;
+        xb[0] &= !(FLAG_COMPRESSED | FLAG_INFINITY | FLAG_SIGN);
+        let x = Fp::from_bytes_be(&xb)?;
+        let mut p = G1Affine::from_x(x)?;
+        if p.y.is_lexicographically_largest() != sign {
+            p = p.neg();
+        }
+        p.to_projective().is_torsion_free().then_some(p)
+    }
+
+    /// Serialized size in bytes.
+    pub const BYTES: usize = 97;
+
+    /// Serializes as `flag || x || y` (flag 0 = point, 1 = infinity).
+    pub fn to_bytes(self) -> [u8; 97] {
+        let mut out = [0u8; 97];
+        if self.infinity {
+            out[0] = 1;
+            return out;
+        }
+        out[1..49].copy_from_slice(&self.x.to_bytes_be());
+        out[49..].copy_from_slice(&self.y.to_bytes_be());
+        out
+    }
+
+    /// Deserializes and validates curve membership and `r`-torsion.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` for invalid encodings, off-curve points, or points
+    /// outside the prime-order subgroup.
+    pub fn from_bytes(bytes: &[u8; 97]) -> Option<Self> {
+        if bytes[0] == 1 {
+            return Some(G1Affine::identity());
+        }
+        let mut xb = [0u8; 48];
+        xb.copy_from_slice(&bytes[1..49]);
+        let mut yb = [0u8; 48];
+        yb.copy_from_slice(&bytes[49..]);
+        let p = G1Affine {
+            x: Fp::from_bytes_be(&xb)?,
+            y: Fp::from_bytes_be(&yb)?,
+            infinity: false,
+        };
+        (p.is_on_curve() && p.to_projective().is_torsion_free()).then_some(p)
+    }
+}
+
+impl G2Affine {
+    /// Compressed size in bytes.
+    pub const COMPRESSED_BYTES: usize = 96;
+
+    /// Serializes to the 96-byte compressed form (`x.c1 || x.c0` big-endian
+    /// with flag bits in the first byte).
+    pub fn to_compressed(self) -> [u8; 96] {
+        let mut out = [0u8; 96];
+        if self.infinity {
+            out[0] = FLAG_COMPRESSED | FLAG_INFINITY;
+            return out;
+        }
+        out.copy_from_slice(&self.x.to_bytes_be());
+        out[0] |= FLAG_COMPRESSED;
+        if self.y.is_lexicographically_largest() {
+            out[0] |= FLAG_SIGN;
+        }
+        out
+    }
+
+    /// Deserializes a compressed point, recomputing `y` and validating
+    /// curve membership and `r`-torsion.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` for malformed flags, non-canonical coordinates,
+    /// x-coordinates off the curve, or points outside the subgroup.
+    pub fn from_compressed(bytes: &[u8; 96]) -> Option<Self> {
+        if bytes[0] & FLAG_COMPRESSED == 0 {
+            return None;
+        }
+        if bytes[0] & FLAG_INFINITY != 0 {
+            let mut rest = *bytes;
+            rest[0] &= !(FLAG_COMPRESSED | FLAG_INFINITY);
+            return rest.iter().all(|&b| b == 0).then(G2Affine::identity);
+        }
+        let sign = bytes[0] & FLAG_SIGN != 0;
+        let mut xb = *bytes;
+        xb[0] &= !(FLAG_COMPRESSED | FLAG_INFINITY | FLAG_SIGN);
+        let x = Fp2::from_bytes_be(&xb)?;
+        let mut p = G2Affine::from_x(x)?;
+        if p.y.is_lexicographically_largest() != sign {
+            p = p.neg();
+        }
+        p.to_projective().is_torsion_free().then_some(p)
+    }
+
+    /// Serialized size in bytes.
+    pub const BYTES: usize = 193;
+
+    /// Serializes as `flag || x || y` (flag 0 = point, 1 = infinity).
+    pub fn to_bytes(self) -> [u8; 193] {
+        let mut out = [0u8; 193];
+        if self.infinity {
+            out[0] = 1;
+            return out;
+        }
+        out[1..97].copy_from_slice(&self.x.to_bytes_be());
+        out[97..].copy_from_slice(&self.y.to_bytes_be());
+        out
+    }
+
+    /// Deserializes and validates curve membership and `r`-torsion.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` for invalid encodings, off-curve points, or points
+    /// outside the prime-order subgroup.
+    pub fn from_bytes(bytes: &[u8; 193]) -> Option<Self> {
+        if bytes[0] == 1 {
+            return Some(G2Affine::identity());
+        }
+        let mut xb = [0u8; 96];
+        xb.copy_from_slice(&bytes[1..97]);
+        let mut yb = [0u8; 96];
+        yb.copy_from_slice(&bytes[97..]);
+        let p = G2Affine {
+            x: Fp2::from_bytes_be(&xb)?,
+            y: Fp2::from_bytes_be(&yb)?,
+            infinity: false,
+        };
+        (p.is_on_curve() && p.to_projective().is_torsion_free()).then_some(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn generators_are_valid() {
+        let g1 = g1_generator();
+        assert!(!g1.is_identity());
+        assert!(g1.to_affine().is_on_curve());
+        assert!(g1.is_torsion_free());
+        let g2 = g2_generator();
+        assert!(!g2.is_identity());
+        assert!(g2.to_affine().is_on_curve());
+        assert!(g2.is_torsion_free());
+    }
+
+    #[test]
+    fn group_law_g1() {
+        let g = g1_generator();
+        let two_g = g.double();
+        assert_eq!(two_g, g.add(&g));
+        assert_eq!(g.add(&g.neg()), G1Projective::identity());
+        assert_eq!(
+            g.add(&G1Projective::identity()),
+            g,
+            "identity is neutral"
+        );
+        // (2 + 3)g == 5g
+        let five_g = g.mul_limbs(&[5]);
+        assert_eq!(two_g.add(&g.mul_limbs(&[3])), five_g);
+        // Associativity spot-check.
+        let a = g.mul_limbs(&[17]);
+        let b = g.mul_limbs(&[29]);
+        let c = g.mul_limbs(&[43]);
+        assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+    }
+
+    #[test]
+    fn group_law_g2() {
+        let g = g2_generator();
+        assert_eq!(g.double(), g.add(&g));
+        assert_eq!(g.add(&g.neg()), G2Projective::identity());
+        let a = g.mul_limbs(&[100]);
+        let b = g.mul_limbs(&[23]);
+        assert_eq!(a.add(&b), g.mul_limbs(&[123]));
+    }
+
+    #[test]
+    fn scalar_mul_matches_fr_arithmetic() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = g1_generator();
+        let a = Fr::random(&mut rng);
+        let b = Fr::random(&mut rng);
+        let lhs = g.mul_fr(a).mul_fr(b);
+        let rhs = g.mul_fr(a * b);
+        assert_eq!(lhs, rhs);
+        let sum = g.mul_fr(a).add(&g.mul_fr(b));
+        assert_eq!(sum, g.mul_fr(a + b));
+    }
+
+    #[test]
+    fn order_annihilates_generators() {
+        assert!(g1_generator().mul_limbs(&Fr::MODULUS).is_identity());
+        assert!(g2_generator().mul_limbs(&Fr::MODULUS).is_identity());
+    }
+
+    #[test]
+    fn hash_to_g1_properties() {
+        let p1 = hash_to_g1(b"hello", "TEST");
+        let p2 = hash_to_g1(b"hello", "TEST");
+        assert_eq!(p1, p2, "hashing is deterministic");
+        let p3 = hash_to_g1(b"hellp", "TEST");
+        assert_ne!(p1, p3, "different messages map to different points");
+        let p4 = hash_to_g1(b"hello", "OTHER-DOMAIN");
+        assert_ne!(p1, p4, "domains separate");
+        assert!(p1.is_torsion_free());
+        assert!(p1.to_affine().is_on_curve());
+    }
+
+    #[test]
+    fn g1_serialization_round_trip() {
+        let g = g1_generator().mul_limbs(&[987654321]).to_affine();
+        let bytes = g.to_bytes();
+        assert_eq!(G1Affine::from_bytes(&bytes).unwrap(), g);
+        let id = G1Affine::identity();
+        assert_eq!(G1Affine::from_bytes(&id.to_bytes()).unwrap(), id);
+        // Corrupted bytes are rejected.
+        let mut bad = bytes;
+        bad[20] ^= 0xff;
+        assert!(G1Affine::from_bytes(&bad).is_none());
+    }
+
+    #[test]
+    fn g2_serialization_round_trip() {
+        let g = g2_generator().mul_limbs(&[31337]).to_affine();
+        let bytes = g.to_bytes();
+        assert_eq!(G2Affine::from_bytes(&bytes).unwrap(), g);
+        let mut bad = bytes;
+        bad[50] ^= 1;
+        assert!(G2Affine::from_bytes(&bad).is_none());
+    }
+
+    #[test]
+    fn compressed_round_trips_both_signs() {
+        let mut rng = StdRng::seed_from_u64(0xc0de);
+        for _ in 0..8 {
+            let k = Fr::random(&mut rng);
+            let p = g1_generator().mul_fr(k).to_affine();
+            assert_eq!(G1Affine::from_compressed(&p.to_compressed()).unwrap(), p);
+            assert_eq!(
+                G1Affine::from_compressed(&p.neg().to_compressed()).unwrap(),
+                p.neg()
+            );
+            let q = g2_generator().mul_fr(k).to_affine();
+            assert_eq!(G2Affine::from_compressed(&q.to_compressed()).unwrap(), q);
+            assert_eq!(
+                G2Affine::from_compressed(&q.neg().to_compressed()).unwrap(),
+                q.neg()
+            );
+        }
+        let id = G1Affine::identity();
+        assert_eq!(G1Affine::from_compressed(&id.to_compressed()).unwrap(), id);
+        let id2 = G2Affine::identity();
+        assert_eq!(G2Affine::from_compressed(&id2.to_compressed()).unwrap(), id2);
+    }
+
+    #[test]
+    fn compressed_rejects_malformed_inputs() {
+        let p = g1_generator().to_affine();
+        let good = p.to_compressed();
+        // Missing compression flag.
+        let mut bad = good;
+        bad[0] &= 0b0111_1111;
+        assert!(G1Affine::from_compressed(&bad).is_none());
+        // Infinity with residue bits set.
+        let mut bad = [0u8; 48];
+        bad[0] = 0b1100_0000;
+        bad[40] = 1;
+        assert!(G1Affine::from_compressed(&bad).is_none());
+        // Non-canonical x (>= p).
+        let mut bad = [0xffu8; 48];
+        bad[0] = 0b1000_0000 | bad[0] & 0b0001_1111;
+        assert!(G1Affine::from_compressed(&bad).is_none());
+    }
+
+    #[test]
+    fn compressed_rejects_points_outside_the_subgroup() {
+        // Find a curve point with a small x that is NOT in the r-torsion
+        // (the cofactor is > 1, so most curve points are not).
+        let mut found = false;
+        for xi in 1u64..200 {
+            let x = Fp::from_u64(xi);
+            if let Some(p) = G1Affine::from_x(x) {
+                if !p.to_projective().is_torsion_free() {
+                    let mut bytes = [0u8; 48];
+                    bytes.copy_from_slice(&p.x.to_bytes_be());
+                    bytes[0] |= 0b1000_0000;
+                    if p.y.to_bytes_be() > (-p.y).to_bytes_be() {
+                        bytes[0] |= 0b0010_0000;
+                    }
+                    assert!(
+                        G1Affine::from_compressed(&bytes).is_none(),
+                        "off-subgroup point must be rejected"
+                    );
+                    found = true;
+                    break;
+                }
+            }
+        }
+        assert!(found, "expected an off-subgroup point among small x values");
+    }
+
+    #[test]
+    fn projective_affine_round_trip() {
+        let g = g1_generator();
+        let p = g.mul_limbs(&[0xdead, 0xbeef]);
+        assert_eq!(p.to_affine().to_projective(), p);
+        assert_eq!(
+            G1Projective::identity().to_affine(),
+            G1Affine::identity()
+        );
+    }
+}

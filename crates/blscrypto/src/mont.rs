@@ -1,0 +1,288 @@
+//! Generic fixed-width Montgomery arithmetic over `[u64; N]` limbs.
+//!
+//! Both base fields of BLS12-381 — the 381-bit `Fp` (6 limbs) and the
+//! 255-bit scalar field `Fr` (4 limbs) — share this implementation. All
+//! routines are `const fn` where possible so the Montgomery constants
+//! (`R mod p`, `R^2 mod p`, `-p^{-1} mod 2^64`) are derived at compile time
+//! from the modulus alone; nothing beyond the modulus itself is trusted from
+//! memory, and the moduli are re-derived from the BLS parameter `x` in tests.
+//!
+//! The implementation is standard CIOS (coarsely integrated operand
+//! scanning). It is **not** constant-time; this crate is a research artifact
+//! mirroring the paper's use of the (also variable-time) PBC library.
+
+/// Adds two N-limb numbers, returning the carry.
+#[inline(always)]
+pub const fn adc<const N: usize>(a: [u64; N], b: [u64; N]) -> ([u64; N], u64) {
+    let mut out = [0u64; N];
+    let mut carry = 0u64;
+    let mut i = 0;
+    while i < N {
+        let s = a[i] as u128 + b[i] as u128 + carry as u128;
+        out[i] = s as u64;
+        carry = (s >> 64) as u64;
+        i += 1;
+    }
+    (out, carry)
+}
+
+/// Subtracts `b` from `a`, returning the borrow (0 or 1).
+#[inline(always)]
+pub const fn sbb<const N: usize>(a: [u64; N], b: [u64; N]) -> ([u64; N], u64) {
+    let mut out = [0u64; N];
+    let mut borrow = 0u64;
+    let mut i = 0;
+    while i < N {
+        let d = (a[i] as u128)
+            .wrapping_sub(b[i] as u128)
+            .wrapping_sub(borrow as u128);
+        out[i] = d as u64;
+        borrow = ((d >> 64) as u64) & 1;
+        i += 1;
+    }
+    (out, borrow)
+}
+
+/// Compares `a < b`.
+#[inline(always)]
+pub const fn lt<const N: usize>(a: [u64; N], b: [u64; N]) -> bool {
+    let mut i = N;
+    while i > 0 {
+        i -= 1;
+        if a[i] < b[i] {
+            return true;
+        }
+        if a[i] > b[i] {
+            return false;
+        }
+    }
+    false
+}
+
+/// Modular addition `a + b mod m` for reduced inputs (`a, b < m < 2^(64N-1)`).
+#[inline(always)]
+pub const fn add_mod<const N: usize>(a: [u64; N], b: [u64; N], m: [u64; N]) -> [u64; N] {
+    let (s, carry) = adc(a, b);
+    // m has at least one spare top bit for both fields (381 < 384, 255 < 256),
+    // so a + b never overflows N limbs.
+    debug_assert!(carry == 0);
+    let _ = carry;
+    if lt(s, m) {
+        s
+    } else {
+        sbb(s, m).0
+    }
+}
+
+/// Modular subtraction `a - b mod m` for reduced inputs.
+#[inline(always)]
+pub const fn sub_mod<const N: usize>(a: [u64; N], b: [u64; N], m: [u64; N]) -> [u64; N] {
+    let (d, borrow) = sbb(a, b);
+    if borrow == 0 {
+        d
+    } else {
+        adc(d, m).0
+    }
+}
+
+/// Modular negation `-a mod m` for a reduced input.
+#[inline(always)]
+pub const fn neg_mod<const N: usize>(a: [u64; N], m: [u64; N]) -> [u64; N] {
+    let mut is_zero = true;
+    let mut i = 0;
+    while i < N {
+        if a[i] != 0 {
+            is_zero = false;
+        }
+        i += 1;
+    }
+    if is_zero {
+        a
+    } else {
+        sbb(m, a).0
+    }
+}
+
+/// Computes `-m^{-1} mod 2^64` by Newton iteration (m must be odd).
+pub const fn mont_inv64(m0: u64) -> u64 {
+    // Newton: inv_{k+1} = inv_k * (2 - m0 * inv_k); 6 iterations give 64 bits.
+    let mut inv = 1u64;
+    let mut i = 0;
+    while i < 6 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(m0.wrapping_mul(inv)));
+        i += 1;
+    }
+    inv.wrapping_neg()
+}
+
+/// Computes `2^(64N) mod m` by repeated modular doubling of 1.
+pub const fn mont_r<const N: usize>(m: [u64; N]) -> [u64; N] {
+    let mut one = [0u64; N];
+    one[0] = 1;
+    let mut x = one;
+    let mut i = 0;
+    while i < 64 * N {
+        x = add_mod(x, x, m);
+        i += 1;
+    }
+    x
+}
+
+/// Computes `2^(128N) mod m = R^2 mod m` by doubling `R` another `64N` times.
+pub const fn mont_r2<const N: usize>(m: [u64; N]) -> [u64; N] {
+    let mut x = mont_r(m);
+    let mut i = 0;
+    while i < 64 * N {
+        x = add_mod(x, x, m);
+        i += 1;
+    }
+    x
+}
+
+/// CIOS Montgomery multiplication: returns `a * b * R^{-1} mod m`.
+///
+/// `inv` must be `-m^{-1} mod 2^64` (see [`mont_inv64`]).
+#[inline]
+pub fn mont_mul<const N: usize>(a: [u64; N], b: [u64; N], m: [u64; N], inv: u64) -> [u64; N] {
+    let mut t = [0u64; N];
+    let mut t_n = 0u64;
+    for i in 0..N {
+        // t += a[i] * b
+        let mut carry = 0u64;
+        for j in 0..N {
+            let s = t[j] as u128 + a[i] as u128 * b[j] as u128 + carry as u128;
+            t[j] = s as u64;
+            carry = (s >> 64) as u64;
+        }
+        let s = t_n as u128 + carry as u128;
+        t_n = s as u64;
+        let t_np = (s >> 64) as u64;
+
+        // reduce: m_factor = t[0] * inv mod 2^64; t += m_factor * m; t >>= 64
+        let m_factor = t[0].wrapping_mul(inv);
+        let s = t[0] as u128 + m_factor as u128 * m[0] as u128;
+        debug_assert_eq!(s as u64, 0);
+        let mut carry = (s >> 64) as u64;
+        for j in 1..N {
+            let s = t[j] as u128 + m_factor as u128 * m[j] as u128 + carry as u128;
+            t[j - 1] = s as u64;
+            carry = (s >> 64) as u64;
+        }
+        let s = t_n as u128 + carry as u128;
+        t[N - 1] = s as u64;
+        t_n = t_np.wrapping_add((s >> 64) as u64);
+    }
+    // t (with the extra limb t_n) is < 2m; final conditional subtraction.
+    if t_n != 0 || !lt(t, m) {
+        sbb(t, m).0
+    } else {
+        t
+    }
+}
+
+/// Montgomery exponentiation with a little-endian limb exponent.
+///
+/// `base` is in Montgomery form; the result is in Montgomery form. `one_mont`
+/// must be `R mod m`.
+pub fn mont_pow<const N: usize>(
+    base: [u64; N],
+    exp: &[u64],
+    m: [u64; N],
+    inv: u64,
+    one_mont: [u64; N],
+) -> [u64; N] {
+    let mut acc = one_mont;
+    let mut started = false;
+    for i in (0..exp.len() * 64).rev() {
+        if started {
+            acc = mont_mul(acc, acc, m, inv);
+        }
+        if (exp[i / 64] >> (i % 64)) & 1 == 1 {
+            if started {
+                acc = mont_mul(acc, base, m, inv);
+            } else {
+                acc = base;
+                started = true;
+            }
+        }
+    }
+    if started {
+        acc
+    } else {
+        one_mont
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bigint::BigUint;
+
+    const P: [u64; 6] = [
+        0xb9fe_ffff_ffff_aaab,
+        0x1eab_fffe_b153_ffff,
+        0x6730_d2a0_f6b0_f624,
+        0x6477_4b84_f385_12bf,
+        0x4b1b_a7b6_434b_acd7,
+        0x1a01_11ea_397f_e69a,
+    ];
+
+    fn p_big() -> BigUint {
+        BigUint::from_limbs_le(&P)
+    }
+
+    #[test]
+    fn inv64_is_inverse() {
+        let inv = mont_inv64(P[0]);
+        assert_eq!(P[0].wrapping_mul(inv.wrapping_neg()), 1);
+    }
+
+    #[test]
+    fn r_and_r2_match_oracle() {
+        let r = mont_r(P);
+        let expect = (BigUint::one() << 384).rem(&p_big());
+        assert_eq!(BigUint::from_limbs_le(&r), expect);
+        let r2 = mont_r2(P);
+        let expect2 = (BigUint::one() << 768).rem(&p_big());
+        assert_eq!(BigUint::from_limbs_le(&r2), expect2);
+    }
+
+    #[test]
+    fn mont_mul_matches_oracle() {
+        let inv = mont_inv64(P[0]);
+        let a: [u64; 6] = [1, 2, 3, 4, 5, 6];
+        let b: [u64; 6] = [0xffff_ffff_ffff_fff1, 7, 0, 99, 0x8000_0000_0000_0000, 1];
+        // mont_mul(a,b) = a*b*R^{-1} mod p, so mont_mul(a*R, b) = a*b mod p.
+        let r2 = mont_r2(P);
+        let a_mont = mont_mul(a, r2, P, inv);
+        let prod = mont_mul(a_mont, b, P, inv);
+        let expect = BigUint::from_limbs_le(&a)
+            .mul(&BigUint::from_limbs_le(&b))
+            .rem(&p_big());
+        assert_eq!(BigUint::from_limbs_le(&prod), expect);
+    }
+
+    #[test]
+    fn add_sub_neg_mod() {
+        let a: [u64; 6] = [5, 0, 0, 0, 0, 0];
+        let z = sub_mod(a, a, P);
+        assert_eq!(z, [0u64; 6]);
+        let n = neg_mod(a, P);
+        assert_eq!(add_mod(a, n, P), [0u64; 6]);
+        assert_eq!(neg_mod([0u64; 6], P), [0u64; 6]);
+    }
+
+    #[test]
+    fn pow_matches_oracle() {
+        let inv = mont_inv64(P[0]);
+        let one_m = mont_r(P);
+        let r2 = mont_r2(P);
+        let base: [u64; 6] = [3, 0, 0, 0, 0, 0];
+        let base_m = mont_mul(base, r2, P, inv);
+        let exp = [0xdead_beefu64, 0xcafe];
+        let got_m = mont_pow(base_m, &exp, P, inv, one_m);
+        let got = mont_mul(got_m, [1, 0, 0, 0, 0, 0], P, inv); // out of Montgomery
+        let expect = BigUint::from_u64(3).mod_pow(&BigUint::from_limbs_le(&exp), &p_big());
+        assert_eq!(BigUint::from_limbs_le(&got), expect);
+    }
+}

@@ -1,0 +1,256 @@
+//! The reduced Tate pairing `e : G1 × G2 → μ_r ⊂ Fp12*`.
+//!
+//! Design choices favour *auditability* over raw speed (the protocol charges
+//! crypto time in the simulator from calibrated constants, so pairing latency
+//! is not on the experiment's critical path):
+//!
+//! * **Tate, not ate.** The Miller loop runs over the group order `r` with
+//!   the running point `T = [k]P` kept in *affine `Fp` coordinates*, so the
+//!   line functions are textbook chord-and-tangent formulas with `Fp`
+//!   coefficients — no twisted line-coefficient bookkeeping to get wrong.
+//! * **Denominator elimination.** `Q` is the untwist of a `G2` point, whose
+//!   x-coordinate lies in `Fp6`; vertical lines therefore evaluate into
+//!   `Fp6*`, which the final exponentiation annihilates (the exponent
+//!   contains the factor `p⁶ - 1`), so they are skipped.
+//! * **Naive final exponentiation.** The easy part is
+//!   `f ↦ conj(f)·f⁻¹ = f^(p⁶-1)`; the remaining exponent `(p⁶+1)/r` is
+//!   computed once with [`crate::bigint`] and applied by square-and-multiply
+//!   instead of the easily-mistyped cyclotomic addition chains.
+//!
+//! Correctness is established by bilinearity and non-degeneracy property
+//! tests rather than transcribed test vectors.
+
+use crate::bigint::BigUint;
+use crate::curves::{G1Affine, G2Affine};
+use crate::fields::{Fp, Fr};
+use crate::tower::{Field, Fp12, Fp2, Fp6};
+use std::sync::OnceLock;
+
+/// The untwisted image of a `G2` point: a point of `E(Fp12)` with
+/// x-coordinate in the `Fp6` subfield.
+#[derive(Clone, Copy, Debug)]
+struct UntwistedQ {
+    x: Fp12,
+    y: Fp12,
+}
+
+/// Maps a point of the twist `E'(Fp2)` to `E(Fp12)`:
+/// `(x, y) ↦ (x·w⁻², y·w⁻³)` for the M-type twist `y² = x³ + b·ξ`.
+fn untwist(q: &G2Affine) -> UntwistedQ {
+    // w² = v, so w⁻² = v⁻¹ and w⁻³ = v⁻² · w (since w⁻¹ = w·v⁻¹).
+    let v = Fp6::new(Fp2::zero(), Fp2::one(), Fp2::zero());
+    let v_inv = v.invert().expect("v is invertible");
+    let w_inv2 = Fp12::from_fp6(v_inv);
+    let w_inv3 = Fp12::new(Fp6::zero(), v_inv * v_inv);
+    let xq = Fp12::from_fp2(q.x) * w_inv2;
+    let yq = Fp12::from_fp2(q.y) * w_inv3;
+    UntwistedQ { x: xq, y: yq }
+}
+
+/// Evaluates the line through `t` and `s` (affine `G1` points) at `q`,
+/// with vertical lines eliminated (returning `1`).
+fn line_eval(t: &G1Affine, s: &G1Affine, q: &UntwistedQ) -> Fp12 {
+    if t.infinity || s.infinity {
+        return Fp12::one();
+    }
+    let lambda = if t.x == s.x {
+        if t.y == s.y && !t.y.is_zero() {
+            // Tangent: λ = 3x² / 2y.
+            let num = t.x.square().double() + t.x.square();
+            num * t.y.double().invert().expect("y != 0")
+        } else {
+            // Vertical line: eliminated by the final exponentiation.
+            return Fp12::one();
+        }
+    } else {
+        (s.y - t.y) * (s.x - t.x).invert().expect("x coords differ")
+    };
+    // l(Q) = (yQ - yT) - λ (xQ - xT) = yQ - λ·xQ + (λ·xT - yT)
+    q.y + q.x.mul_by_fp(-lambda) + Fp12::from_fp(lambda * t.x - t.y)
+}
+
+/// Affine chord-and-tangent addition on `E(Fp)` (slow, pairing-internal).
+fn affine_add(a: &G1Affine, b: &G1Affine) -> G1Affine {
+    a.to_projective().add(&b.to_projective()).to_affine()
+}
+
+/// Miller loop `f_{r,P}(untwist(Q))` with denominator elimination.
+pub(crate) fn miller_loop(p: &G1Affine, q: &G2Affine) -> Fp12 {
+    if p.infinity || q.infinity {
+        return Fp12::one();
+    }
+    let q = untwist(q);
+    let mut f = Fp12::one();
+    let mut t = *p;
+    let r = Fr::MODULUS;
+    let bits = 64 * r.len() - r[r.len() - 1].leading_zeros() as usize;
+    for i in (0..bits - 1).rev() {
+        f = f.square() * line_eval(&t, &t, &q);
+        t = affine_add(&t, &t);
+        if (r[i / 64] >> (i % 64)) & 1 == 1 {
+            f = f * line_eval(&t, p, &q);
+            t = affine_add(&t, p);
+        }
+    }
+    debug_assert!(t.infinity, "Miller loop must end at the identity");
+    f
+}
+
+/// The hard exponent `(p⁶ + 1) / r`, computed once.
+fn hard_exponent() -> &'static BigUint {
+    static EXP: OnceLock<BigUint> = OnceLock::new();
+    EXP.get_or_init(|| {
+        let p = BigUint::from_limbs_le(&Fp::MODULUS);
+        let r = BigUint::from_limbs_le(&Fr::MODULUS);
+        let p6 = p.pow(6);
+        let (q, rem) = p6.add(&BigUint::one()).div_rem(&r);
+        assert!(rem.is_zero(), "r must divide p^6 + 1");
+        q
+    })
+}
+
+/// The final exponentiation `f ↦ f^((p¹² - 1) / r)`.
+pub(crate) fn final_exponentiation(f: Fp12) -> Fp12 {
+    // Easy part: f^(p⁶ - 1) = conj(f) · f⁻¹ (f != 0 for Miller outputs).
+    let f1 = f.conjugate() * f.invert().expect("Miller loop output is non-zero");
+    // Hard part: exponent (p⁶ + 1)/r.
+    f1.pow(hard_exponent().limbs())
+}
+
+/// The reduced Tate pairing.
+///
+/// Bilinear and non-degenerate on `G1 × G2`; `e(P, Q) = 1` whenever either
+/// argument is the identity.
+///
+/// # Examples
+///
+/// ```
+/// use blscrypto::curves::{g1_generator, g2_generator};
+/// use blscrypto::pairing::pairing;
+/// use blscrypto::tower::Field;
+///
+/// let e = pairing(&g1_generator().to_affine(), &g2_generator().to_affine());
+/// assert_ne!(e, blscrypto::tower::Fp12::one());
+/// ```
+pub fn pairing(p: &G1Affine, q: &G2Affine) -> Fp12 {
+    final_exponentiation(miller_loop(p, q))
+}
+
+/// Checks `∏ e(Pᵢ, Qᵢ) == 1` sharing a single final exponentiation — the
+/// workhorse of BLS verification (`e(H(m), pk) · e(-σ, g2) == 1`).
+pub fn pairing_product_is_one(pairs: &[(G1Affine, G2Affine)]) -> bool {
+    let mut f = Fp12::one();
+    for (p, q) in pairs {
+        f = f * miller_loop(p, q);
+    }
+    final_exponentiation(f) == Fp12::one()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curves::{g1_generator, g2_generator, G1Projective, G2Projective};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn gens() -> (G1Affine, G2Affine) {
+        (g1_generator().to_affine(), g2_generator().to_affine())
+    }
+
+    #[test]
+    fn non_degenerate() {
+        let (g1, g2) = gens();
+        let e = pairing(&g1, &g2);
+        assert_ne!(e, Fp12::one());
+        assert_ne!(e, Fp12::zero());
+        // Result is in μ_r: e^r == 1.
+        assert_eq!(e.pow(&Fr::MODULUS), Fp12::one());
+    }
+
+    #[test]
+    fn identity_pairs_to_one() {
+        let (g1, g2) = gens();
+        assert_eq!(pairing(&G1Affine::identity(), &g2), Fp12::one());
+        assert_eq!(pairing(&g1, &G2Affine::identity()), Fp12::one());
+    }
+
+    #[test]
+    fn bilinear_in_g1() {
+        let (g1, g2) = gens();
+        let a = Fr::from_u64(123456789);
+        let lhs = pairing(&g1_generator().mul_fr(a).to_affine(), &g2);
+        let rhs = pairing(&g1, &g2).pow(&a.to_raw());
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn bilinear_in_g2() {
+        let (g1, g2) = gens();
+        let b = Fr::from_u64(987654321);
+        let lhs = pairing(&g1, &g2_generator().mul_fr(b).to_affine());
+        let rhs = pairing(&g1, &g2).pow(&b.to_raw());
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn full_bilinearity_random_scalars() {
+        let mut rng = StdRng::seed_from_u64(0xb111);
+        let a = Fr::random(&mut rng);
+        let b = Fr::random(&mut rng);
+        let pa = g1_generator().mul_fr(a).to_affine();
+        let qb = g2_generator().mul_fr(b).to_affine();
+        let (g1, g2) = gens();
+        let lhs = pairing(&pa, &qb);
+        let rhs = pairing(&g1, &g2).pow(&(a * b).to_raw());
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn inverse_in_first_argument() {
+        let (g1, g2) = gens();
+        let e = pairing(&g1, &g2);
+        let e_neg = pairing(&g1.neg(), &g2);
+        assert_eq!(e * e_neg, Fp12::one());
+    }
+
+    #[test]
+    fn product_check_detects_mismatch() {
+        let mut rng = StdRng::seed_from_u64(0xabcd);
+        let s = Fr::random(&mut rng);
+        let (g1, g2) = gens();
+        // e(s·G1, G2) · e(-G1, s·G2) == 1
+        let p1 = g1_generator().mul_fr(s).to_affine();
+        let q2 = g2_generator().mul_fr(s).to_affine();
+        assert!(pairing_product_is_one(&[
+            (p1, g2),
+            (g1.neg(), q2),
+        ]));
+        // Tampered pair fails.
+        let bad = g1_generator().mul_fr(s + Fr::from_u64(1)).to_affine();
+        assert!(!pairing_product_is_one(&[(bad, g2), (g1.neg(), q2),]));
+    }
+
+    #[test]
+    fn miller_loop_identity_guard() {
+        let (g1, g2) = gens();
+        assert_eq!(miller_loop(&G1Affine::identity(), &g2), Fp12::one());
+        assert_eq!(miller_loop(&g1, &G2Affine::identity()), Fp12::one());
+    }
+
+    #[test]
+    fn pairing_respects_group_structure_sums() {
+        // e(P1 + P2, Q) == e(P1, Q) · e(P2, Q)
+        let p1 = g1_generator().mul_fr(Fr::from_u64(11));
+        let p2 = g1_generator().mul_fr(Fr::from_u64(31));
+        let q = g2_generator().to_affine();
+        let lhs = pairing(&G1Projective::add(&p1, &p2).to_affine(), &q);
+        let rhs = pairing(&p1.to_affine(), &q) * pairing(&p2.to_affine(), &q);
+        assert_eq!(lhs, rhs);
+        // and in G2:
+        let q1 = g2_generator().mul_fr(Fr::from_u64(7));
+        let q2 = g2_generator().mul_fr(Fr::from_u64(13));
+        let p = g1_generator().to_affine();
+        let lhs = pairing(&p, &G2Projective::add(&q1, &q2).to_affine());
+        let rhs = pairing(&p, &q1.to_affine()) * pairing(&p, &q2.to_affine());
+        assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,315 @@
+//! Share redistribution: re-keying the control plane **without changing the
+//! group public key**.
+//!
+//! When a controller joins or leaves, Cicero re-runs the key-sharing so the
+//! new membership (with its new quorum size) holds fresh shares of the *same*
+//! group secret — switches keep their installed public key (paper §4.3).
+//!
+//! Protocol (classic share redistribution / proactive resharing): each old
+//! shareholder `i` in a qualified set `B` (|B| ≥ old_t + 1) deals a Shamir
+//! sharing of its *own share* `s_i` with the new degree `t'` and publishes a
+//! Feldman commitment whose constant term must equal `g2·s_i` — verifiable
+//! against the old group commitment. A new participant `j` combines the
+//! sub-shares with the Lagrange coefficients of `B` at zero:
+//! `s'_j = Σ_{i∈B} λ_i · f_i(j)`, an evaluation of the new joint polynomial
+//! `F = Σ λ_i f_i` with `F(0) = Σ λ_i s_i = s`.
+
+use crate::bls::KeyShare;
+use crate::dkg::{DkgConfig, DkgOutput, GroupPublic, ParticipantOutput};
+use crate::feldman::Commitment;
+use crate::fields::Fr;
+use crate::shamir::{lagrange_at_zero, Polynomial, Share};
+use crate::Error;
+use std::collections::BTreeSet;
+
+/// One old shareholder's redistribution contribution.
+#[derive(Clone, Debug)]
+pub struct ReshareDealing {
+    /// The dealer's *old* index.
+    pub dealer: u32,
+    /// Feldman commitment to the dealer's resharing polynomial
+    /// (constant term = the dealer's old share).
+    pub commitment: Commitment,
+    shares: Vec<Share>,
+}
+
+impl ReshareDealing {
+    /// The sub-share destined for new participant `index`.
+    pub fn share_for(&self, index: u32) -> Option<Share> {
+        self.shares.iter().copied().find(|s| s.index == index)
+    }
+
+    /// Test helper: corrupts the commitment's constant term, simulating a
+    /// dealer trying to change the group key.
+    pub fn with_forged_constant(mut self) -> Self {
+        let mut points = self.commitment.points().to_vec();
+        points[0] = points[0].double();
+        self.commitment = Commitment::from_points(points);
+        self
+    }
+}
+
+/// Old shareholder `share` deals sub-shares for the new membership
+/// (`new_n` participants with indices `1..=new_n`, degree `new_t`).
+pub fn deal_reshare<R: rand::Rng + ?Sized>(
+    share: &KeyShare,
+    new_cfg: DkgConfig,
+    rng: &mut R,
+) -> ReshareDealing {
+    let recipients: Vec<u32> = (1..=new_cfg.n).collect();
+    deal_reshare_to(share, new_cfg.t, &recipients, rng)
+}
+
+/// Old shareholder `share` deals sub-shares to an explicit recipient index
+/// set (Cicero controller identifiers are never reused, so live memberships
+/// are non-contiguous — e.g. `{1, 2, 4, 5}` after a removal).
+///
+/// # Panics
+///
+/// Panics if `recipients` is empty or contains index zero.
+pub fn deal_reshare_to<R: rand::Rng + ?Sized>(
+    share: &KeyShare,
+    new_t: u32,
+    recipients: &[u32],
+    rng: &mut R,
+) -> ReshareDealing {
+    assert!(!recipients.is_empty(), "need at least one recipient");
+    let poly = Polynomial::random(share.secret_fr(), new_t as usize, rng);
+    let commitment = Commitment::commit(&poly);
+    let shares = recipients
+        .iter()
+        .map(|&i| Share {
+            index: i,
+            value: poly.eval_at_index(i),
+        })
+        .collect();
+    ReshareDealing {
+        dealer: share.index,
+        commitment,
+        shares,
+    }
+}
+
+/// Verifies a redistribution dealing:
+///
+/// 1. the commitment's constant term equals the dealer's *old* share public
+///    key (so the group secret cannot drift), and
+/// 2. the sub-share addressed to `me` matches the commitment.
+pub fn verify_reshare_dealing(
+    dealing: &ReshareDealing,
+    old_group: &GroupPublic,
+    new_cfg: DkgConfig,
+    me: u32,
+) -> bool {
+    if dealing.commitment.degree() != new_cfg.t as usize {
+        return false;
+    }
+    if dealing.commitment.public_key() != old_group.member_public_key(dealing.dealer) {
+        return false;
+    }
+    match dealing.share_for(me) {
+        Some(share) => dealing.commitment.verify_share(&share),
+        None => false,
+    }
+}
+
+/// Combines verified dealings from the qualified old set `B` into new
+/// participant `me`'s share and the new group public data.
+///
+/// # Errors
+///
+/// [`Error::InsufficientShares`] if `|B| < old_t + 1`;
+/// [`Error::InvalidShare`] if a dealing fails verification;
+/// index errors from the Lagrange computation.
+pub fn finalize_reshare(
+    dealings: &[ReshareDealing],
+    old_group: &GroupPublic,
+    new_cfg: DkgConfig,
+    me: u32,
+) -> Result<(KeyShare, GroupPublic), Error> {
+    let need = old_group.config.t as usize + 1;
+    if dealings.len() < need {
+        return Err(Error::InsufficientShares {
+            got: dealings.len(),
+            need,
+        });
+    }
+    for d in dealings {
+        if !verify_reshare_dealing(d, old_group, new_cfg, me) {
+            return Err(Error::InvalidShare {
+                dealer: d.dealer,
+                receiver: me,
+            });
+        }
+    }
+    let old_indices: Vec<u32> = dealings.iter().map(|d| d.dealer).collect();
+    let lambdas = lagrange_at_zero(&old_indices)?;
+
+    let mut new_share = Fr::zero();
+    let mut commitment: Option<Commitment> = None;
+    for (dealing, lambda) in dealings.iter().zip(&lambdas) {
+        let sub = dealing
+            .share_for(me)
+            .expect("verified dealings carry our share");
+        new_share += sub.value * *lambda;
+        let scaled = dealing.commitment.scale(*lambda);
+        commitment = Some(match commitment {
+            None => scaled,
+            Some(c) => c.add(&scaled),
+        });
+    }
+    let commitment = commitment.expect("at least old_t + 1 dealings");
+    let group = GroupPublic {
+        commitment,
+        qualified: old_indices.iter().copied().collect::<BTreeSet<u32>>(),
+        config: new_cfg,
+    };
+    Ok((KeyShare::new(me, new_share), group))
+}
+
+/// Runs a complete redistribution in memory: the first `old_t + 1`
+/// participants of `old` re-deal to a fresh membership of `new_n` members
+/// with degree `new_t`.
+///
+/// # Errors
+///
+/// As [`finalize_reshare`].
+pub fn run_reshare<R: rand::Rng + ?Sized>(
+    old: &DkgOutput,
+    new_cfg: DkgConfig,
+    rng: &mut R,
+) -> Result<DkgOutput, Error> {
+    let quorum = old.group.config.t as usize + 1;
+    let dealings: Vec<ReshareDealing> = old
+        .participants
+        .iter()
+        .take(quorum)
+        .map(|p| deal_reshare(&p.share, new_cfg, rng))
+        .collect();
+    let mut participants = Vec::with_capacity(new_cfg.n as usize);
+    let mut group = None;
+    for me in 1..=new_cfg.n {
+        let (share, g) = finalize_reshare(&dealings, &old.group, new_cfg, me)?;
+        participants.push(ParticipantOutput { index: me, share });
+        group = Some(g);
+    }
+    let group = group.expect("new_n >= 1");
+    Ok(DkgOutput {
+        group_public_key: group.public_key(),
+        group,
+        participants,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bls;
+    use crate::dkg::run_trusted_dealer_free;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x2e5a)
+    }
+
+    #[test]
+    fn reshare_preserves_group_public_key() {
+        let mut rng = rng();
+        let old = run_trusted_dealer_free(4, 1, &mut rng).unwrap();
+        // Grow the control plane 4 → 7 (t: 1 → 2).
+        let new = run_reshare(&old, DkgConfig::byzantine(7).unwrap(), &mut rng).unwrap();
+        assert_eq!(old.group_public_key, new.group_public_key);
+
+        // New shares sign under the old public key.
+        let msg = b"post-membership-change update";
+        let partials: Vec<_> = new.participants[..3]
+            .iter()
+            .map(|p| bls::sign_share(&p.share, msg))
+            .collect();
+        let sig = bls::aggregate(&partials).unwrap();
+        assert!(bls::verify(&old.group_public_key, msg, &sig));
+    }
+
+    #[test]
+    fn reshare_shrinking_membership() {
+        let mut rng = rng();
+        let old = run_trusted_dealer_free(7, 2, &mut rng).unwrap();
+        let new = run_reshare(&old, DkgConfig::byzantine(4).unwrap(), &mut rng).unwrap();
+        assert_eq!(old.group_public_key, new.group_public_key);
+        let msg = b"shrunk";
+        let partials: Vec<_> = new.participants[..2]
+            .iter()
+            .map(|p| bls::sign_share(&p.share, msg))
+            .collect();
+        assert!(bls::verify(
+            &new.group_public_key,
+            msg,
+            &bls::aggregate(&partials).unwrap()
+        ));
+    }
+
+    #[test]
+    fn old_shares_are_invalidated_by_design() {
+        // Old and new shares must not be mixable: aggregation across
+        // generations yields garbage.
+        let mut rng = rng();
+        let old = run_trusted_dealer_free(4, 1, &mut rng).unwrap();
+        let new = run_reshare(&old, DkgConfig::byzantine(4).unwrap(), &mut rng).unwrap();
+        let msg = b"mixed generations";
+        let p_old = bls::sign_share(&old.participants[0].share, msg);
+        let p_new = bls::sign_share(&new.participants[1].share, msg);
+        let sig = bls::aggregate(&[p_old, p_new]).unwrap();
+        assert!(!bls::verify(&new.group_public_key, msg, &sig));
+    }
+
+    #[test]
+    fn forged_constant_term_is_rejected() {
+        let mut rng = rng();
+        let old = run_trusted_dealer_free(4, 1, &mut rng).unwrap();
+        let new_cfg = DkgConfig::byzantine(4).unwrap();
+        let dealings: Vec<_> = old
+            .participants
+            .iter()
+            .take(2)
+            .enumerate()
+            .map(|(i, p)| {
+                let d = deal_reshare(&p.share, new_cfg, &mut rng);
+                if i == 0 {
+                    d.with_forged_constant()
+                } else {
+                    d
+                }
+            })
+            .collect();
+        let err = finalize_reshare(&dealings, &old.group, new_cfg, 1);
+        assert!(matches!(err, Err(Error::InvalidShare { dealer: 1, .. })));
+    }
+
+    #[test]
+    fn insufficient_dealers_rejected() {
+        let mut rng = rng();
+        let old = run_trusted_dealer_free(7, 2, &mut rng).unwrap();
+        let new_cfg = DkgConfig::byzantine(7).unwrap();
+        let dealings: Vec<_> = old
+            .participants
+            .iter()
+            .take(2) // need old_t + 1 = 3
+            .map(|p| deal_reshare(&p.share, new_cfg, &mut rng))
+            .collect();
+        assert!(matches!(
+            finalize_reshare(&dealings, &old.group, new_cfg, 1),
+            Err(Error::InsufficientShares { got: 2, need: 3 })
+        ));
+    }
+
+    #[test]
+    fn repeated_reshares_keep_key_stable() {
+        let mut rng = rng();
+        let mut out = run_trusted_dealer_free(4, 1, &mut rng).unwrap();
+        let pk = out.group_public_key;
+        for n in [5, 6, 4, 7, 4] {
+            out = run_reshare(&out, DkgConfig::byzantine(n).unwrap(), &mut rng).unwrap();
+            assert_eq!(out.group_public_key, pk, "pk drifted at n={n}");
+        }
+    }
+}

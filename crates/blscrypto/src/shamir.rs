@@ -1,0 +1,274 @@
+//! Shamir secret sharing over `Fr`.
+//!
+//! A secret `s` is the constant term of a random degree-`t` polynomial `f`;
+//! participant `i` holds `f(i)`. Any `t + 1` shares reconstruct `s` by
+//! Lagrange interpolation; `t` or fewer reveal nothing. Threshold BLS uses
+//! the same interpolation *in the exponent* (see [`crate::bls::aggregate`]).
+
+use crate::fields::Fr;
+use crate::Error;
+
+/// A polynomial over `Fr`, stored low-degree-first (`coeffs[0]` = secret).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Polynomial {
+    coeffs: Vec<Fr>,
+}
+
+impl std::fmt::Debug for Polynomial {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Polynomial(degree {})", self.degree())
+    }
+}
+
+impl Polynomial {
+    /// Samples a random polynomial of the given degree with the given
+    /// constant term.
+    pub fn random<R: rand::Rng + ?Sized>(secret: Fr, degree: usize, rng: &mut R) -> Self {
+        let mut coeffs = Vec::with_capacity(degree + 1);
+        coeffs.push(secret);
+        for _ in 0..degree {
+            coeffs.push(Fr::random(rng));
+        }
+        Polynomial { coeffs }
+    }
+
+    /// Builds a polynomial from explicit coefficients (low-degree-first).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty coefficient list.
+    pub fn from_coeffs(coeffs: Vec<Fr>) -> Self {
+        assert!(!coeffs.is_empty(), "polynomial needs at least one coefficient");
+        Polynomial { coeffs }
+    }
+
+    /// The polynomial degree (number of coefficients minus one).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// The coefficients, low-degree-first.
+    pub fn coeffs(&self) -> &[Fr] {
+        &self.coeffs
+    }
+
+    /// Horner evaluation at `x`.
+    pub fn eval(&self, x: Fr) -> Fr {
+        let mut acc = Fr::zero();
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// Evaluates at participant index `i` (i.e. at the field element `i`).
+    pub fn eval_at_index(&self, index: u32) -> Fr {
+        self.eval(Fr::from_index(index))
+    }
+}
+
+/// One participant's share: the evaluation `f(index)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Share {
+    /// 1-based participant index (the evaluation point).
+    pub index: u32,
+    /// The share value `f(index)`.
+    pub value: Fr,
+}
+
+/// Splits `secret` into `n` shares with threshold degree `t` (any `t + 1`
+/// reconstruct). Returns the dealing polynomial (needed for Feldman
+/// commitments) and the shares for indices `1..=n`.
+///
+/// # Panics
+///
+/// Panics if `t >= n` (reconstruction would be impossible) or `n == 0`.
+pub fn share_secret<R: rand::Rng + ?Sized>(
+    secret: Fr,
+    t: usize,
+    n: usize,
+    rng: &mut R,
+) -> (Polynomial, Vec<Share>) {
+    assert!(n > 0, "need at least one participant");
+    assert!(t < n, "threshold degree must be below participant count");
+    let poly = Polynomial::random(secret, t, rng);
+    let shares = (1..=n as u32)
+        .map(|i| Share {
+            index: i,
+            value: poly.eval_at_index(i),
+        })
+        .collect();
+    (poly, shares)
+}
+
+/// Lagrange coefficients `λ_i` for interpolating at zero over the given
+/// index set: `f(0) = Σ λ_i f(i)`.
+///
+/// # Errors
+///
+/// [`Error::DuplicateIndex`] if an index repeats;
+/// [`Error::InvalidParameters`] on an empty set or a zero index.
+pub fn lagrange_at_zero(indices: &[u32]) -> Result<Vec<Fr>, Error> {
+    lagrange_at(indices, Fr::zero())
+}
+
+/// Lagrange coefficients for interpolating at an arbitrary point `x`.
+///
+/// # Errors
+///
+/// As [`lagrange_at_zero`].
+pub fn lagrange_at(indices: &[u32], x: Fr) -> Result<Vec<Fr>, Error> {
+    if indices.is_empty() {
+        return Err(Error::InvalidParameters("empty index set".into()));
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for &i in indices {
+        if i == 0 {
+            return Err(Error::InvalidParameters("index 0 is reserved".into()));
+        }
+        if !seen.insert(i) {
+            return Err(Error::DuplicateIndex(i));
+        }
+    }
+    let points: Vec<Fr> = indices.iter().map(|&i| Fr::from_index(i)).collect();
+    let mut coeffs = Vec::with_capacity(indices.len());
+    for (j, &xj) in points.iter().enumerate() {
+        let mut num = Fr::one();
+        let mut den = Fr::one();
+        for (k, &xk) in points.iter().enumerate() {
+            if k == j {
+                continue;
+            }
+            num *= x - xk;
+            den *= xj - xk;
+        }
+        let den_inv = den
+            .invert()
+            .expect("distinct non-zero indices give non-zero denominators");
+        coeffs.push(num * den_inv);
+    }
+    Ok(coeffs)
+}
+
+/// Reconstructs the secret from at least `t + 1` shares.
+///
+/// # Errors
+///
+/// [`Error::InsufficientShares`] when fewer than `t + 1` shares are given,
+/// plus the index errors of [`lagrange_at_zero`].
+pub fn reconstruct(shares: &[Share], t: usize) -> Result<Fr, Error> {
+    if shares.len() < t + 1 {
+        return Err(Error::InsufficientShares {
+            got: shares.len(),
+            need: t + 1,
+        });
+    }
+    let indices: Vec<u32> = shares.iter().map(|s| s.index).collect();
+    let coeffs = lagrange_at_zero(&indices)?;
+    Ok(shares
+        .iter()
+        .zip(coeffs)
+        .map(|(s, l)| s.value * l)
+        .sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn share_and_reconstruct() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let secret = Fr::random(&mut rng);
+        let (_, shares) = share_secret(secret, 2, 5, &mut rng);
+        // Any 3 shares reconstruct.
+        assert_eq!(reconstruct(&shares[..3], 2).unwrap(), secret);
+        assert_eq!(reconstruct(&shares[2..], 2).unwrap(), secret);
+        let subset = [shares[0], shares[2], shares[4]];
+        assert_eq!(reconstruct(&subset, 2).unwrap(), secret);
+    }
+
+    #[test]
+    fn too_few_shares_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let secret = Fr::random(&mut rng);
+        let (_, shares) = share_secret(secret, 2, 5, &mut rng);
+        assert!(matches!(
+            reconstruct(&shares[..2], 2),
+            Err(Error::InsufficientShares { got: 2, need: 3 })
+        ));
+    }
+
+    #[test]
+    fn wrong_share_changes_secret() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let secret = Fr::random(&mut rng);
+        let (_, mut shares) = share_secret(secret, 1, 3, &mut rng);
+        shares[0].value += Fr::one();
+        assert_ne!(reconstruct(&shares[..2], 1).unwrap(), secret);
+    }
+
+    #[test]
+    fn polynomial_eval_horner() {
+        // f(x) = 3 + 2x + x²  ⇒ f(5) = 3 + 10 + 25 = 38
+        let poly = Polynomial::from_coeffs(vec![
+            Fr::from_u64(3),
+            Fr::from_u64(2),
+            Fr::from_u64(1),
+        ]);
+        assert_eq!(poly.eval(Fr::from_u64(5)), Fr::from_u64(38));
+        assert_eq!(poly.eval(Fr::zero()), Fr::from_u64(3));
+        assert_eq!(poly.degree(), 2);
+    }
+
+    #[test]
+    fn lagrange_rejects_bad_indices() {
+        assert!(matches!(
+            lagrange_at_zero(&[1, 2, 1]),
+            Err(Error::DuplicateIndex(1))
+        ));
+        assert!(lagrange_at_zero(&[]).is_err());
+        assert!(lagrange_at_zero(&[0, 1]).is_err());
+    }
+
+    #[test]
+    fn lagrange_coefficients_sum_to_one() {
+        // Interpolating the constant polynomial 1 at 0 gives Σ λ_i = 1.
+        let coeffs = lagrange_at_zero(&[1, 3, 7, 9]).unwrap();
+        let sum: Fr = coeffs.into_iter().sum();
+        assert_eq!(sum, Fr::one());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn any_threshold_subset_reconstructs(
+            seed in any::<u64>(),
+            t in 1usize..4,
+            extra in 0usize..3,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = t + 1 + extra;
+            let secret = Fr::random(&mut rng);
+            let (_, shares) = share_secret(secret, t, n, &mut rng);
+            prop_assert_eq!(reconstruct(&shares[extra..], t).unwrap(), secret);
+        }
+
+        #[test]
+        fn interpolation_at_share_point_matches(seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let secret = Fr::random(&mut rng);
+            let (poly, shares) = share_secret(secret, 2, 5, &mut rng);
+            // Interpolate at x = 4 using shares {1,2,3}; must equal f(4).
+            let coeffs = lagrange_at(&[1, 2, 3], Fr::from_u64(4)).unwrap();
+            let got: Fr = shares[..3]
+                .iter()
+                .zip(coeffs)
+                .map(|(s, l)| s.value * l)
+                .sum();
+            prop_assert_eq!(got, poly.eval(Fr::from_u64(4)));
+        }
+    }
+}

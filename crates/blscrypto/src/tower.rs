@@ -1,0 +1,574 @@
+//! The BLS12-381 extension-field tower: `Fp2 = Fp[u]/(u²+1)`,
+//! `Fp6 = Fp2[v]/(v³-ξ)` with `ξ = u + 1`, and `Fp12 = Fp6[w]/(w²-v)`.
+//!
+//! `Fp12` is the pairing target group's home; `Fp2` hosts the coordinates of
+//! `G2`. The small [`Field`] trait lets the curve arithmetic in
+//! [`crate::curves`] be generic over `Fp` (for `G1`) and `Fp2` (for `G2`).
+
+use crate::fields::Fp;
+
+/// Minimal field interface shared by all tower levels.
+///
+/// This trait is sealed in spirit (only tower types implement it); it exists
+/// so the short-Weierstrass group law is written once for both `G1` and `G2`.
+pub trait Field:
+    Copy
+    + Clone
+    + PartialEq
+    + Eq
+    + std::fmt::Debug
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + std::ops::Neg<Output = Self>
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// `true` iff zero.
+    fn is_zero(&self) -> bool;
+    /// `self * self`.
+    fn square(&self) -> Self;
+    /// `self + self`.
+    fn double(&self) -> Self;
+    /// Multiplicative inverse, `None` for zero.
+    fn invert(&self) -> Option<Self>;
+    /// Square root, `None` for non-residues.
+    fn sqrt(&self) -> Option<Self>;
+    /// Multiplication by a base-field (`Fp`) scalar.
+    fn mul_by_fp(&self, s: Fp) -> Self;
+}
+
+impl Field for Fp {
+    fn zero() -> Self {
+        Fp::zero()
+    }
+    fn one() -> Self {
+        Fp::one()
+    }
+    fn is_zero(&self) -> bool {
+        Fp::is_zero(self)
+    }
+    fn square(&self) -> Self {
+        Fp::square(self)
+    }
+    fn double(&self) -> Self {
+        Fp::double(self)
+    }
+    fn invert(&self) -> Option<Self> {
+        Fp::invert(self)
+    }
+    fn sqrt(&self) -> Option<Self> {
+        Fp::sqrt(self)
+    }
+    fn mul_by_fp(&self, s: Fp) -> Self {
+        *self * s
+    }
+}
+
+/// Quadratic extension `Fp2 = Fp[u] / (u² + 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use blscrypto::tower::{Fp2, Field};
+/// let xi = Fp2::xi();
+/// assert_eq!(xi * xi.invert().unwrap(), Fp2::one());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub struct Fp2 {
+    /// Coefficient of `1`.
+    pub c0: Fp,
+    /// Coefficient of `u`.
+    pub c1: Fp,
+}
+
+impl Fp2 {
+    /// Builds an element from its coefficients.
+    pub const fn new(c0: Fp, c1: Fp) -> Self {
+        Fp2 { c0, c1 }
+    }
+
+    /// The sextic non-residue `ξ = u + 1` used to define `Fp6`.
+    pub fn xi() -> Self {
+        Fp2::new(Fp::one(), Fp::one())
+    }
+
+    /// Conjugate `c0 - c1·u` (the Frobenius endomorphism on `Fp2`).
+    pub fn conjugate(&self) -> Self {
+        Fp2::new(self.c0, -self.c1)
+    }
+
+    /// Norm `c0² + c1²` (an `Fp` element).
+    pub fn norm(&self) -> Fp {
+        self.c0.square() + self.c1.square()
+    }
+
+    /// Multiplies by `ξ = u + 1`.
+    pub fn mul_by_xi(&self) -> Self {
+        // (c0 + c1 u)(1 + u) = (c0 - c1) + (c0 + c1) u
+        Fp2::new(self.c0 - self.c1, self.c0 + self.c1)
+    }
+
+    /// Samples a random element.
+    pub fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+        Fp2::new(Fp::random(rng), Fp::random(rng))
+    }
+
+    /// Serializes as `c1 || c0` big-endian (96 bytes).
+    pub fn to_bytes_be(self) -> [u8; 96] {
+        let mut out = [0u8; 96];
+        out[..48].copy_from_slice(&self.c1.to_bytes_be());
+        out[48..].copy_from_slice(&self.c0.to_bytes_be());
+        out
+    }
+
+    /// Deserializes from `c1 || c0` big-endian.
+    pub fn from_bytes_be(bytes: &[u8; 96]) -> Option<Self> {
+        let mut c1b = [0u8; 48];
+        c1b.copy_from_slice(&bytes[..48]);
+        let mut c0b = [0u8; 48];
+        c0b.copy_from_slice(&bytes[48..]);
+        Some(Fp2::new(Fp::from_bytes_be(&c0b)?, Fp::from_bytes_be(&c1b)?))
+    }
+}
+
+impl std::ops::Add for Fp2 {
+    type Output = Fp2;
+    fn add(self, rhs: Fp2) -> Fp2 {
+        Fp2::new(self.c0 + rhs.c0, self.c1 + rhs.c1)
+    }
+}
+impl std::ops::Sub for Fp2 {
+    type Output = Fp2;
+    fn sub(self, rhs: Fp2) -> Fp2 {
+        Fp2::new(self.c0 - rhs.c0, self.c1 - rhs.c1)
+    }
+}
+impl std::ops::Neg for Fp2 {
+    type Output = Fp2;
+    fn neg(self) -> Fp2 {
+        Fp2::new(-self.c0, -self.c1)
+    }
+}
+impl std::ops::Mul for Fp2 {
+    type Output = Fp2;
+    fn mul(self, rhs: Fp2) -> Fp2 {
+        // Karatsuba: (a0 b0 - a1 b1) + ((a0 + a1)(b0 + b1) - a0 b0 - a1 b1) u
+        let v0 = self.c0 * rhs.c0;
+        let v1 = self.c1 * rhs.c1;
+        let s = (self.c0 + self.c1) * (rhs.c0 + rhs.c1);
+        Fp2::new(v0 - v1, s - v0 - v1)
+    }
+}
+
+impl Field for Fp2 {
+    fn zero() -> Self {
+        Fp2::new(Fp::zero(), Fp::zero())
+    }
+    fn one() -> Self {
+        Fp2::new(Fp::one(), Fp::zero())
+    }
+    fn is_zero(&self) -> bool {
+        self.c0.is_zero() && self.c1.is_zero()
+    }
+    fn square(&self) -> Self {
+        // (c0 + c1 u)² = (c0+c1)(c0-c1) + 2 c0 c1 u
+        let a = self.c0 + self.c1;
+        let b = self.c0 - self.c1;
+        let c = self.c0 * self.c1;
+        Fp2::new(a * b, c.double())
+    }
+    fn double(&self) -> Self {
+        Fp2::new(self.c0.double(), self.c1.double())
+    }
+    fn invert(&self) -> Option<Self> {
+        // (c0 - c1 u) / (c0² + c1²)
+        let n = self.norm().invert()?;
+        Some(Fp2::new(self.c0 * n, -(self.c1 * n)))
+    }
+    fn sqrt(&self) -> Option<Self> {
+        // Complex method for u² = -1: write a = x + y u.
+        if self.is_zero() {
+            return Some(*self);
+        }
+        let two_inv = Fp::from_u64(2).invert().expect("2 != 0");
+        let cand = if self.c1.is_zero() {
+            if let Some(s) = self.c0.sqrt() {
+                Fp2::new(s, Fp::zero())
+            } else {
+                // sqrt(x) = sqrt(-x) * u since (s u)² = -s².
+                let s = (-self.c0).sqrt()?;
+                Fp2::new(Fp::zero(), s)
+            }
+        } else {
+            let c = self.norm().sqrt()?;
+            let mut t = (self.c0 + c) * two_inv;
+            if !t.is_square() {
+                t = (self.c0 - c) * two_inv;
+            }
+            let s = t.sqrt()?;
+            let y = self.c1 * two_inv * s.invert()?;
+            Fp2::new(s, y)
+        };
+        if cand.square() == *self {
+            Some(cand)
+        } else {
+            None
+        }
+    }
+    fn mul_by_fp(&self, s: Fp) -> Self {
+        Fp2::new(self.c0 * s, self.c1 * s)
+    }
+}
+
+/// Cubic extension `Fp6 = Fp2[v] / (v³ - ξ)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Fp6 {
+    /// Coefficient of `1`.
+    pub c0: Fp2,
+    /// Coefficient of `v`.
+    pub c1: Fp2,
+    /// Coefficient of `v²`.
+    pub c2: Fp2,
+}
+
+impl Fp6 {
+    /// Builds an element from its coefficients.
+    pub const fn new(c0: Fp2, c1: Fp2, c2: Fp2) -> Self {
+        Fp6 { c0, c1, c2 }
+    }
+
+    /// Embeds an `Fp2` element.
+    pub fn from_fp2(c0: Fp2) -> Self {
+        Fp6::new(c0, Fp2::zero(), Fp2::zero())
+    }
+
+    /// Multiplies by `v` (`(c0 + c1 v + c2 v²)·v = ξ c2 + c0 v + c1 v²`).
+    pub fn mul_by_v(&self) -> Self {
+        Fp6::new(self.c2.mul_by_xi(), self.c0, self.c1)
+    }
+}
+
+impl std::ops::Add for Fp6 {
+    type Output = Fp6;
+    fn add(self, rhs: Fp6) -> Fp6 {
+        Fp6::new(self.c0 + rhs.c0, self.c1 + rhs.c1, self.c2 + rhs.c2)
+    }
+}
+impl std::ops::Sub for Fp6 {
+    type Output = Fp6;
+    fn sub(self, rhs: Fp6) -> Fp6 {
+        Fp6::new(self.c0 - rhs.c0, self.c1 - rhs.c1, self.c2 - rhs.c2)
+    }
+}
+impl std::ops::Neg for Fp6 {
+    type Output = Fp6;
+    fn neg(self) -> Fp6 {
+        Fp6::new(-self.c0, -self.c1, -self.c2)
+    }
+}
+impl std::ops::Mul for Fp6 {
+    type Output = Fp6;
+    fn mul(self, rhs: Fp6) -> Fp6 {
+        let a = (self.c0, self.c1, self.c2);
+        let b = (rhs.c0, rhs.c1, rhs.c2);
+        let t0 = a.0 * b.0 + (a.1 * b.2 + a.2 * b.1).mul_by_xi();
+        let t1 = a.0 * b.1 + a.1 * b.0 + (a.2 * b.2).mul_by_xi();
+        let t2 = a.0 * b.2 + a.1 * b.1 + a.2 * b.0;
+        Fp6::new(t0, t1, t2)
+    }
+}
+
+impl Field for Fp6 {
+    fn zero() -> Self {
+        Fp6::new(Fp2::zero(), Fp2::zero(), Fp2::zero())
+    }
+    fn one() -> Self {
+        Fp6::new(Fp2::one(), Fp2::zero(), Fp2::zero())
+    }
+    fn is_zero(&self) -> bool {
+        self.c0.is_zero() && self.c1.is_zero() && self.c2.is_zero()
+    }
+    fn square(&self) -> Self {
+        *self * *self
+    }
+    fn double(&self) -> Self {
+        Fp6::new(self.c0.double(), self.c1.double(), self.c2.double())
+    }
+    fn invert(&self) -> Option<Self> {
+        // Standard cubic-extension inversion.
+        let a = self.c0;
+        let b = self.c1;
+        let c = self.c2;
+        let d0 = a.square() - (b * c).mul_by_xi();
+        let d1 = (c.square()).mul_by_xi() - a * b;
+        let d2 = b.square() - a * c;
+        let t = (a * d0) + ((b * d2 + c * d1).mul_by_xi());
+        let t_inv = t.invert()?;
+        Some(Fp6::new(d0 * t_inv, d1 * t_inv, d2 * t_inv))
+    }
+    fn sqrt(&self) -> Option<Self> {
+        // Not needed anywhere; pairing target elements are never square-rooted.
+        unimplemented!("Fp6 square roots are not required by this crate")
+    }
+    fn mul_by_fp(&self, s: Fp) -> Self {
+        Fp6::new(
+            self.c0.mul_by_fp(s),
+            self.c1.mul_by_fp(s),
+            self.c2.mul_by_fp(s),
+        )
+    }
+}
+
+/// Quadratic extension `Fp12 = Fp6[w] / (w² - v)` — the pairing target field.
+///
+/// # Examples
+///
+/// ```
+/// use blscrypto::tower::{Fp12, Field};
+/// let w = Fp12::w();
+/// assert_eq!(w * w, Fp12::from_fp6(blscrypto::tower::Fp6::new(
+///     blscrypto::tower::Fp2::zero(),
+///     blscrypto::tower::Fp2::one(),
+///     blscrypto::tower::Fp2::zero(),
+/// )));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Fp12 {
+    /// Coefficient of `1`.
+    pub c0: Fp6,
+    /// Coefficient of `w`.
+    pub c1: Fp6,
+}
+
+impl Fp12 {
+    /// Builds an element from its coefficients.
+    pub const fn new(c0: Fp6, c1: Fp6) -> Self {
+        Fp12 { c0, c1 }
+    }
+
+    /// Embeds an `Fp6` element.
+    pub fn from_fp6(c0: Fp6) -> Self {
+        Fp12::new(c0, Fp6::zero())
+    }
+
+    /// Embeds an `Fp2` element.
+    pub fn from_fp2(c: Fp2) -> Self {
+        Fp12::from_fp6(Fp6::from_fp2(c))
+    }
+
+    /// Embeds an `Fp` element.
+    pub fn from_fp(c: Fp) -> Self {
+        Fp12::from_fp2(Fp2::new(c, Fp::zero()))
+    }
+
+    /// The tower generator `w` itself.
+    pub fn w() -> Self {
+        Fp12::new(Fp6::zero(), Fp6::one())
+    }
+
+    /// Conjugate over `Fp6`: `c0 - c1 w`. This equals the Frobenius map
+    /// `x ↦ x^(p⁶)` and is used in the easy part of the final exponentiation.
+    pub fn conjugate(&self) -> Self {
+        Fp12::new(self.c0, -self.c1)
+    }
+
+    /// Exponentiation by a little-endian limb scalar.
+    pub fn pow(&self, exp: &[u64]) -> Self {
+        let mut acc = Fp12::one();
+        for i in (0..exp.len() * 64).rev() {
+            acc = acc.square();
+            if (exp[i / 64] >> (i % 64)) & 1 == 1 {
+                acc = acc * *self;
+            }
+        }
+        acc
+    }
+}
+
+impl std::ops::Add for Fp12 {
+    type Output = Fp12;
+    fn add(self, rhs: Fp12) -> Fp12 {
+        Fp12::new(self.c0 + rhs.c0, self.c1 + rhs.c1)
+    }
+}
+impl std::ops::Sub for Fp12 {
+    type Output = Fp12;
+    fn sub(self, rhs: Fp12) -> Fp12 {
+        Fp12::new(self.c0 - rhs.c0, self.c1 - rhs.c1)
+    }
+}
+impl std::ops::Neg for Fp12 {
+    type Output = Fp12;
+    fn neg(self) -> Fp12 {
+        Fp12::new(-self.c0, -self.c1)
+    }
+}
+impl std::ops::Mul for Fp12 {
+    type Output = Fp12;
+    fn mul(self, rhs: Fp12) -> Fp12 {
+        // (a0 + a1 w)(b0 + b1 w) = (a0 b0 + v a1 b1) + (a0 b1 + a1 b0) w
+        let v0 = self.c0 * rhs.c0;
+        let v1 = self.c1 * rhs.c1;
+        let s = (self.c0 + self.c1) * (rhs.c0 + rhs.c1);
+        Fp12::new(v0 + v1.mul_by_v(), s - v0 - v1)
+    }
+}
+
+impl Field for Fp12 {
+    fn zero() -> Self {
+        Fp12::new(Fp6::zero(), Fp6::zero())
+    }
+    fn one() -> Self {
+        Fp12::new(Fp6::one(), Fp6::zero())
+    }
+    fn is_zero(&self) -> bool {
+        self.c0.is_zero() && self.c1.is_zero()
+    }
+    fn square(&self) -> Self {
+        *self * *self
+    }
+    fn double(&self) -> Self {
+        Fp12::new(self.c0.double(), self.c1.double())
+    }
+    fn invert(&self) -> Option<Self> {
+        // (c0 - c1 w) / (c0² - v c1²)
+        let d = self.c0.square() - self.c1.square().mul_by_v();
+        let d_inv = d.invert()?;
+        Some(Fp12::new(self.c0 * d_inv, -(self.c1 * d_inv)))
+    }
+    fn sqrt(&self) -> Option<Self> {
+        unimplemented!("Fp12 square roots are not required by this crate")
+    }
+    fn mul_by_fp(&self, s: Fp) -> Self {
+        Fp12::new(self.c0.mul_by_fp(s), self.c1.mul_by_fp(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xc1ce_20)
+    }
+
+    fn random_fp6<R: rand::Rng>(rng: &mut R) -> Fp6 {
+        Fp6::new(Fp2::random(rng), Fp2::random(rng), Fp2::random(rng))
+    }
+
+    fn random_fp12<R: rand::Rng>(rng: &mut R) -> Fp12 {
+        Fp12::new(random_fp6(rng), random_fp6(rng))
+    }
+
+    #[test]
+    fn fp2_u_squared_is_minus_one() {
+        let u = Fp2::new(Fp::zero(), Fp::one());
+        assert_eq!(u.square(), -Fp2::one());
+    }
+
+    #[test]
+    fn fp2_field_axioms_random() {
+        let mut rng = rng();
+        for _ in 0..50 {
+            let a = Fp2::random(&mut rng);
+            let b = Fp2::random(&mut rng);
+            let c = Fp2::random(&mut rng);
+            assert_eq!(a * b, b * a);
+            assert_eq!((a * b) * c, a * (b * c));
+            assert_eq!(a * (b + c), a * b + a * c);
+            assert_eq!(a.square(), a * a);
+            if let Some(inv) = a.invert() {
+                assert_eq!(a * inv, Fp2::one());
+            }
+        }
+    }
+
+    #[test]
+    fn fp2_sqrt_round_trip() {
+        let mut rng = rng();
+        let mut squares = 0;
+        for _ in 0..50 {
+            let a = Fp2::random(&mut rng);
+            let sq = a.square();
+            let s = sq.sqrt().expect("square must have a root");
+            assert!(s == a || s == -a);
+            if a.sqrt().is_some() {
+                squares += 1;
+            }
+        }
+        // About half of random elements are squares.
+        assert!(squares > 10 && squares < 40, "squares = {squares}");
+    }
+
+    #[test]
+    fn fp6_v_cubed_is_xi() {
+        let v = Fp6::new(Fp2::zero(), Fp2::one(), Fp2::zero());
+        let v3 = v * v * v;
+        assert_eq!(v3, Fp6::from_fp2(Fp2::xi()));
+        // mul_by_v matches multiplication by v.
+        let mut rng = rng();
+        let a = random_fp6(&mut rng);
+        assert_eq!(a.mul_by_v(), a * v);
+    }
+
+    #[test]
+    fn fp6_inversion_and_axioms() {
+        let mut rng = rng();
+        for _ in 0..25 {
+            let a = random_fp6(&mut rng);
+            let b = random_fp6(&mut rng);
+            let c = random_fp6(&mut rng);
+            assert_eq!(a * b, b * a);
+            assert_eq!((a * b) * c, a * (b * c));
+            assert_eq!(a * (b + c), a * b + a * c);
+            let inv = a.invert().expect("random element is invertible");
+            assert_eq!(a * inv, Fp6::one());
+        }
+        assert!(Fp6::zero().invert().is_none());
+    }
+
+    #[test]
+    fn fp12_w_squared_is_v() {
+        let w = Fp12::w();
+        let v = Fp12::from_fp6(Fp6::new(Fp2::zero(), Fp2::one(), Fp2::zero()));
+        assert_eq!(w * w, v);
+    }
+
+    #[test]
+    fn fp12_inversion_and_axioms() {
+        let mut rng = rng();
+        for _ in 0..10 {
+            let a = random_fp12(&mut rng);
+            let b = random_fp12(&mut rng);
+            assert_eq!(a * b, b * a);
+            let inv = a.invert().expect("random element is invertible");
+            assert_eq!(a * inv, Fp12::one());
+            assert_eq!(a.conjugate().conjugate(), a);
+        }
+    }
+
+    #[test]
+    fn fp12_conjugate_is_homomorphic() {
+        let mut rng = rng();
+        let a = random_fp12(&mut rng);
+        let b = random_fp12(&mut rng);
+        assert_eq!((a * b).conjugate(), a.conjugate() * b.conjugate());
+    }
+
+    #[test]
+    fn fp12_pow_small() {
+        let mut rng = rng();
+        let a = random_fp12(&mut rng);
+        let mut expect = Fp12::one();
+        for _ in 0..13 {
+            expect = expect * a;
+        }
+        assert_eq!(a.pow(&[13]), expect);
+        assert_eq!(a.pow(&[0]), Fp12::one());
+        assert_eq!(a.pow(&[1]), a);
+    }
+}

@@ -1,0 +1,926 @@
+//! The controller protocol runtime (paper Figs. 7–8 and §5.1).
+//!
+//! Each controller actor embeds: a PBFT replica (event agreement), the
+//! pluggable network application and update scheduler, the dependency-driven
+//! pending-update tracker, the membership view with phase-change/resharing
+//! logic, the optional aggregator role, and the heartbeat failure detector.
+
+use crate::config::{Aggregation, Mode};
+use crate::msg::{AckBody, Net, OrderedOp, PhaseInfo};
+use crate::obs::Obs;
+use crate::runtime::{fake_group, labels, Shared};
+use bft::message::{BftPayload, ReplicaId};
+use bft::replica::{BftConfig, Output, Replica};
+use blscrypto::bls::{KeyShare, PartialSignature, SecretKey};
+use blscrypto::dkg::{DkgConfig, GroupPublic};
+use blscrypto::reshare::{deal_reshare_to, finalize_reshare, ReshareDealing};
+use controller::app::{NetworkApp, ShortestPathApp};
+use controller::failure::HeartbeatDetector;
+use controller::membership::ControlPlaneView;
+use controller::pending::PendingUpdates;
+use controller::scheduler::{ReversePathScheduler, UpdateScheduler};
+use simnet::node::{Actor, Context, NodeId, TimerToken};
+use simnet::time::SimDuration;
+use southbound::envelope::{MsgId, QuorumSigned, ShareSigned, Signed};
+use southbound::types::{
+    ControllerId, DomainId, Event, EventId, EventKind, NetworkUpdate, Phase, SwitchId,
+    UpdateId,
+};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+const TICK: TimerToken = TimerToken(1);
+const HEARTBEAT: TimerToken = TimerToken(2);
+const TICK_PERIOD: SimDuration = SimDuration::from_millis(5);
+
+/// An aggregation bucket at the aggregator controller.
+#[derive(Clone, Debug)]
+struct AggBucket {
+    update: NetworkUpdate,
+    phase: Phase,
+    partials: BTreeMap<u32, PartialSignature>,
+    sent: bool,
+}
+
+/// State tracked while a membership change (and its reshare) is in flight.
+struct PendingReshare {
+    phase: Phase,
+    need: usize,
+    old_group: GroupPublic,
+    new_cfg: DkgConfig,
+}
+
+/// The controller actor.
+pub struct ControllerActor {
+    shared: Arc<Shared>,
+    domain: DomainId,
+    id: ControllerId,
+    identity: Option<SecretKey>,
+    share: Option<KeyShare>,
+    group: GroupPublic,
+    view: ControlPlaneView,
+    active: bool,
+    replica: Option<Replica<OrderedOp>>,
+    app: ShortestPathApp,
+    scheduler: Box<dyn UpdateScheduler>,
+    pending: PendingUpdates,
+    seen_events: HashSet<EventId>,
+    unprocessed: BTreeMap<[u8; 32], OrderedOp>,
+    queued_events: Vec<Event>,
+    in_phase_change: bool,
+    pending_reshare: Option<PendingReshare>,
+    reshare_buf: BTreeMap<Phase, Vec<ReshareDealing>>,
+    agg_buckets: HashMap<(UpdateId, Phase), Vec<AggBucket>>,
+    phase_partials: BTreeMap<Phase, BTreeMap<u32, PartialSignature>>,
+    remote_members: BTreeMap<DomainId, Vec<ControllerId>>,
+    detector: HeartbeatDetector,
+    msg_seq: u64,
+}
+
+impl ControllerActor {
+    /// Builds a controller.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        shared: Arc<Shared>,
+        domain: DomainId,
+        id: ControllerId,
+        identity: Option<SecretKey>,
+        share: Option<KeyShare>,
+        view: ControlPlaneView,
+        active: bool,
+    ) -> Self {
+        let group = shared.keys.domains[&domain].group.clone();
+        let replica = active.then(|| Self::build_replica(&view, id));
+        let remote_members = shared
+            .dir
+            .initial_members
+            .iter()
+            .map(|(d, ms)| (*d, ms.clone()))
+            .collect();
+        let detector = HeartbeatDetector::new(
+            shared
+                .cfg
+                .heartbeat
+                .map(|p| p.saturating_mul(4))
+                .unwrap_or(SimDuration::from_millis(500)),
+        );
+        ControllerActor {
+            shared,
+            domain,
+            id,
+            identity,
+            share,
+            group,
+            view,
+            active,
+            replica,
+            app: ShortestPathApp::new(),
+            scheduler: Box::new(ReversePathScheduler),
+            pending: PendingUpdates::new(),
+            seen_events: HashSet::new(),
+            unprocessed: BTreeMap::new(),
+            queued_events: Vec::new(),
+            in_phase_change: false,
+            pending_reshare: None,
+            reshare_buf: BTreeMap::new(),
+            agg_buckets: HashMap::new(),
+            phase_partials: BTreeMap::new(),
+            remote_members,
+            detector,
+            msg_seq: 0,
+        }
+    }
+
+    /// Replaces the update scheduler (pluggability seam, paper §3.1).
+    pub fn set_scheduler(&mut self, s: Box<dyn UpdateScheduler>) {
+        self.scheduler = s;
+    }
+
+    /// Mutable access to the controller application (e.g. firewall policy).
+    pub fn app_mut(&mut self) -> &mut ShortestPathApp {
+        &mut self.app
+    }
+
+    /// The current membership view (tests).
+    pub fn view(&self) -> &ControlPlaneView {
+        &self.view
+    }
+
+    /// The current group public data (tests: pk invariance).
+    pub fn group(&self) -> &GroupPublic {
+        &self.group
+    }
+
+    /// `true` while this controller participates in the control plane.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    fn build_replica(view: &ControlPlaneView, id: ControllerId) -> Replica<OrderedOp> {
+        let members: Vec<ControllerId> = view.members().collect();
+        let pos = members
+            .iter()
+            .position(|&m| m == id)
+            .expect("active controller is a member") as u32;
+        Replica::new(ReplicaId(pos), BftConfig::new(members.len() as u32))
+    }
+
+    fn msg_id(&mut self) -> MsgId {
+        self.msg_seq += 1;
+        MsgId {
+            origin: self.id.0,
+            seq: self.msg_seq,
+        }
+    }
+
+    fn members(&self) -> Vec<ControllerId> {
+        self.view.members().collect()
+    }
+
+    fn is_lowest(&self) -> bool {
+        self.view.aggregator() == self.id
+    }
+
+    fn uses_consensus(&self) -> bool {
+        !matches!(self.shared.cfg.mode, Mode::Centralized)
+    }
+
+    fn node_of(&self, c: ControllerId) -> NodeId {
+        self.shared.dir.controller(self.domain, c)
+    }
+
+    // ----- consensus plumbing -------------------------------------------
+
+    fn route_outputs(&mut self, ctx: &mut Context<'_, Net, Obs>, outs: Vec<Output<OrderedOp>>) {
+        let members = self.members();
+        let phase = self.view.phase();
+        for out in outs {
+            match out {
+                Output::Send(rid, msg) => {
+                    let Some(&target) = members.get(rid.0 as usize) else {
+                        continue;
+                    };
+                    if target == self.id {
+                        continue;
+                    }
+                    ctx.send_delayed(
+                        self.node_of(target),
+                        Net::Consensus {
+                            phase,
+                            from: self.id,
+                            msg: Box::new(msg),
+                        },
+                        self.shared.cfg.costs.consensus_wire,
+                    );
+                }
+                Output::Broadcast(msg) => {
+                    for &m in &members {
+                        if m == self.id {
+                            continue;
+                        }
+                        ctx.send_delayed(
+                            self.node_of(m),
+                            Net::Consensus {
+                                phase,
+                                from: self.id,
+                                msg: Box::new(msg.clone()),
+                            },
+                            self.shared.cfg.costs.consensus_wire,
+                        );
+                    }
+                }
+                Output::Deliver(_, op) => self.on_deliver(ctx, op),
+            }
+        }
+    }
+
+    fn submit_op(&mut self, ctx: &mut Context<'_, Net, Obs>, op: OrderedOp) {
+        if let OrderedOp::Event(e) = &op {
+            if self.seen_events.contains(&e.id) {
+                return;
+            }
+        }
+        if !self.uses_consensus() {
+            self.on_deliver(ctx, op);
+            return;
+        }
+        self.unprocessed.insert(op.digest(), op.clone());
+        let Some(replica) = self.replica.as_mut() else {
+            return;
+        };
+        let outs = replica.submit(op);
+        self.route_outputs(ctx, outs);
+    }
+
+    // ----- event processing ---------------------------------------------
+
+    fn on_deliver(&mut self, ctx: &mut Context<'_, Net, Obs>, op: OrderedOp) {
+        self.unprocessed.remove(&op.digest());
+        match op {
+            OrderedOp::Event(event) => self.process_event(ctx, event),
+            OrderedOp::AddController(c) => self.start_phase_change(ctx, true, c),
+            OrderedOp::RemoveController(c) => self.start_phase_change(ctx, false, c),
+        }
+    }
+
+    fn process_event(&mut self, ctx: &mut Context<'_, Net, Obs>, event: Event) {
+        if !self.seen_events.insert(event.id) {
+            return;
+        }
+        if self.shared.cfg.trace_deliveries {
+            ctx.observe(Obs::EventDelivered {
+                domain: self.domain,
+                controller: self.id.0,
+                event: event.id,
+            });
+        }
+        if self.is_lowest() {
+            ctx.observe(Obs::EventProcessed {
+                domain: self.domain,
+                event: event.id,
+            });
+        }
+        // Cross-domain bookkeeping events.
+        if let EventKind::MembershipChanged {
+            domain,
+            controller,
+            added,
+        } = event.kind
+        {
+            let members = self.remote_members.entry(domain).or_default();
+            if added {
+                if !members.contains(&controller) {
+                    members.push(controller);
+                    members.sort();
+                }
+            } else {
+                members.retain(|&c| c != controller);
+            }
+            return;
+        }
+        // Forward to other affected domains (paper §4.1). The lowest live
+        // controller performs the forwarding to avoid n copies.
+        if !event.forwarded && self.is_lowest() {
+            let affected = self
+                .shared
+                .policy
+                .affected_domains(&event, &self.shared.topo);
+            for d in affected {
+                if d == self.domain {
+                    continue;
+                }
+                let Some(target) = self
+                    .remote_members
+                    .get(&d)
+                    .and_then(|ms| ms.first().copied())
+                else {
+                    continue;
+                };
+                let fwd = Event {
+                    forwarded: true,
+                    ..event
+                };
+                let signed = self.sign_forward(ctx, fwd);
+                ctx.send(
+                    self.shared.dir.controller(d, target),
+                    Net::ForwardedEvent(signed),
+                );
+            }
+        }
+        // Compute, schedule and release this domain's updates.
+        let updates: Vec<NetworkUpdate> = self
+            .app
+            .handle_event(&event, &self.shared.topo)
+            .into_iter()
+            .filter(|u| {
+                self.shared.dir.domain_of_switch.get(&u.switch) == Some(&self.domain)
+            })
+            .collect();
+        if updates.is_empty() {
+            return;
+        }
+        ctx.charge_cpu(self.shared.cfg.costs.event_process);
+        let schedule = self.scheduler.schedule(&updates);
+        let ready = self.pending.admit(schedule);
+        let mut pipeline = self.shared.cfg.costs.event_pipeline;
+        if self.shared.cfg.mode.is_cicero() {
+            pipeline += self.shared.cfg.costs.bls_verify;
+        }
+        for u in ready {
+            self.send_update_delayed(ctx, u, pipeline);
+        }
+    }
+
+    fn sign_forward(&mut self, ctx: &mut Context<'_, Net, Obs>, event: Event) -> Signed<Event> {
+        let phase = self.view.phase();
+        let msg_id = self.msg_id();
+        if self.shared.cfg.mode.is_cicero() {
+            ctx.charge_cpu(self.shared.cfg.costs.event_sign);
+        }
+        if self.shared.real_crypto() && self.shared.cfg.mode.is_cicero() {
+            let key = self.identity.as_ref().expect("real mode identity");
+            Signed::sign(labels::FORWARD, event, phase, msg_id, key)
+        } else {
+            Signed {
+                payload: event,
+                phase,
+                msg_id,
+                signature: self.shared.keys.dummy,
+            }
+        }
+    }
+
+
+    fn send_update_delayed(
+        &mut self,
+        ctx: &mut Context<'_, Net, Obs>,
+        update: NetworkUpdate,
+        extra: SimDuration,
+    ) {
+        let switch_node = self.shared.dir.switch(update.switch);
+        match self.shared.cfg.mode {
+            Mode::Centralized | Mode::CrashTolerant => {
+                ctx.send_delayed(
+                    switch_node,
+                    Net::UpdatePlain {
+                        update,
+                        from: self.id,
+                    },
+                    extra,
+                );
+            }
+            Mode::Cicero { aggregation } => {
+                let sign = self.shared.cfg.costs.update_sign;
+                ctx.charge_cpu(SimDuration::from_nanos(sign.as_nanos() / 3));
+                let extra = extra + sign;
+                let phase = self.view.phase();
+                let msg_id = self.msg_id();
+                let msg = if self.shared.real_crypto() {
+                    let share = self.share.as_ref().expect("real mode share");
+                    ShareSigned::sign(labels::UPDATE, update, phase, msg_id, share)
+                } else {
+                    ShareSigned {
+                        payload: update,
+                        phase,
+                        msg_id,
+                        partial: PartialSignature {
+                            index: self.id.0,
+                            sig: self.shared.keys.dummy.0,
+                        },
+                    }
+                };
+                match aggregation {
+                    Aggregation::Switch => {
+                        ctx.send_delayed(switch_node, Net::UpdateMsg(msg), extra)
+                    }
+                    Aggregation::Controller => {
+                        let agg = self.view.aggregator();
+                        ctx.send_delayed(
+                            self.node_of(agg),
+                            Net::UpdateToAggregator(msg),
+                            extra,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- aggregator role ------------------------------------------------
+
+    fn on_update_to_aggregator(
+        &mut self,
+        ctx: &mut Context<'_, Net, Obs>,
+        msg: ShareSigned<NetworkUpdate>,
+    ) {
+        if !self.is_lowest() || !self.active {
+            return;
+        }
+        ctx.charge_cpu(self.shared.cfg.costs.aggregator_msg);
+        if msg.phase != self.view.phase() {
+            return;
+        }
+        let key = (msg.payload.id, msg.phase);
+        let quorum = self.view.quorum();
+        let buckets = self.agg_buckets.entry(key).or_default();
+        let bucket = match buckets.iter_mut().find(|b| b.update == msg.payload) {
+            Some(b) => b,
+            None => {
+                buckets.push(AggBucket {
+                    update: msg.payload,
+                    phase: msg.phase,
+                    partials: BTreeMap::new(),
+                    sent: false,
+                });
+                buckets.last_mut().expect("just pushed")
+            }
+        };
+        bucket.partials.insert(msg.partial.index, msg.partial);
+        if bucket.sent || bucket.partials.len() < quorum {
+            return;
+        }
+        bucket.sent = true;
+        let partials: Vec<PartialSignature> = bucket.partials.values().copied().collect();
+        let update = bucket.update;
+        let phase = bucket.phase;
+        let msg_id = self.msg_id();
+        let out = if self.shared.real_crypto() {
+            match QuorumSigned::aggregate(update, phase, msg_id, &partials, quorum - 1) {
+                Ok(q) => q,
+                Err(_) => return,
+            }
+        } else {
+            QuorumSigned {
+                payload: update,
+                phase,
+                msg_id,
+                signature: self.shared.keys.dummy,
+            }
+        };
+        ctx.send_delayed(
+            self.shared.dir.switch(update.switch),
+            Net::UpdateAggregated(out),
+            self.shared.cfg.costs.aggregator_delay,
+        );
+    }
+
+    // ----- membership & resharing ----------------------------------------
+
+    fn start_phase_change(
+        &mut self,
+        ctx: &mut Context<'_, Net, Obs>,
+        added: bool,
+        subject: ControllerId,
+    ) {
+        let old_view = self.view.clone();
+        let result = if added {
+            self.view.add(old_view.bootstrap(), subject)
+        } else {
+            self.view.remove(subject)
+        };
+        if result.is_err() {
+            self.view = old_view;
+            return;
+        }
+        self.in_phase_change = true;
+        if added {
+            self.detector.track(subject, ctx.now());
+        } else {
+            self.detector.forget(subject);
+        }
+
+        // Cross-domain notification (paper §4.3 final step): the bootstrap
+        // forwards a MembershipChanged event to every other domain.
+        if self.id == self.view.bootstrap() {
+            let event = Event {
+                id: EventId(((self.id.0 as u64) << 48) | self.view.phase().0),
+                kind: EventKind::MembershipChanged {
+                    domain: self.domain,
+                    controller: subject,
+                    added,
+                },
+                origin: self.domain,
+                forwarded: true,
+            };
+            let domains: Vec<DomainId> = self
+                .remote_members
+                .keys()
+                .copied()
+                .filter(|d| *d != self.domain)
+                .collect();
+            for d in domains {
+                if let Some(target) = self.remote_members[&d].first().copied() {
+                    let signed = self.sign_forward(ctx, event);
+                    ctx.send(self.shared.dir.controller(d, target), Net::ForwardedEvent(signed));
+                }
+            }
+            // State sync for a joiner.
+            if added {
+                ctx.send(
+                    self.shared.dir.controller(self.domain, subject),
+                    Net::StateSync {
+                        view: self.view.clone(),
+                    },
+                );
+            }
+        }
+
+        if !added && subject == self.id {
+            // We were removed: stop participating.
+            self.active = false;
+            self.replica = None;
+            self.in_phase_change = false;
+            return;
+        }
+
+        let new_members: Vec<u32> = self.view.members().map(|c| c.0).collect();
+        let new_cfg = DkgConfig::new(self.view.len() as u32, self.view.threshold_t())
+            .expect("valid view parameters");
+
+        if self.shared.real_crypto() && self.shared.cfg.mode.is_cicero() {
+            let old_t = old_view.threshold_t() as usize;
+            self.pending_reshare = Some(PendingReshare {
+                phase: self.view.phase(),
+                need: old_t + 1,
+                old_group: self.group.clone(),
+                new_cfg,
+            });
+            // Dealers: the lowest old_t + 1 surviving old members.
+            let dealers: Vec<ControllerId> = old_view
+                .members()
+                .filter(|&c| added || c != subject)
+                .take(old_t + 1)
+                .collect();
+            if dealers.contains(&self.id) {
+                let share = self.share.clone().expect("members hold shares");
+                let dealing = deal_reshare_to(&share, new_cfg.t, &new_members, ctx.rng());
+                let phase = self.view.phase();
+                for &m in self.members().iter() {
+                    if m == self.id {
+                        self.reshare_buf.entry(phase).or_default().push(dealing.clone());
+                    } else {
+                        ctx.send(
+                            self.node_of(m),
+                            Net::Reshare {
+                                phase,
+                                dealing: dealing.clone(),
+                            },
+                        );
+                    }
+                }
+            }
+            self.try_finalize_reshare(ctx);
+        } else {
+            // Modeled crypto: the reshare's *timing* is not part of any
+            // figure; jump straight to the new phase with placeholder keys.
+            self.group = fake_group(self.view.len() as u32, self.view.threshold_t());
+            self.finish_phase_change(ctx);
+        }
+    }
+
+    fn try_finalize_reshare(&mut self, ctx: &mut Context<'_, Net, Obs>) {
+        let Some(pr) = self.pending_reshare.as_ref() else {
+            return;
+        };
+        let Some(dealings) = self.reshare_buf.get(&pr.phase) else {
+            return;
+        };
+        if dealings.len() < pr.need {
+            return;
+        }
+        let dealings = dealings.clone();
+        let pr = self.pending_reshare.take().expect("checked above");
+        match finalize_reshare(&dealings[..pr.need], &pr.old_group, pr.new_cfg, self.id.0) {
+            Ok((share, group)) => {
+                self.share = Some(share);
+                self.group = group;
+                self.finish_phase_change(ctx);
+            }
+            Err(_) => {
+                // A bad dealing slipped in; wait for more dealers.
+                self.pending_reshare = Some(pr);
+            }
+        }
+    }
+
+    fn finish_phase_change(&mut self, ctx: &mut Context<'_, Net, Obs>) {
+        self.in_phase_change = false;
+        self.active = true;
+        self.replica = Some(Self::build_replica(&self.view, self.id));
+        self.agg_buckets.clear();
+        ctx.observe(Obs::PhaseChanged {
+            domain: self.domain,
+            phase: self.view.phase().0,
+        });
+
+        // Inform switches of the new phase/quorum/aggregator under the
+        // (unchanged) group public key.
+        let info = PhaseInfo {
+            phase: self.view.phase(),
+            quorum: self.view.quorum() as u32,
+            aggregator: self.view.aggregator(),
+        };
+        if self.shared.real_crypto() && self.shared.cfg.mode.is_cicero() {
+            let share = self.share.clone().expect("post-reshare share");
+            let msg_id = self.msg_id();
+            let partial = ShareSigned::sign(labels::PHASE, info, info.phase, msg_id, &share);
+            let agg = self.view.aggregator();
+            if agg == self.id {
+                self.on_phase_partial(ctx, partial);
+            } else {
+                ctx.send(self.node_of(agg), Net::PhasePartial(partial));
+            }
+        } else if self.is_lowest() {
+            let msg_id = self.msg_id();
+            let notice = QuorumSigned {
+                payload: info,
+                phase: info.phase,
+                msg_id,
+                signature: self.shared.keys.dummy,
+            };
+            for node in self.shared.dir.domain_switch_nodes(self.domain) {
+                ctx.send(node, Net::PhaseNotice(notice.clone()));
+            }
+        }
+
+        // Drain work accumulated during the change.
+        let queued: Vec<Event> = self.queued_events.drain(..).collect();
+        for e in queued {
+            self.submit_op(ctx, OrderedOp::Event(e));
+        }
+        let unprocessed: Vec<OrderedOp> = self.unprocessed.values().cloned().collect();
+        self.unprocessed.clear();
+        for op in unprocessed {
+            self.submit_op(ctx, op);
+        }
+    }
+
+    fn on_phase_partial(
+        &mut self,
+        ctx: &mut Context<'_, Net, Obs>,
+        msg: ShareSigned<PhaseInfo>,
+    ) {
+        if !self.is_lowest() {
+            return;
+        }
+        let phase = msg.phase;
+        let store = self.phase_partials.entry(phase).or_default();
+        store.insert(msg.partial.index, msg.partial);
+        let quorum = self.view.quorum();
+        if store.len() < quorum || phase != self.view.phase() {
+            return;
+        }
+        let partials: Vec<PartialSignature> = store.values().copied().collect();
+        let info = PhaseInfo {
+            phase: self.view.phase(),
+            quorum: self.view.quorum() as u32,
+            aggregator: self.view.aggregator(),
+        };
+        let msg_id = self.msg_id();
+        let Ok(notice) =
+            QuorumSigned::aggregate(info, phase, msg_id, &partials[..quorum], quorum - 1)
+        else {
+            return;
+        };
+        for node in self.shared.dir.domain_switch_nodes(self.domain) {
+            ctx.send(node, Net::PhaseNotice(notice.clone()));
+        }
+    }
+
+    // ----- inbound verification helpers ------------------------------------
+
+    fn verify_event(
+        &mut self,
+        ctx: &mut Context<'_, Net, Obs>,
+        msg: &Signed<Event>,
+        forwarded: bool,
+    ) -> bool {
+        if !self.shared.cfg.mode.is_cicero() {
+            return true;
+        }
+        // Verification cost is latency, not serialized CPU, on the paper's
+        // 12-core controllers: it is folded into the event pipeline delay.
+        let _ = &ctx;
+        if !self.shared.real_crypto() {
+            return true;
+        }
+        if forwarded {
+            let sender = (msg.payload.origin, ControllerId(msg.msg_id.origin));
+            match self.shared.keys.controller_pk.get(&sender) {
+                Some(pk) => msg.verify(labels::FORWARD, pk),
+                None => false,
+            }
+        } else {
+            match self.shared.keys.switch_pk.get(&SwitchId(msg.msg_id.origin)) {
+                Some(pk) => msg.verify(labels::EVENT, pk),
+                None => false,
+            }
+        }
+    }
+
+    fn on_event_msg(
+        &mut self,
+        ctx: &mut Context<'_, Net, Obs>,
+        msg: Signed<Event>,
+        forwarded: bool,
+    ) {
+        if !self.active {
+            return;
+        }
+        ctx.charge_cpu(self.shared.cfg.costs.ctrl_msg);
+        if !self.verify_event(ctx, &msg, forwarded) {
+            return;
+        }
+        if self.seen_events.contains(&msg.payload.id) {
+            return;
+        }
+        if self.in_phase_change {
+            self.queued_events.push(msg.payload);
+            return;
+        }
+        // Controller-aggregation mode: the aggregator is the switches' sole
+        // contact and relays events into the control plane (paper §4.2).
+        self.submit_op(ctx, OrderedOp::Event(msg.payload));
+    }
+}
+
+impl Actor<Net, Obs> for ControllerActor {
+    fn on_start(&mut self, ctx: &mut Context<'_, Net, Obs>) {
+        if self.uses_consensus() {
+            ctx.set_timer(TICK_PERIOD, TICK);
+        }
+        if let Some(hb) = self.shared.cfg.heartbeat {
+            if self.active {
+                ctx.set_timer(hb, HEARTBEAT);
+            }
+        }
+        let now = ctx.now();
+        for m in self.members() {
+            if m != self.id {
+                self.detector.track(m, now);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Net, Obs>, token: TimerToken) {
+        if token == TICK {
+            if self.active && !self.in_phase_change {
+                if let Some(replica) = self.replica.as_mut() {
+                    let outs = replica.on_tick();
+                    self.route_outputs(ctx, outs);
+                }
+            }
+            ctx.set_timer(TICK_PERIOD, TICK);
+        } else if token == HEARTBEAT {
+            if let Some(hb) = self.shared.cfg.heartbeat {
+                if self.active {
+                    let phase = self.view.phase();
+                    for m in self.members() {
+                        if m != self.id {
+                            ctx.send(
+                                self.node_of(m),
+                                Net::Heartbeat {
+                                    from: self.id,
+                                    phase,
+                                },
+                            );
+                        }
+                    }
+                    if !self.in_phase_change {
+                        // Paper §4.3: removal is "proposed by a member that
+                        // detects that the member should be removed".
+                        let suspects = self.detector.suspects(ctx.now());
+                        for s in suspects {
+                            if s != self.id && self.view.contains(s) && self.view.len() > 4 {
+                                self.submit_op(ctx, OrderedOp::RemoveController(s));
+                            }
+                        }
+                    }
+                }
+                ctx.set_timer(hb, HEARTBEAT);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Net, Obs>, _from: NodeId, msg: Net) {
+        match msg {
+            Net::EventMsg(m) => self.on_event_msg(ctx, m, false),
+            Net::ForwardedEvent(m) => self.on_event_msg(ctx, m, true),
+            Net::Consensus { phase, from, msg } => {
+                if !self.active || phase != self.view.phase() || self.in_phase_change {
+                    return;
+                }
+                ctx.charge_cpu(self.shared.cfg.costs.consensus_msg);
+                let members = self.members();
+                let Some(pos) = members.iter().position(|&m| m == from) else {
+                    return;
+                };
+                let Some(replica) = self.replica.as_mut() else {
+                    return;
+                };
+                let outs = replica.handle(ReplicaId(pos as u32), *msg);
+                self.route_outputs(ctx, outs);
+            }
+            Net::AckMsg(m) => {
+                if !self.active {
+                    return;
+                }
+                ctx.charge_cpu(self.shared.cfg.costs.ctrl_msg);
+                let mut extra = SimDuration::ZERO;
+                if self.shared.cfg.mode.is_cicero() {
+                    // Verification latency rides on the released updates
+                    // (parallelizable on the controller's cores).
+                    extra = self.shared.cfg.costs.bls_verify;
+                    if self.shared.real_crypto() {
+                        let pk = self
+                            .shared
+                            .keys
+                            .switch_pk
+                            .get(&SwitchId(m.msg_id.origin));
+                        let valid = pk.map(|pk| m.verify(labels::ACK, pk)).unwrap_or(false);
+                        if !valid {
+                            return;
+                        }
+                    }
+                }
+                let body: AckBody = m.payload;
+                let ready = self.pending.ack(body.update);
+                for u in ready {
+                    self.send_update_delayed(ctx, u, extra);
+                }
+            }
+            Net::UpdateToAggregator(m) => self.on_update_to_aggregator(ctx, m),
+            Net::PhasePartial(m) => self.on_phase_partial(ctx, m),
+            Net::Heartbeat { from, .. } => {
+                self.detector.heartbeat(from, ctx.now());
+            }
+            Net::Reshare { phase, dealing } => {
+                self.reshare_buf.entry(phase).or_default().push(dealing);
+                self.try_finalize_reshare(ctx);
+            }
+            Net::StateSync { view } => {
+                // A standby joiner adopts the view and waits for dealings.
+                if !self.active {
+                    self.view = view;
+                    self.in_phase_change = true;
+                    let new_cfg = DkgConfig::new(
+                        self.view.len() as u32,
+                        self.view.threshold_t(),
+                    )
+                    .expect("valid view");
+                    if self.shared.real_crypto() && self.shared.cfg.mode.is_cicero() {
+                        // old view = new view minus ourselves.
+                        let old_n = self.view.len() as u32 - 1;
+                        let old_t = (old_n.saturating_sub(1)) / 3;
+                        self.pending_reshare = Some(PendingReshare {
+                            phase: self.view.phase(),
+                            need: old_t as usize + 1,
+                            old_group: self.group.clone(),
+                            new_cfg,
+                        });
+                        self.try_finalize_reshare(ctx);
+                    } else {
+                        self.group =
+                            fake_group(self.view.len() as u32, self.view.threshold_t());
+                        self.finish_phase_change(ctx);
+                    }
+                    if self.uses_consensus() {
+                        ctx.set_timer(TICK_PERIOD, TICK);
+                    }
+                }
+            }
+            Net::MembershipCmd(op) => {
+                let allowed = match op {
+                    OrderedOp::AddController(_) => self.id == self.view.bootstrap(),
+                    OrderedOp::RemoveController(_) => true,
+                    OrderedOp::Event(_) => false,
+                };
+                if allowed {
+                    self.submit_op(ctx, op);
+                }
+            }
+            // Switch-directed traffic is ignored defensively.
+            _ => {}
+        }
+    }
+}

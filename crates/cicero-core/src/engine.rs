@@ -1,0 +1,357 @@
+//! The engine: builds a complete simulated deployment (switches +
+//! per-domain control planes) from a topology, a domain partition and an
+//! [`EngineConfig`], injects workloads, and runs it to completion.
+
+use crate::config::{CryptoMode, EngineConfig, Mode};
+use crate::ctrl::ControllerActor;
+use crate::msg::Net;
+use crate::obs::Obs;
+use crate::runtime::{bootstrap_keys, Directory, Shared};
+use crate::switch::{initial_phase_info, SwitchActor};
+use blscrypto::bls::KeyShare;
+use controller::membership::ControlPlaneView;
+use controller::policy::{DomainMap, GlobalDomainPolicy};
+use netmodel::routing::route;
+use netmodel::telekom;
+use netmodel::topology::Topology;
+use simnet::latency::LatencyModel;
+use simnet::node::NodeId;
+use simnet::sim::{Observation, Simulation};
+use simnet::time::{SimDuration, SimTime};
+use southbound::types::{ControllerId, DomainId, SwitchId};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use workload::gen::FlowSpec;
+
+/// Control-plane message latency model: pod-local 50 µs, intra-DC 250 µs,
+/// inter-DC per the Deutsche Telekom backbone.
+struct ControlLatency {
+    /// `(dc, pod)` per node.
+    loc: Vec<(u16, u16)>,
+}
+
+impl LatencyModel for ControlLatency {
+    fn latency(&self, from: NodeId, to: NodeId) -> SimDuration {
+        if from == to {
+            return SimDuration::ZERO;
+        }
+        let (Some(&a), Some(&b)) = (
+            self.loc.get(from.0 as usize),
+            self.loc.get(to.0 as usize),
+        ) else {
+            return SimDuration::from_micros(250);
+        };
+        if a.0 != b.0 {
+            telekom::site_latency(a.0, b.0)
+        } else if a.1 != b.1 {
+            SimDuration::from_micros(250)
+        } else {
+            SimDuration::from_micros(50)
+        }
+    }
+}
+
+/// A fully built deployment ready to run.
+pub struct Engine {
+    sim: Simulation<Net, Obs>,
+    shared: Arc<Shared>,
+    switch_nodes: BTreeMap<SwitchId, NodeId>,
+    controller_nodes: BTreeMap<(DomainId, ControllerId), NodeId>,
+    bootstrap_nodes: BTreeMap<DomainId, NodeId>,
+}
+
+impl Engine {
+    /// Builds a deployment.
+    ///
+    /// `standby_controllers` extra controller actors per domain are created
+    /// inactive, ready to be admitted by membership commands.
+    ///
+    /// # Panics
+    ///
+    /// Panics on structurally impossible configurations (e.g. Cicero with
+    /// fewer than 4 controllers per domain).
+    pub fn build(
+        cfg: EngineConfig,
+        topo: Topology,
+        domain_map: DomainMap,
+        standby_controllers: u32,
+    ) -> Engine {
+        let domain_map = if cfg.mode == Mode::Centralized {
+            DomainMap::single(&topo)
+        } else {
+            domain_map
+        };
+        let controllers_per_domain = match cfg.mode {
+            Mode::Centralized => 1,
+            _ => cfg.controllers_per_domain,
+        };
+        if cfg.mode.is_cicero() {
+            assert!(
+                controllers_per_domain >= 4,
+                "Cicero requires at least 4 controllers per domain (paper §3.2)"
+            );
+        }
+        let topo = Arc::new(topo);
+        let domains: Vec<DomainId> = domain_map.domains();
+
+        // ---- plan node ids deterministically -------------------------
+        // Controllers first (domain asc, id asc, standbys after members),
+        // then switches (id asc).
+        let mut next_node = 0u32;
+        let mut dir = Directory::default();
+        let mut members_per_domain: BTreeMap<DomainId, Vec<ControllerId>> = BTreeMap::new();
+        for &d in &domains {
+            let members: Vec<ControllerId> =
+                (1..=controllers_per_domain).map(ControllerId).collect();
+            for &c in &members {
+                dir.controller_node.insert((d, c), NodeId(next_node));
+                next_node += 1;
+            }
+            for extra in 0..standby_controllers {
+                let c = ControllerId(controllers_per_domain + 1 + extra);
+                dir.controller_node.insert((d, c), NodeId(next_node));
+                next_node += 1;
+            }
+            members_per_domain.insert(d, members.clone());
+            dir.initial_members.insert(d, members);
+        }
+        for s in topo.switches() {
+            dir.switch_node.insert(s.id, NodeId(next_node));
+            next_node += 1;
+            let d = domain_map
+                .domain_of(s.id)
+                .expect("every switch is assigned a domain");
+            dir.domain_of_switch.insert(s.id, d);
+        }
+
+        // ---- key ceremony --------------------------------------------
+        let switch_ids: Vec<SwitchId> = topo.switches().iter().map(|s| s.id).collect();
+        let (keys, mut secrets) =
+            bootstrap_keys(cfg.crypto, &switch_ids, &members_per_domain, cfg.seed);
+
+        // ---- latency model --------------------------------------------
+        // Controllers sit with their domain (first switch's location).
+        let mut loc: Vec<(u16, u16)> = vec![(0, 0); next_node as usize];
+        for (&(d, _), &node) in &dir.controller_node {
+            let first_switch = domain_map.switches_of(d).first().copied();
+            let l = first_switch
+                .and_then(|s| topo.switch(s))
+                .map(|s| (s.loc.dc, s.loc.pod))
+                .unwrap_or((0, 0));
+            loc[node.0 as usize] = l;
+        }
+        for s in topo.switches() {
+            let node = dir.switch_node[&s.id];
+            loc[node.0 as usize] = (s.loc.dc, s.loc.pod);
+        }
+
+        let policy = Arc::new(GlobalDomainPolicy::new(domain_map));
+        let shared = Arc::new(Shared {
+            cfg: cfg.clone(),
+            topo: Arc::clone(&topo),
+            policy,
+            dir,
+            keys,
+        });
+
+        // ---- spawn actors ---------------------------------------------
+        let mut sim: Simulation<Net, Obs> =
+            Simulation::new(cfg.seed, ControlLatency { loc });
+        sim.set_cpu_bucket(cfg.cpu_bucket);
+
+        let mut controller_nodes = BTreeMap::new();
+        let mut bootstrap_nodes = BTreeMap::new();
+        for &d in &domains {
+            let n_members = members_per_domain[&d].len() as u32;
+            let view = ControlPlaneView::initial(n_members);
+            for &c in &members_per_domain[&d] {
+                let identity = secrets.controller_sk.remove(&(d, c));
+                let share: Option<KeyShare> = secrets.domain_dkg.get(&d).map(|dkg| {
+                    dkg.participants[(c.0 - 1) as usize].share.clone()
+                });
+                let actor = ControllerActor::new(
+                    Arc::clone(&shared),
+                    d,
+                    c,
+                    identity,
+                    share,
+                    view.clone(),
+                    true,
+                );
+                let node = sim.add_node(actor);
+                assert_eq!(node, shared.dir.controller(d, c), "node plan mismatch");
+                controller_nodes.insert((d, c), node);
+                if c == view.bootstrap() {
+                    bootstrap_nodes.insert(d, node);
+                }
+            }
+            for extra in 0..standby_controllers {
+                let c = ControllerId(n_members + 1 + extra);
+                let actor = ControllerActor::new(
+                    Arc::clone(&shared),
+                    d,
+                    c,
+                    None,
+                    None,
+                    view.clone(),
+                    false,
+                );
+                let node = sim.add_node(actor);
+                assert_eq!(node, shared.dir.controller(d, c), "node plan mismatch");
+                controller_nodes.insert((d, c), node);
+            }
+        }
+        let mut switch_nodes = BTreeMap::new();
+        for s in topo.switches() {
+            let d = shared.dir.domain_of_switch[&s.id];
+            let n_members = members_per_domain[&d].len() as u32;
+            let view = ControlPlaneView::initial(n_members);
+            let key = secrets.switch_sk.remove(&s.id);
+            let actor = SwitchActor::new(
+                Arc::clone(&shared),
+                s.id,
+                d,
+                key,
+                initial_phase_info(&view),
+            );
+            let node = sim.add_node(actor);
+            assert_eq!(node, shared.dir.switch(s.id), "node plan mismatch");
+            switch_nodes.insert(s.id, node);
+        }
+
+        sim.start();
+        Engine {
+            sim,
+            shared,
+            switch_nodes,
+            controller_nodes,
+            bootstrap_nodes,
+        }
+    }
+
+    /// The shared runtime context.
+    pub fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+
+    /// The simulation node of a switch.
+    pub fn switch_node(&self, s: SwitchId) -> NodeId {
+        self.switch_nodes[&s]
+    }
+
+    /// The simulation node of a controller.
+    pub fn controller_node(&self, d: DomainId, c: ControllerId) -> NodeId {
+        self.controller_nodes[&(d, c)]
+    }
+
+    /// Injects the flows of a workload: each arrives at its source's ToR
+    /// switch at its start time, with the route transit latency precomputed
+    /// from the topology (data-plane forwarding is not what the protocol
+    /// measures).
+    pub fn inject_flows(&mut self, flows: &[FlowSpec]) {
+        for f in flows {
+            let Some(r) = route(&self.shared.topo, f.src, f.dst) else {
+                continue;
+            };
+            let ingress = self.shared.topo.host(f.src).expect("known host").attached;
+            let node = self.switch_nodes[&ingress];
+            self.sim.inject(
+                f.start,
+                node,
+                Net::FlowArrival {
+                    flow: f.id,
+                    src: f.src,
+                    dst: f.dst,
+                    bytes: f.bytes,
+                    transit: r.latency,
+                    start: f.start,
+                },
+            );
+        }
+    }
+
+    /// Installs a fault plan (message drops/duplicates, scheduled crashes).
+    pub fn set_faults(&mut self, faults: simnet::fault::FaultPlan) {
+        self.sim.set_faults(faults);
+    }
+
+    /// Fails the link `a`–`b` at `at`: switch `a` detects the port-down and
+    /// raises a signed `LinkFailure` event (paper Fig. 2 scenario).
+    pub fn fail_link(&mut self, at: SimTime, a: SwitchId, b: SwitchId) {
+        let node = self.switch_nodes[&a];
+        self.sim.inject(at, node, Net::LinkDown { a, b });
+    }
+
+    /// Injects a membership command at a domain's bootstrap controller.
+    pub fn inject_membership(&mut self, at: SimTime, domain: DomainId, op: crate::msg::OrderedOp) {
+        let node = self.bootstrap_nodes[&domain];
+        self.sim.inject(at, node, Net::MembershipCmd(op));
+    }
+
+    /// Injects an arbitrary message (tests: rogue controllers, raw events).
+    pub fn inject_raw(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: Net) {
+        self.sim.inject_from(at, from, to, msg);
+    }
+
+    /// Runs until the event queue drains (bounded by `horizon`).
+    pub fn run(&mut self, horizon: SimTime) {
+        self.sim.run_until(horizon);
+    }
+
+    /// Observations so far.
+    pub fn observations(&self) -> &[Observation<Obs>] {
+        self.sim.observations()
+    }
+
+    /// CPU utilization series of a switch (paper Fig. 11d).
+    pub fn switch_cpu(&self, s: SwitchId) -> Vec<f64> {
+        self.sim.cpu_utilization(self.switch_nodes[&s])
+    }
+
+    /// Mean CPU utilization across all switches per bucket.
+    pub fn mean_switch_cpu(&self) -> Vec<f64> {
+        let series: Vec<Vec<f64>> = self
+            .switch_nodes
+            .values()
+            .map(|&n| self.sim.cpu_utilization(n))
+            .collect();
+        let len = series.iter().map(Vec::len).max().unwrap_or(0);
+        (0..len)
+            .map(|i| {
+                let sum: f64 = series.iter().map(|s| s.get(i).copied().unwrap_or(0.0)).sum();
+                sum / series.len().max(1) as f64
+            })
+            .collect()
+    }
+
+    /// Runs `f` against a switch actor (tests).
+    pub fn with_switch<R>(&mut self, s: SwitchId, f: impl FnOnce(&mut SwitchActor) -> R) -> R {
+        let node = self.switch_nodes[&s];
+        self.sim.with_actor::<SwitchActor, R>(node, f)
+    }
+
+    /// Runs `f` against a controller actor (tests / app configuration).
+    pub fn with_controller<R>(
+        &mut self,
+        d: DomainId,
+        c: ControllerId,
+        f: impl FnOnce(&mut ControllerActor) -> R,
+    ) -> R {
+        let node = self.controller_nodes[&(d, c)];
+        self.sim.with_actor::<ControllerActor, R>(node, f)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+}
+
+/// Convenience: a default single-pod engine for tests and examples.
+pub fn default_pod_engine(mode: Mode, crypto: CryptoMode, racks: u16) -> Engine {
+    let mut cfg = EngineConfig::for_mode(mode);
+    cfg.crypto = crypto;
+    let topo = Topology::single_pod(racks, 4, 4);
+    let dm = DomainMap::single(&topo);
+    Engine::build(cfg, topo, dm, 0)
+}

@@ -1,0 +1,372 @@
+//! Experiment drivers: one function per figure of the paper's evaluation
+//! (§6). The `bench` crate's `figures` binary and the integration tests are
+//! thin wrappers over these.
+
+use crate::config::{Aggregation, CryptoMode, EngineConfig, Mode};
+use crate::engine::Engine;
+use crate::msg::Net;
+use crate::obs::{events_per_domain, flow_latencies, Cdf, Obs};
+use controller::policy::DomainMap;
+use netmodel::telekom;
+use netmodel::topology::Topology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simnet::time::{SimDuration, SimTime};
+use southbound::types::{DomainId, FlowId, HostId};
+use std::collections::BTreeMap;
+use workload::spec::WorkloadSpec;
+
+/// The four protocol modes compared throughout the evaluation.
+pub const ALL_MODES: [Mode; 4] = [
+    Mode::Centralized,
+    Mode::CrashTolerant,
+    Mode::Cicero {
+        aggregation: Aggregation::Switch,
+    },
+    Mode::Cicero {
+        aggregation: Aggregation::Controller,
+    },
+];
+
+/// Result of one flow-completion run.
+#[derive(Clone, Debug)]
+pub struct FlowRun {
+    /// Mode label (paper legend).
+    pub label: &'static str,
+    /// Flow-completion CDF.
+    pub cdf: Cdf,
+    /// Events processed per domain.
+    pub events_per_domain: BTreeMap<DomainId, usize>,
+    /// Distinct events processed network-wide.
+    pub unique_events: usize,
+    /// Mean switch CPU utilization series (per CPU bucket).
+    pub mean_switch_cpu: Vec<f64>,
+}
+
+/// Runs one workload under one mode on the given topology/domain split.
+pub fn run_flow_completion(
+    mode: Mode,
+    topo: &Topology,
+    domain_map: DomainMap,
+    spec: &WorkloadSpec,
+    rule_reuse: bool,
+    seed: u64,
+) -> FlowRun {
+    let mut cfg = EngineConfig::for_mode(mode);
+    cfg.rule_reuse = rule_reuse;
+    cfg.seed = seed;
+    cfg.crypto = CryptoMode::Modeled;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let flows = workload::gen::generate(topo, spec, &mut rng);
+    let mut engine = Engine::build(cfg, topo.clone(), domain_map, 0);
+    engine.inject_flows(&flows);
+    let horizon = flows
+        .last()
+        .map(|f| f.start + SimDuration::from_secs(30))
+        .unwrap_or(SimTime::ZERO + SimDuration::from_secs(60));
+    engine.run(horizon);
+    let obs = engine.observations();
+    FlowRun {
+        label: mode.label(),
+        cdf: Cdf::from_latencies(&flow_latencies(obs)),
+        events_per_domain: events_per_domain(obs),
+        unique_events: crate::obs::unique_events(obs),
+        mean_switch_cpu: engine.mean_switch_cpu(),
+    }
+}
+
+/// Fig. 11a/11b/11c: single-pod (40 racks), single domain, 4 controllers.
+pub fn fig11_flow_completion(spec: &WorkloadSpec, rule_reuse: bool, seed: u64) -> Vec<FlowRun> {
+    let topo = Topology::single_pod(40, 4, 4);
+    ALL_MODES
+        .iter()
+        .map(|&mode| {
+            run_flow_completion(
+                mode,
+                &topo,
+                DomainMap::single(&topo),
+                spec,
+                rule_reuse,
+                seed,
+            )
+        })
+        .collect()
+}
+
+/// Fig. 11d: returns `(label, mean switch CPU series)` for each mode under
+/// the Hadoop workload.
+pub fn fig11d_switch_cpu(seed: u64) -> Vec<(&'static str, Vec<f64>)> {
+    let spec = workload::spec::hadoop();
+    fig11_flow_completion(&spec, true, seed)
+        .into_iter()
+        .map(|r| (r.label, r.mean_switch_cpu))
+        .collect()
+}
+
+/// Fig. 12a: average time to apply a single switch update as a function of
+/// the control-plane size (1 = centralized).
+pub fn fig12a_update_time(sizes: &[u32], reps: u32, seed: u64) -> Vec<(Mode, u32, f64)> {
+    let mut out = Vec::new();
+    for &n in sizes {
+        let modes: &[Mode] = if n == 1 {
+            &[Mode::Centralized]
+        } else {
+            &[
+                Mode::CrashTolerant,
+                Mode::Cicero {
+                    aggregation: Aggregation::Switch,
+                },
+                Mode::Cicero {
+                    aggregation: Aggregation::Controller,
+                },
+            ]
+        };
+        for &mode in modes {
+            let avg_ms = single_update_time(mode, n, reps, seed);
+            out.push((mode, n, avg_ms));
+        }
+    }
+    out
+}
+
+/// Measures the mean latency from event injection to update application for
+/// a one-switch route (same-ToR hosts ⇒ a single update, isolating protocol
+/// cost from reverse-path sequencing).
+pub fn single_update_time(mode: Mode, controllers: u32, reps: u32, seed: u64) -> f64 {
+    let mut cfg = EngineConfig::for_mode(mode);
+    cfg.controllers_per_domain = controllers;
+    cfg.seed = seed;
+    let topo = Topology::single_pod(2, 2, 4);
+    let dm = DomainMap::single(&topo);
+    let mut engine = Engine::build(cfg, topo.clone(), dm, 0);
+
+    let mut total_ms = 0.0;
+    let mut count = 0u32;
+    let tors: Vec<_> = topo
+        .switches()
+        .iter()
+        .filter(|s| s.role == netmodel::topology::SwitchRole::TopOfRack)
+        .map(|s| s.id)
+        .collect();
+    for rep in 0..reps {
+        let tor = tors[(rep as usize) % tors.len()];
+        let hosts = topo.hosts_on(tor);
+        // Distinct same-rack pair per repetition: one-switch route.
+        let (src, dst) = (
+            hosts[(2 * rep as usize) % hosts.len()],
+            hosts[(2 * rep as usize + 1) % hosts.len()],
+        );
+        if src == dst {
+            continue;
+        }
+        let start = engine.now() + SimDuration::from_millis(50);
+        let node = engine.switch_node(tor);
+        let applied_before = count_applied(engine.observations());
+        engine.inject_raw(
+            start,
+            simnet::sim::ENVIRONMENT,
+            node,
+            Net::FlowArrival {
+                flow: FlowId(1000 + rep as u64),
+                src,
+                dst,
+                bytes: 1000,
+                transit: SimDuration::from_micros(20),
+                start,
+            },
+        );
+        engine.run(start + SimDuration::from_secs(5));
+        let obs = engine.observations();
+        if count_applied(obs) > applied_before {
+            if let Some(o) = obs
+                .iter()
+                .rev()
+                .find(|o| matches!(o.value, Obs::UpdateApplied { .. }))
+            {
+                total_ms += o.at.since(start).as_millis_f64();
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        f64::NAN
+    } else {
+        total_ms / count as f64
+    }
+}
+
+fn count_applied(obs: &[simnet::sim::Observation<Obs>]) -> usize {
+    obs.iter()
+        .filter(|o| matches!(o.value, Obs::UpdateApplied { .. }))
+        .count()
+}
+
+/// Fig. 12b: percentage of total events handled by each control plane when
+/// one pod is split into `k` rack-range domains.
+pub fn fig12b_event_locality(spec: &WorkloadSpec, k: u16, seed: u64) -> Vec<f64> {
+    let topo = Topology::single_pod(40, 4, 4);
+    let dm = DomainMap::split_racks(&topo, k);
+    let run = run_flow_completion(
+        Mode::Cicero {
+            aggregation: Aggregation::Switch,
+        },
+        &topo,
+        dm,
+        spec,
+        true,
+        seed,
+    );
+    let total = run.unique_events;
+    if total == 0 {
+        return vec![0.0; k as usize];
+    }
+    // Share of all (distinct) events each control plane had to process; the
+    // shares exceed 100/k exactly by the multi-domain event tax.
+    (0..k)
+        .map(|d| {
+            100.0 * run.events_per_domain.get(&DomainId(d)).copied().unwrap_or(0) as f64
+                / total as f64
+        })
+        .collect()
+}
+
+/// Fig. 12c topology: two server pods plus an interconnect, either as one
+/// domain with `12` controllers or three domains with 4 each.
+pub fn fig12c_runs(spec: &WorkloadSpec, seed: u64) -> Vec<(String, Cdf)> {
+    let topo = Topology::multi_pod(2, 8, 4, 4, 4);
+    let mut out = Vec::new();
+    for (label, dm, per_domain, agg) in [
+        (
+            "Cicero (single domain, 12 ctrl)",
+            DomainMap::single(&topo),
+            12,
+            Aggregation::Switch,
+        ),
+        (
+            "Cicero Agg (single domain, 12 ctrl)",
+            DomainMap::single(&topo),
+            12,
+            Aggregation::Controller,
+        ),
+        (
+            "Cicero MD (3 domains x 4 ctrl)",
+            DomainMap::by_pod(&topo),
+            4,
+            Aggregation::Switch,
+        ),
+        (
+            "Cicero Agg MD (3 domains x 4 ctrl)",
+            DomainMap::by_pod(&topo),
+            4,
+            Aggregation::Controller,
+        ),
+    ] {
+        let mut cfg = EngineConfig::for_mode(Mode::Cicero { aggregation: agg });
+        cfg.controllers_per_domain = per_domain;
+        cfg.seed = seed;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let flows = workload::gen::generate(&topo, spec, &mut rng);
+        let mut engine = Engine::build(cfg, topo.clone(), dm, 0);
+        engine.inject_flows(&flows);
+        let horizon = flows.last().map(|f| f.start + SimDuration::from_secs(30));
+        engine.run(horizon.unwrap_or(SimTime::ZERO + SimDuration::from_secs(60)));
+        out.push((
+            label.to_string(),
+            Cdf::from_latencies(&flow_latencies(engine.observations())),
+        ));
+    }
+    out
+}
+
+/// Fig. 12d topology: several Deutsche-Telekom-sited data centers, four
+/// pods each, one domain per pod — centralized vs Cicero multi-domain.
+pub fn fig12d_runs(spec: &WorkloadSpec, dcs: u16, seed: u64) -> Vec<(String, Cdf)> {
+    let topo = Topology::multi_dc(dcs, 4, 6, 4, 2, 2, telekom::wan(dcs));
+    let mut out = Vec::new();
+    for (label, mode) in [
+        ("Centralized", Mode::Centralized),
+        (
+            "Cicero MD",
+            Mode::Cicero {
+                aggregation: Aggregation::Switch,
+            },
+        ),
+        (
+            "Cicero Agg MD",
+            Mode::Cicero {
+                aggregation: Aggregation::Controller,
+            },
+        ),
+    ] {
+        let dm = DomainMap::by_pod(&topo);
+        let run = run_flow_completion(mode, &topo, dm, spec, true, seed);
+        let _ = &run.label;
+        out.push((label.to_string(), run.cdf));
+    }
+    out
+}
+
+/// The mean flow *setup* latency of a mode: first-flow completion minus the
+/// pure data-plane time. Used by the calibration test against the paper's
+/// §6.2 anchors (≈2.9 / 4.3 / 8.3 / 11.6 ms).
+pub fn flow_setup_latency_ms(mode: Mode, seed: u64) -> f64 {
+    let mut cfg = EngineConfig::for_mode(mode);
+    cfg.seed = seed;
+    let topo = Topology::single_pod(4, 4, 4);
+    let dm = DomainMap::single(&topo);
+    let mut engine = Engine::build(cfg.clone(), topo.clone(), dm, 0);
+    let hosts = topo.hosts();
+    let mut total = 0.0;
+    let mut n = 0;
+    for i in 0..20usize {
+        // Cross-rack pair: 3-switch route (ToR -> edge -> ToR).
+        let src = hosts[i % hosts.len()].id;
+        let dst = hosts
+            .iter()
+            .map(|h| h.id)
+            .find(|&h| {
+                let a = topo.host(src).unwrap().attached;
+                let b = topo.host(h).unwrap().attached;
+                h != src && a != b
+            })
+            .unwrap_or(hosts[(i + 1) % hosts.len()].id);
+        let start = engine.now() + SimDuration::from_millis(20);
+        let r = netmodel::routing::route(&topo, src, dst).expect("connected");
+        let node = engine.switch_node(r.path[0]);
+        let bytes = 100u64;
+        engine.inject_raw(
+            start,
+            simnet::sim::ENVIRONMENT,
+            node,
+            Net::FlowArrival {
+                flow: FlowId(i as u64 + 1),
+                src,
+                dst,
+                bytes,
+                transit: r.latency,
+                start,
+            },
+        );
+        engine.run(start + SimDuration::from_secs(5));
+        // setup = completion latency - data-plane part.
+        let data_plane = r.latency + cfg.tx_time(bytes);
+        if let Some(o) = engine
+            .observations()
+            .iter()
+            .rev()
+            .find(|o| matches!(o.value, Obs::FlowCompleted { flow, .. } if flow == FlowId(i as u64 + 1)))
+        {
+            if let Obs::FlowCompleted { start: s, .. } = o.value {
+                let lat = o.at.since(s);
+                total += lat.as_millis_f64() - data_plane.as_millis_f64();
+                n += 1;
+            }
+        }
+    }
+    let _ = HostId(0);
+    if n == 0 {
+        f64::NAN
+    } else {
+        total / n as f64
+    }
+}

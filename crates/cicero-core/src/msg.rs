@@ -1,0 +1,247 @@
+//! The protocol message alphabet exchanged by simulated nodes, and the
+//! consensus payload type.
+
+use bft::message::{BftMessage, BftPayload, Digest};
+use blscrypto::reshare::ReshareDealing;
+use blscrypto::sha256::sha256_parts;
+use bytes::BytesMut;
+use simnet::time::{SimDuration, SimTime};
+use southbound::codec::{DecodeError, Wire};
+use southbound::envelope::{QuorumSigned, ShareSigned, Signed};
+use southbound::types::{
+    ControllerId, Event, FlowId, HostId, NetworkUpdate, Phase, SwitchId, UpdateId,
+};
+
+/// An acknowledgement body: switch `switch` applied update `update`
+/// (paper §4.1 — verified acks drain dependency sets).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AckBody {
+    /// The applied update.
+    pub update: UpdateId,
+    /// The acknowledging switch.
+    pub switch: SwitchId,
+}
+
+impl Wire for AckBody {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.update.encode(buf);
+        self.switch.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(AckBody {
+            update: UpdateId::decode(buf)?,
+            switch: SwitchId::decode(buf)?,
+        })
+    }
+}
+
+/// The per-domain control-plane state switches must track across
+/// membership changes: phase, quorum size, aggregator. Distributed to
+/// switches under the (membership-invariant) group public key, replacing
+/// the paper's per-switch "master/slave role request" messages.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PhaseInfo {
+    /// Current membership phase.
+    pub phase: Phase,
+    /// Update quorum `⌊(n-1)/3⌋ + 1`.
+    pub quorum: u32,
+    /// The aggregator controller (lowest live identifier).
+    pub aggregator: ControllerId,
+}
+
+impl Wire for PhaseInfo {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.phase.encode(buf);
+        self.quorum.encode(buf);
+        self.aggregator.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(PhaseInfo {
+            phase: Phase::decode(buf)?,
+            quorum: u32::decode(buf)?,
+            aggregator: ControllerId::decode(buf)?,
+        })
+    }
+}
+
+/// Operations totally ordered by each domain's atomic broadcast.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum OrderedOp {
+    /// A validated data-plane event.
+    Event(Event),
+    /// Membership: admit the controller with this (fresh) identifier,
+    /// proposed by the bootstrap controller.
+    AddController(ControllerId),
+    /// Membership: remove a (suspected-faulty or retiring) controller.
+    RemoveController(ControllerId),
+}
+
+impl Wire for OrderedOp {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            OrderedOp::Event(e) => {
+                0u8.encode(buf);
+                e.encode(buf);
+            }
+            OrderedOp::AddController(c) => {
+                1u8.encode(buf);
+                c.encode(buf);
+            }
+            OrderedOp::RemoveController(c) => {
+                2u8.encode(buf);
+                c.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::decode(buf)? {
+            0 => Ok(OrderedOp::Event(Event::decode(buf)?)),
+            1 => Ok(OrderedOp::AddController(ControllerId::decode(buf)?)),
+            2 => Ok(OrderedOp::RemoveController(ControllerId::decode(buf)?)),
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+}
+
+impl BftPayload for OrderedOp {
+    fn digest(&self) -> Digest {
+        sha256_parts("CICERO_ORDERED_OP", &[&self.to_wire()])
+    }
+}
+
+/// Everything that travels between simulated nodes.
+#[derive(Clone, Debug)]
+pub enum Net {
+    /// Harness → ingress ToR switch: a workload flow arrives.
+    FlowArrival {
+        /// Flow id.
+        flow: FlowId,
+        /// Source host.
+        src: HostId,
+        /// Destination host.
+        dst: HostId,
+        /// Flow size in bytes.
+        bytes: u64,
+        /// Precomputed data-plane transit latency of the flow's route.
+        transit: SimDuration,
+        /// Arrival time (for completion-latency accounting).
+        start: SimTime,
+    },
+    /// Switch → itself (delayed): the flow finished transmitting.
+    FlowDone {
+        /// Flow id.
+        flow: FlowId,
+        /// Original arrival time.
+        start: SimTime,
+        /// Source host (for teardown events).
+        src: HostId,
+        /// Destination host.
+        dst: HostId,
+    },
+    /// Switch → controller(s): a signed data-plane event.
+    EventMsg(Signed<Event>),
+    /// Controller → controller: a signed cross-domain event forward
+    /// (paper §4.1, tagged `forwarded` inside the event).
+    ForwardedEvent(Signed<Event>),
+    /// Controller ↔ controller: consensus traffic. Tagged with the sender's
+    /// membership phase so messages from a superseded consensus group are
+    /// discarded after a membership change.
+    Consensus {
+        /// Sender's membership phase.
+        phase: Phase,
+        /// Sending controller (within the domain).
+        from: ControllerId,
+        /// The PBFT message.
+        msg: Box<BftMessage<OrderedOp>>,
+    },
+    /// Controller → switch: a share-signed update (switch aggregation).
+    UpdateMsg(ShareSigned<NetworkUpdate>),
+    /// Controller → switch: an unauthenticated update (centralized /
+    /// crash-tolerant baselines).
+    UpdatePlain {
+        /// The update.
+        update: NetworkUpdate,
+        /// Sending controller.
+        from: ControllerId,
+    },
+    /// Controller → aggregator: a share-signed update to aggregate.
+    UpdateToAggregator(ShareSigned<NetworkUpdate>),
+    /// Aggregator → switch: the quorum-aggregated update.
+    UpdateAggregated(QuorumSigned<NetworkUpdate>),
+    /// Switch → controller(s): signed application acknowledgement.
+    AckMsg(Signed<AckBody>),
+    /// Controller → controller: liveness heartbeat.
+    Heartbeat {
+        /// Sender.
+        from: ControllerId,
+        /// Sender's current phase.
+        phase: Phase,
+    },
+    /// Controller → controller: a share-redistribution dealing for the
+    /// given phase (paper §4.3 — new shares, same group public key).
+    Reshare {
+        /// Target phase.
+        phase: Phase,
+        /// The dealing (commitment + per-recipient sub-shares).
+        dealing: ReshareDealing,
+    },
+    /// Controller → aggregator: partial signature over the new
+    /// [`PhaseInfo`] after a completed reshare.
+    PhasePartial(ShareSigned<PhaseInfo>),
+    /// Aggregator → switches: the quorum-signed phase notice.
+    PhaseNotice(QuorumSigned<PhaseInfo>),
+    /// Harness → switch: a physical port/link went down; the switch raises
+    /// a signed `LinkFailure` event (paper Fig. 2).
+    LinkDown {
+        /// One endpoint (the receiving switch).
+        a: SwitchId,
+        /// The other endpoint.
+        b: SwitchId,
+    },
+    /// Harness → bootstrap controller: propose a membership change.
+    MembershipCmd(OrderedOp),
+    /// Bootstrap → newly added controller: the control-plane state a joiner
+    /// needs (paper §4.3 step iv; topology and policies are shared state in
+    /// the simulation, so the membership view is what travels).
+    StateSync {
+        /// The post-change membership view.
+        view: controller::membership::ControlPlaneView,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use southbound::types::{DomainId, EventId, EventKind};
+
+    #[test]
+    fn ordered_op_digest_distinguishes_ops() {
+        let e = Event {
+            id: EventId(1),
+            kind: EventKind::PolicyChange { policy: 9 },
+            origin: DomainId(0),
+            forwarded: false,
+        };
+        let a = OrderedOp::Event(e).digest();
+        let mut e2 = e;
+        e2.forwarded = true;
+        let b = OrderedOp::Event(e2).digest();
+        assert_ne!(a, b, "forwarded flag is part of identity");
+        assert_ne!(
+            OrderedOp::AddController(ControllerId(5)).digest(),
+            OrderedOp::RemoveController(ControllerId(5)).digest()
+        );
+    }
+
+    #[test]
+    fn ack_body_round_trip() {
+        let a = AckBody {
+            update: UpdateId {
+                event: EventId(3),
+                seq: 1,
+            },
+            switch: SwitchId(7),
+        };
+        assert_eq!(AckBody::from_wire(&a.to_wire()).unwrap(), a);
+    }
+}

@@ -1,0 +1,286 @@
+//! Observations emitted by the protocol actors and the metric reductions
+//! the experiment figures are built from.
+
+use simnet::sim::Observation;
+use simnet::time::{SimDuration, SimTime};
+use southbound::types::{DomainId, EventId, FlowId, SwitchId, UpdateId};
+
+/// Everything the harness can observe about a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Obs {
+    /// A flow finished transmitting; its completion latency is
+    /// `at - start` (observation timestamp minus arrival).
+    FlowCompleted {
+        /// The flow.
+        flow: FlowId,
+        /// Its arrival time.
+        start: SimTime,
+    },
+    /// A flow was denied by a firewall rule.
+    FlowDenied {
+        /// The flow.
+        flow: FlowId,
+    },
+    /// A switch applied a validated update.
+    UpdateApplied {
+        /// The switch.
+        switch: SwitchId,
+        /// The update.
+        update: UpdateId,
+        /// What it changed (lets auditors replay data-plane states).
+        kind: southbound::types::UpdateKind,
+    },
+    /// A switch rejected an update (bad/missing quorum or signature) —
+    /// the security property at work.
+    UpdateRejected {
+        /// The switch.
+        switch: SwitchId,
+        /// The update.
+        update: UpdateId,
+    },
+    /// A domain's control plane processed (delivered) an event. Emitted
+    /// once per domain (by its lowest-id controller), so counting these
+    /// per domain yields the paper's Fig. 12b series.
+    EventProcessed {
+        /// The processing domain.
+        domain: DomainId,
+        /// The event.
+        event: EventId,
+    },
+    /// A controller delivered (totally-ordered) an event — emitted by every
+    /// controller when `EngineConfig::trace_deliveries` is set, for
+    /// event-linearizability checking (paper §4.4).
+    EventDelivered {
+        /// The domain.
+        domain: DomainId,
+        /// The delivering controller (1-based id).
+        controller: u32,
+        /// The event.
+        event: EventId,
+    },
+    /// A membership phase change completed at a controller (resharing
+    /// finished, queued events drained).
+    PhaseChanged {
+        /// The domain.
+        domain: DomainId,
+        /// The new phase value.
+        phase: u64,
+    },
+}
+
+/// Flow-completion latencies extracted from a run's observations.
+pub fn flow_latencies(obs: &[Observation<Obs>]) -> Vec<SimDuration> {
+    let mut out: Vec<SimDuration> = obs
+        .iter()
+        .filter_map(|o| match o.value {
+            Obs::FlowCompleted { start, .. } => Some(o.at.since(start)),
+            _ => None,
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Update-application latencies relative to a per-update start map.
+pub fn update_latency(obs: &[Observation<Obs>], injected_at: SimTime) -> Vec<SimDuration> {
+    obs.iter()
+        .filter_map(|o| match o.value {
+            Obs::UpdateApplied { .. } => Some(o.at.since(injected_at)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Events processed per domain (for the event-locality figure).
+pub fn events_per_domain(obs: &[Observation<Obs>]) -> std::collections::BTreeMap<DomainId, usize> {
+    let mut map = std::collections::BTreeMap::new();
+    for o in obs {
+        if let Obs::EventProcessed { domain, .. } = o.value {
+            *map.entry(domain).or_insert(0) += 1;
+        }
+    }
+    map
+}
+
+/// Per-controller delivery sequences, keyed by `(domain, controller)` —
+/// the input to the event-linearizability check.
+pub fn delivery_sequences(
+    obs: &[Observation<Obs>],
+) -> std::collections::BTreeMap<(DomainId, u32), Vec<EventId>> {
+    let mut map: std::collections::BTreeMap<(DomainId, u32), Vec<EventId>> =
+        std::collections::BTreeMap::new();
+    for o in obs {
+        if let Obs::EventDelivered {
+            domain,
+            controller,
+            event,
+        } = o.value
+        {
+            map.entry((domain, controller)).or_default().push(event);
+        }
+    }
+    map
+}
+
+/// Checks event-linearizability (paper §4.4): within each domain, every
+/// controller must have delivered a *prefix-consistent* sequence of events
+/// (slower controllers may be behind, but never diverge).
+pub fn check_event_linearizability(obs: &[Observation<Obs>]) -> Result<(), String> {
+    let seqs = delivery_sequences(obs);
+    let mut by_domain: std::collections::BTreeMap<DomainId, Vec<&Vec<EventId>>> =
+        std::collections::BTreeMap::new();
+    for ((d, _), seq) in &seqs {
+        by_domain.entry(*d).or_default().push(seq);
+    }
+    for (d, seqs) in by_domain {
+        let longest = seqs.iter().max_by_key(|s| s.len()).expect("non-empty");
+        for s in &seqs {
+            if longest[..s.len()] != s[..] {
+                return Err(format!(
+                    "domain {d:?}: controller sequences diverge: {s:?} is not a prefix of {longest:?}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Number of *distinct* events processed anywhere (multi-domain events count
+/// once). The per-domain share of Fig. 12b is `events_per_domain / this`.
+pub fn unique_events(obs: &[Observation<Obs>]) -> usize {
+    let mut seen = std::collections::BTreeSet::new();
+    for o in obs {
+        if let Obs::EventProcessed { event, .. } = o.value {
+            seen.insert(event);
+        }
+    }
+    seen.len()
+}
+
+/// An empirical CDF over latencies, for the paper's CDF figures.
+#[derive(Clone, Debug, Default)]
+pub struct Cdf {
+    sorted_ms: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds from a latency sample.
+    pub fn from_latencies(latencies: &[SimDuration]) -> Self {
+        let mut sorted_ms: Vec<f64> = latencies.iter().map(|d| d.as_millis_f64()).collect();
+        sorted_ms.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+        Cdf { sorted_ms }
+    }
+
+    /// Sample count.
+    pub fn len(&self) -> usize {
+        self.sorted_ms.len()
+    }
+
+    /// `true` iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted_ms.is_empty()
+    }
+
+    /// The `q`-quantile in milliseconds (`q` in `[0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty CDF or `q` outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        assert!(!self.is_empty(), "empty CDF");
+        let idx = ((self.sorted_ms.len() - 1) as f64 * q).round() as usize;
+        self.sorted_ms[idx]
+    }
+
+    /// The mean in milliseconds.
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.sorted_ms.iter().sum::<f64>() / self.sorted_ms.len() as f64
+    }
+
+    /// Fraction of samples `<= x_ms` (the CDF evaluated at `x_ms`).
+    pub fn at(&self, x_ms: f64) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted_ms.partition_point(|&v| v <= x_ms);
+        n as f64 / self.sorted_ms.len() as f64
+    }
+
+    /// `(x_ms, F(x))` points suitable for plotting/printing.
+    pub fn points(&self, resolution: usize) -> Vec<(f64, f64)> {
+        if self.is_empty() || resolution == 0 {
+            return Vec::new();
+        }
+        (0..=resolution)
+            .map(|i| {
+                let q = i as f64 / resolution as f64;
+                (self.quantile(q), q)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::node::NodeId;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn cdf_quantiles() {
+        let lats: Vec<SimDuration> = (1..=100).map(ms).collect();
+        let cdf = Cdf::from_latencies(&lats);
+        assert_eq!(cdf.len(), 100);
+        assert!((cdf.quantile(0.0) - 1.0).abs() < 1e-9);
+        assert!((cdf.quantile(1.0) - 100.0).abs() < 1e-9);
+        assert!((cdf.quantile(0.5) - 50.0).abs() < 2.0);
+        assert!((cdf.mean() - 50.5).abs() < 1e-9);
+        assert!((cdf.at(25.0) - 0.25).abs() < 0.01);
+        assert_eq!(cdf.at(0.0), 0.0);
+        assert_eq!(cdf.at(1000.0), 1.0);
+    }
+
+    #[test]
+    fn latency_extraction() {
+        let obs = vec![
+            Observation {
+                at: SimTime::from_nanos(5_000_000),
+                node: NodeId(1),
+                value: Obs::FlowCompleted {
+                    flow: FlowId(1),
+                    start: SimTime::from_nanos(1_000_000),
+                },
+            },
+            Observation {
+                at: SimTime::from_nanos(9_000_000),
+                node: NodeId(1),
+                value: Obs::FlowDenied { flow: FlowId(2) },
+            },
+        ];
+        let lats = flow_latencies(&obs);
+        assert_eq!(lats, vec![SimDuration::from_millis(4)]);
+    }
+
+    #[test]
+    fn domain_event_counting() {
+        let mk = |d: u16, e: u64| Observation {
+            at: SimTime::ZERO,
+            node: NodeId(0),
+            value: Obs::EventProcessed {
+                domain: DomainId(d),
+                event: EventId(e),
+            },
+        };
+        let obs = vec![mk(0, 1), mk(0, 2), mk(1, 2)];
+        let counts = events_per_domain(&obs);
+        assert_eq!(counts[&DomainId(0)], 2);
+        assert_eq!(counts[&DomainId(1)], 1);
+    }
+}

@@ -1,0 +1,266 @@
+//! Shared runtime context handed to every protocol actor: node directory,
+//! public key material, topology, policies and configuration.
+
+use crate::config::{CryptoMode, EngineConfig};
+use blscrypto::bls::{PublicKey, SecretKey, Signature};
+use blscrypto::curves::G1Affine;
+use blscrypto::dkg::{DkgConfig, DkgOutput, GroupPublic};
+use blscrypto::feldman::Commitment;
+use blscrypto::curves::G2Projective;
+use controller::policy::GlobalDomainPolicy;
+use netmodel::topology::Topology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simnet::node::NodeId;
+use southbound::types::{ControllerId, DomainId, SwitchId};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Signing-envelope labels (domain separation).
+pub mod labels {
+    /// Switch-originated events.
+    pub const EVENT: &str = "CICERO_EVENT_V1";
+    /// Controller-forwarded cross-domain events.
+    pub const FORWARD: &str = "CICERO_FORWARD_V1";
+    /// Network updates (threshold-signed).
+    pub const UPDATE: &str = "CICERO_UPDATE_V1";
+    /// Switch acknowledgements.
+    pub const ACK: &str = "CICERO_ACK_V1";
+    /// Phase notices.
+    pub const PHASE: &str = "CICERO_PHASE_V1";
+}
+
+/// Who lives where in the simulation.
+#[derive(Clone, Debug, Default)]
+pub struct Directory {
+    /// Switch → simulation node.
+    pub switch_node: BTreeMap<SwitchId, NodeId>,
+    /// (domain, controller) → simulation node (includes standbys).
+    pub controller_node: BTreeMap<(DomainId, ControllerId), NodeId>,
+    /// Switch → its domain.
+    pub domain_of_switch: BTreeMap<SwitchId, DomainId>,
+    /// Initial (active) members per domain, ascending.
+    pub initial_members: BTreeMap<DomainId, Vec<ControllerId>>,
+}
+
+impl Directory {
+    /// The node of a controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown controllers (directory is complete by
+    /// construction).
+    pub fn controller(&self, domain: DomainId, id: ControllerId) -> NodeId {
+        self.controller_node[&(domain, id)]
+    }
+
+    /// The node of a switch.
+    pub fn switch(&self, id: SwitchId) -> NodeId {
+        self.switch_node[&id]
+    }
+
+    /// Nodes of the given controllers in a domain.
+    pub fn controller_nodes<'a>(
+        &'a self,
+        domain: DomainId,
+        ids: impl IntoIterator<Item = ControllerId> + 'a,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        ids.into_iter().map(move |c| self.controller(domain, c))
+    }
+
+    /// All switch nodes of a domain, ascending by switch id.
+    pub fn domain_switch_nodes(&self, domain: DomainId) -> Vec<NodeId> {
+        self.domain_of_switch
+            .iter()
+            .filter(|(_, &d)| d == domain)
+            .map(|(s, _)| self.switch_node[s])
+            .collect()
+    }
+}
+
+/// Public key material of one domain's control plane.
+#[derive(Clone, Debug)]
+pub struct DomainKeys {
+    /// The DKG public output (commitment → member share public keys).
+    pub group: GroupPublic,
+    /// The group public key installed on switches.
+    pub public_key: PublicKey,
+}
+
+/// All public key material (secrets live inside their actors).
+#[derive(Clone, Debug)]
+pub struct KeyMaterial {
+    /// Event-source (switch) identity public keys.
+    pub switch_pk: BTreeMap<SwitchId, PublicKey>,
+    /// Controller identity public keys (for forwarded events, state sync).
+    pub controller_pk: BTreeMap<(DomainId, ControllerId), PublicKey>,
+    /// Per-domain threshold material.
+    pub domains: BTreeMap<DomainId, DomainKeys>,
+    /// Placeholder signature used in [`CryptoMode::Modeled`] envelopes.
+    pub dummy: Signature,
+}
+
+impl KeyMaterial {
+    /// A placeholder (identity-point) signature.
+    pub fn dummy_signature() -> Signature {
+        Signature(G1Affine::identity())
+    }
+}
+
+/// Builds a fake `GroupPublic` (identity commitments) for
+/// [`CryptoMode::Modeled`] runs where the curve math is skipped but the
+/// protocol structure (quorums, member indices) must still exist.
+pub fn fake_group(n: u32, t: u32) -> GroupPublic {
+    GroupPublic {
+        commitment: Commitment::from_points(vec![
+            G2Projective::identity();
+            t as usize + 1
+        ]),
+        qualified: (1..=n).collect(),
+        config: DkgConfig::new(n, t).expect("valid parameters"),
+    }
+}
+
+/// The immutable context shared by all actors of one engine run.
+pub struct Shared {
+    /// Engine configuration.
+    pub cfg: EngineConfig,
+    /// The network topology.
+    pub topo: Arc<Topology>,
+    /// Domain partition + global domain policy.
+    pub policy: Arc<GlobalDomainPolicy>,
+    /// Node directory.
+    pub dir: Directory,
+    /// Public key material.
+    pub keys: KeyMaterial,
+}
+
+impl Shared {
+    /// `true` when real curve math should execute.
+    pub fn real_crypto(&self) -> bool {
+        self.cfg.crypto == CryptoMode::Real
+    }
+}
+
+/// Generates the per-actor secret material for a run.
+pub struct SecretStore {
+    /// Switch identity secret keys (moved into switch actors at build).
+    pub switch_sk: BTreeMap<SwitchId, SecretKey>,
+    /// Controller identity secret keys.
+    pub controller_sk: BTreeMap<(DomainId, ControllerId), SecretKey>,
+    /// Per-domain DKG outputs (shares moved into controller actors).
+    pub domain_dkg: BTreeMap<DomainId, DkgOutput>,
+}
+
+/// Runs the bootstrap key ceremony.
+///
+/// In `Real` mode this performs actual key generation and a DKG per domain
+/// (what the paper's deployment does once at bootstrap); in `Modeled` mode
+/// identity placeholders are produced so that large benchmark runs skip the
+/// curve math entirely.
+pub fn bootstrap_keys(
+    crypto: CryptoMode,
+    switches: &[SwitchId],
+    domains: &BTreeMap<DomainId, Vec<ControllerId>>,
+    seed: u64,
+) -> (KeyMaterial, SecretStore) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc1ce_0cee);
+    let mut material = KeyMaterial {
+        switch_pk: BTreeMap::new(),
+        controller_pk: BTreeMap::new(),
+        domains: BTreeMap::new(),
+        dummy: KeyMaterial::dummy_signature(),
+    };
+    let mut secrets = SecretStore {
+        switch_sk: BTreeMap::new(),
+        controller_sk: BTreeMap::new(),
+        domain_dkg: BTreeMap::new(),
+    };
+    let real = crypto == CryptoMode::Real;
+    for &s in switches {
+        if real {
+            let sk = SecretKey::generate(&mut rng);
+            material.switch_pk.insert(s, sk.public_key());
+            secrets.switch_sk.insert(s, sk);
+        } else {
+            material
+                .switch_pk
+                .insert(s, PublicKey(blscrypto::curves::G2Affine::identity()));
+        }
+    }
+    for (&d, members) in domains {
+        for &c in members {
+            if real {
+                let sk = SecretKey::generate(&mut rng);
+                material.controller_pk.insert((d, c), sk.public_key());
+                secrets.controller_sk.insert((d, c), sk);
+            } else {
+                material
+                    .controller_pk
+                    .insert((d, c), PublicKey(blscrypto::curves::G2Affine::identity()));
+            }
+        }
+        let n = members.len() as u32;
+        let t = (n.saturating_sub(1)) / 3;
+        if real && n >= 1 {
+            let dkg = blscrypto::dkg::run_trusted_dealer_free(n, t.max(0), &mut rng)
+                .expect("bootstrap DKG");
+            material.domains.insert(
+                d,
+                DomainKeys {
+                    public_key: dkg.group_public_key,
+                    group: dkg.group.clone(),
+                },
+            );
+            secrets.domain_dkg.insert(d, dkg);
+        } else {
+            let group = fake_group(n.max(1), t);
+            material.domains.insert(
+                d,
+                DomainKeys {
+                    public_key: group.public_key(),
+                    group,
+                },
+            );
+        }
+    }
+    (material, secrets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modeled_bootstrap_is_cheap_and_complete() {
+        let switches: Vec<SwitchId> = (0..10).map(SwitchId).collect();
+        let mut domains = BTreeMap::new();
+        domains.insert(DomainId(0), (1..=4).map(ControllerId).collect::<Vec<_>>());
+        domains.insert(DomainId(1), (1..=4).map(ControllerId).collect::<Vec<_>>());
+        let (mat, sec) = bootstrap_keys(CryptoMode::Modeled, &switches, &domains, 7);
+        assert_eq!(mat.switch_pk.len(), 10);
+        assert_eq!(mat.domains.len(), 2);
+        assert!(sec.switch_sk.is_empty());
+        assert_eq!(mat.domains[&DomainId(0)].group.config.quorum(), 2);
+    }
+
+    #[test]
+    fn real_bootstrap_produces_working_threshold_keys() {
+        let switches: Vec<SwitchId> = (0..2).map(SwitchId).collect();
+        let mut domains = BTreeMap::new();
+        domains.insert(DomainId(0), (1..=4).map(ControllerId).collect::<Vec<_>>());
+        let (mat, sec) = bootstrap_keys(CryptoMode::Real, &switches, &domains, 7);
+        let dkg = &sec.domain_dkg[&DomainId(0)];
+        let msg = b"bootstrap check";
+        let partials: Vec<_> = dkg.participants[..2]
+            .iter()
+            .map(|p| blscrypto::bls::sign_share(&p.share, msg))
+            .collect();
+        let sig = blscrypto::bls::aggregate(&partials).unwrap();
+        assert!(blscrypto::bls::verify(
+            &mat.domains[&DomainId(0)].public_key,
+            msg,
+            &sig
+        ));
+    }
+}

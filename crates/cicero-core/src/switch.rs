@@ -1,0 +1,511 @@
+//! The switch protocol runtime (paper Fig. 6 and §5.2).
+//!
+//! Switches forward flows from their tables, raise signed `PacketIn` events
+//! on misses, buffer share-signed updates until a quorum of *identical*
+//! updates arrives, aggregate-and-verify against the group public key, apply,
+//! and acknowledge. The runtime is deliberately minimal — the paper's design
+//! goal is "minimal switch instrumentation" — and all heavy operations charge
+//! simulated CPU time so Fig. 11d's utilization comparison is reproducible.
+
+use crate::config::{Aggregation, Mode};
+use crate::msg::{AckBody, Net, PhaseInfo};
+use crate::obs::Obs;
+use crate::runtime::{labels, Shared};
+use blscrypto::bls::{self, PartialSignature, SecretKey};
+use controller::membership::ControlPlaneView;
+use netmodel::flowtable::{FlowTable, Lookup};
+use simnet::node::{Actor, Context, NodeId};
+use simnet::time::{SimDuration, SimTime};
+use southbound::envelope::{signing_digest, MsgId, QuorumSigned, Signed};
+use southbound::types::{
+    ControllerId, DomainId, Event, EventId, EventKind, FlowAction, FlowId, FlowMatch,
+    HostId, NetworkUpdate, Phase, SwitchId, UpdateKind,
+};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// A flow parked at its ingress switch until the route is installed.
+#[derive(Clone, Copy, Debug)]
+struct WaitingFlow {
+    flow: FlowId,
+    start: SimTime,
+    transit: SimDuration,
+    bytes: u64,
+}
+
+/// A group of identical updates accumulating signature shares.
+#[derive(Clone, Debug)]
+struct QuorumBucket {
+    update: NetworkUpdate,
+    phase: Phase,
+    partials: BTreeMap<u32, PartialSignature>,
+    /// Signers whose partials failed individual verification (Byzantine).
+    blacklisted: HashSet<u32>,
+}
+
+/// The switch actor.
+pub struct SwitchActor {
+    shared: Arc<Shared>,
+    id: SwitchId,
+    domain: DomainId,
+    key: Option<SecretKey>,
+    table: FlowTable,
+    waiting: HashMap<FlowMatch, Vec<WaitingFlow>>,
+    outstanding: HashSet<FlowMatch>,
+    buckets: HashMap<(southbound::types::UpdateId, Phase), Vec<QuorumBucket>>,
+    applied: HashSet<southbound::types::UpdateId>,
+    phase_info: PhaseInfo,
+    event_seq: u64,
+    msg_seq: u64,
+}
+
+impl SwitchActor {
+    /// Builds the actor for `id` in `domain`.
+    pub fn new(
+        shared: Arc<Shared>,
+        id: SwitchId,
+        domain: DomainId,
+        key: Option<SecretKey>,
+        phase_info: PhaseInfo,
+    ) -> Self {
+        SwitchActor {
+            shared,
+            id,
+            domain,
+            key,
+            table: FlowTable::new(),
+            waiting: HashMap::new(),
+            outstanding: HashSet::new(),
+            buckets: HashMap::new(),
+            applied: HashSet::new(),
+            phase_info,
+            event_seq: 0,
+            msg_seq: 0,
+        }
+    }
+
+    /// Read access to the flow table (tests, examples).
+    pub fn table(&self) -> &FlowTable {
+        &self.table
+    }
+
+    /// The updates applied so far (tests).
+    pub fn applied_count(&self) -> usize {
+        self.applied.len()
+    }
+
+    fn msg_id(&mut self) -> MsgId {
+        self.msg_seq += 1;
+        MsgId {
+            origin: self.id.0,
+            seq: self.msg_seq,
+        }
+    }
+
+    fn fresh_event_id(&mut self) -> EventId {
+        self.event_seq += 1;
+        EventId(((self.id.0 as u64) << 32) | self.event_seq)
+    }
+
+    /// Quorum for update application at the current phase.
+    fn quorum(&self) -> usize {
+        self.phase_info.quorum as usize
+    }
+
+    /// Where events go: the aggregator (controller aggregation) or the whole
+    /// domain control plane.
+    fn event_targets(&self, ctx: &mut Context<'_, Net, Obs>) -> Vec<NodeId> {
+        let _ = ctx;
+        let dir = &self.shared.dir;
+        match self.shared.cfg.mode {
+            Mode::Cicero {
+                aggregation: Aggregation::Controller,
+            } => vec![dir.controller(self.domain, self.phase_info.aggregator)],
+            _ => dir
+                .initial_members
+                .get(&self.domain)
+                .map(|ms| dir.controller_nodes(self.domain, ms.iter().copied()).collect())
+                .unwrap_or_default(),
+        }
+    }
+
+    fn sign_event(&mut self, ctx: &mut Context<'_, Net, Obs>, event: Event) -> Signed<Event> {
+        let phase = self.phase_info.phase;
+        let msg_id = self.msg_id();
+        if self.shared.cfg.mode.is_cicero() {
+            ctx.charge_cpu(self.shared.cfg.costs.event_sign);
+        }
+        if self.shared.real_crypto() && self.shared.cfg.mode.is_cicero() {
+            let key = self.key.as_ref().expect("real mode has switch keys");
+            Signed::sign(labels::EVENT, event, phase, msg_id, key)
+        } else {
+            Signed {
+                payload: event,
+                phase,
+                msg_id,
+                signature: self.shared.keys.dummy,
+            }
+        }
+    }
+
+    fn raise_event(&mut self, ctx: &mut Context<'_, Net, Obs>, kind: EventKind) {
+        let event = Event {
+            id: self.fresh_event_id(),
+            kind,
+            origin: self.domain,
+            forwarded: false,
+        };
+        let signed = self.sign_event(ctx, event);
+        for node in self.event_targets(ctx) {
+            ctx.send(node, Net::EventMsg(signed.clone()));
+        }
+    }
+
+    fn complete_waiters(&mut self, ctx: &mut Context<'_, Net, Obs>, m: FlowMatch) {
+        let Some(waiters) = self.waiting.remove(&m) else {
+            return;
+        };
+        let action = self.table.rule(m);
+        for w in waiters {
+            match action {
+                Some(FlowAction::Forward(_)) => {
+                    let delay = w.transit + self.shared.cfg.tx_time(w.bytes);
+                    ctx.send_delayed(
+                        ctx.id(),
+                        Net::FlowDone {
+                            flow: w.flow,
+                            start: w.start,
+                            src: m.src,
+                            dst: m.dst,
+                        },
+                        delay,
+                    );
+                }
+                Some(FlowAction::Deny) => ctx.observe(Obs::FlowDenied { flow: w.flow }),
+                None => {
+                    // Rule disappeared before the waiters drained (teardown
+                    // race); re-queue via a fresh event.
+                    self.waiting.entry(m).or_default().push(w);
+                }
+            }
+        }
+        if self.waiting.get(&m).is_none_or(|v| v.is_empty()) {
+            self.outstanding.remove(&m);
+        }
+    }
+
+    fn apply_update(&mut self, ctx: &mut Context<'_, Net, Obs>, update: NetworkUpdate) {
+        if !self.applied.insert(update.id) {
+            return;
+        }
+        self.table.apply(&update);
+        ctx.observe(Obs::UpdateApplied {
+            switch: self.id,
+            update: update.id,
+            kind: update.kind,
+        });
+        if let UpdateKind::Install(rule) = update.kind {
+            self.outstanding.remove(&rule.matcher);
+            self.complete_waiters(ctx, rule.matcher);
+        }
+        self.send_ack(ctx, update);
+    }
+
+    fn send_ack(&mut self, ctx: &mut Context<'_, Net, Obs>, update: NetworkUpdate) {
+        let body = AckBody {
+            update: update.id,
+            switch: self.id,
+        };
+        let phase = self.phase_info.phase;
+        let msg_id = self.msg_id();
+        let signed = if self.shared.cfg.mode.is_cicero() {
+            ctx.charge_cpu(self.shared.cfg.costs.event_sign);
+            if self.shared.real_crypto() {
+                let key = self.key.as_ref().expect("real mode has switch keys");
+                Signed::sign(labels::ACK, body, phase, msg_id, key)
+            } else {
+                Signed {
+                    payload: body,
+                    phase,
+                    msg_id,
+                    signature: self.shared.keys.dummy,
+                }
+            }
+        } else {
+            Signed {
+                payload: body,
+                phase,
+                msg_id,
+                signature: self.shared.keys.dummy,
+            }
+        };
+        let members: Vec<NodeId> = self
+            .shared
+            .dir
+            .initial_members
+            .get(&self.domain)
+            .map(|ms| {
+                self.shared
+                    .dir
+                    .controller_nodes(self.domain, ms.iter().copied())
+                    .collect()
+            })
+            .unwrap_or_default();
+        for node in members {
+            ctx.send(node, Net::AckMsg(signed.clone()));
+        }
+    }
+
+    /// Switch-side aggregation (paper Fig. 6b): buffer share-signed updates
+    /// until a quorum of identical updates, aggregate, verify, apply.
+    fn on_share_signed(
+        &mut self,
+        ctx: &mut Context<'_, Net, Obs>,
+        msg: southbound::envelope::ShareSigned<NetworkUpdate>,
+    ) {
+        ctx.charge_cpu(self.shared.cfg.costs.switch_msg);
+        if self.applied.contains(&msg.payload.id) {
+            return;
+        }
+        if msg.phase != self.phase_info.phase {
+            return;
+        }
+        let key = (msg.payload.id, msg.phase);
+        let buckets = self.buckets.entry(key).or_default();
+        let bucket = match buckets.iter_mut().find(|b| b.update == msg.payload) {
+            Some(b) => b,
+            None => {
+                buckets.push(QuorumBucket {
+                    update: msg.payload,
+                    phase: msg.phase,
+                    partials: BTreeMap::new(),
+                    blacklisted: HashSet::new(),
+                });
+                buckets.last_mut().expect("just pushed")
+            }
+        };
+        if bucket.blacklisted.contains(&msg.partial.index) {
+            return;
+        }
+        bucket.partials.insert(msg.partial.index, msg.partial);
+        self.try_quorum(ctx, key);
+    }
+
+    fn try_quorum(
+        &mut self,
+        ctx: &mut Context<'_, Net, Obs>,
+        key: (southbound::types::UpdateId, Phase),
+    ) {
+        let quorum = self.quorum();
+        let Some(buckets) = self.buckets.get_mut(&key) else {
+            return;
+        };
+        let Some(idx) = buckets.iter().position(|b| b.partials.len() >= quorum) else {
+            return;
+        };
+        let costs = self.shared.cfg.costs;
+        let real = self.shared.real_crypto();
+        let group = self.shared.keys.domains[&self.domain].clone();
+
+        let bucket = &mut buckets[idx];
+        let partials: Vec<PartialSignature> = bucket.partials.values().copied().collect();
+        ctx.charge_cpu(costs.aggregate_per_share.saturating_mul(partials.len() as u64));
+        ctx.charge_cpu(costs.bls_verify);
+
+        let valid = if real {
+            let digest = signing_digest(labels::UPDATE, bucket.phase, &bucket.update);
+            match bls::aggregate(&partials) {
+                Ok(sig) => {
+                    if bls::verify(&group.public_key, &digest, &sig) {
+                        true
+                    } else {
+                        // Some partial is bad: verify individually, evict
+                        // culprits, and wait for honest replacements.
+                        for p in &partials {
+                            ctx.charge_cpu(costs.bls_verify);
+                            let mpk = group.group.member_public_key(p.index);
+                            if !bls::verify_partial(&mpk, &digest, p) {
+                                bucket.blacklisted.insert(p.index);
+                                bucket.partials.remove(&p.index);
+                            }
+                        }
+                        false
+                    }
+                }
+                Err(_) => false,
+            }
+        } else {
+            true
+        };
+
+        if valid {
+            let update = bucket.update;
+            self.buckets.remove(&key);
+            self.apply_update(ctx, update);
+        } else {
+            ctx.observe(Obs::UpdateRejected {
+                switch: self.id,
+                update: key.0,
+            });
+        }
+    }
+
+    /// Controller-aggregation path (paper Fig. 7c): single verification of a
+    /// pre-aggregated signature.
+    fn on_quorum_signed(
+        &mut self,
+        ctx: &mut Context<'_, Net, Obs>,
+        msg: QuorumSigned<NetworkUpdate>,
+    ) {
+        ctx.charge_cpu(self.shared.cfg.costs.switch_msg);
+        if self.applied.contains(&msg.payload.id) {
+            return;
+        }
+        ctx.charge_cpu(self.shared.cfg.costs.bls_verify);
+        let valid = if self.shared.real_crypto() {
+            let pk = self.shared.keys.domains[&self.domain].public_key;
+            msg.verify(labels::UPDATE, &pk)
+        } else {
+            true
+        };
+        if valid {
+            self.apply_update(ctx, msg.payload);
+        } else {
+            ctx.observe(Obs::UpdateRejected {
+                switch: self.id,
+                update: msg.payload.id,
+            });
+        }
+    }
+
+    fn on_flow_arrival(
+        &mut self,
+        ctx: &mut Context<'_, Net, Obs>,
+        flow: FlowId,
+        src: HostId,
+        dst: HostId,
+        bytes: u64,
+        transit: SimDuration,
+        start: SimTime,
+    ) {
+        let m = FlowMatch { src, dst };
+        match self.table.lookup(m) {
+            Lookup::Action(FlowAction::Forward(_)) => {
+                let delay = transit + self.shared.cfg.tx_time(bytes);
+                ctx.send_delayed(
+                    ctx.id(),
+                    Net::FlowDone {
+                        flow,
+                        start,
+                        src,
+                        dst,
+                    },
+                    delay,
+                );
+            }
+            Lookup::Action(FlowAction::Deny) => {
+                ctx.observe(Obs::FlowDenied { flow });
+            }
+            Lookup::Miss => {
+                self.waiting.entry(m).or_default().push(WaitingFlow {
+                    flow,
+                    start,
+                    transit,
+                    bytes,
+                });
+                if self.outstanding.insert(m) {
+                    self.raise_event(
+                        ctx,
+                        EventKind::PacketIn {
+                            switch: self.id,
+                            flow,
+                            src,
+                            dst,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl Actor<Net, Obs> for SwitchActor {
+    fn on_message(&mut self, ctx: &mut Context<'_, Net, Obs>, _from: NodeId, msg: Net) {
+        match msg {
+            Net::FlowArrival {
+                flow,
+                src,
+                dst,
+                bytes,
+                transit,
+                start,
+            } => self.on_flow_arrival(ctx, flow, src, dst, bytes, transit, start),
+            Net::FlowDone {
+                flow,
+                start,
+                src,
+                dst,
+            } => {
+                ctx.observe(Obs::FlowCompleted { flow, start });
+                if !self.shared.cfg.rule_reuse {
+                    self.raise_event(ctx, EventKind::FlowTeardown { flow, src, dst });
+                }
+            }
+            Net::UpdateMsg(m) => self.on_share_signed(ctx, m),
+            Net::UpdateAggregated(m) => self.on_quorum_signed(ctx, m),
+            Net::UpdatePlain { update, from: _ } => {
+                ctx.charge_cpu(self.shared.cfg.costs.switch_msg);
+                self.apply_update(ctx, update);
+            }
+            Net::LinkDown { a, b } => {
+                self.raise_event(ctx, EventKind::LinkFailure { a, b });
+            }
+            Net::PhaseNotice(m) => {
+                ctx.charge_cpu(self.shared.cfg.costs.bls_verify);
+                let valid = if self.shared.real_crypto() {
+                    let pk = self.shared.keys.domains[&self.domain].public_key;
+                    m.verify(labels::PHASE, &pk)
+                } else {
+                    true
+                };
+                if valid && m.payload.phase > self.phase_info.phase {
+                    self.phase_info = m.payload;
+                    // Stale aggregation buckets from the old phase die here.
+                    self.buckets.retain(|(_, p), _| *p == m.payload.phase);
+                }
+            }
+            // Messages not addressed to switches are ignored defensively.
+            _ => {}
+        }
+    }
+}
+
+/// Helper used by engine/tests to build the view-consistent initial phase
+/// info for a domain.
+pub fn initial_phase_info(view: &ControlPlaneView) -> PhaseInfo {
+    PhaseInfo {
+        phase: view.phase(),
+        quorum: view.quorum() as u32,
+        aggregator: view.aggregator(),
+    }
+}
+
+/// Initial phase info for baselines without a real membership view
+/// (centralized / crash-tolerant modes).
+pub fn trivial_phase_info(members: u32) -> PhaseInfo {
+    PhaseInfo {
+        phase: Phase(0),
+        quorum: 1,
+        aggregator: ControllerId(1),
+    }
+    .with_members(members)
+}
+
+impl PhaseInfo {
+    fn with_members(mut self, members: u32) -> Self {
+        if members >= 4 {
+            self.quorum = (members - 1) / 3 + 1;
+        }
+        self
+    }
+}

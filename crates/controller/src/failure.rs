@@ -1,0 +1,106 @@
+//! Heartbeat failure detection (paper §5.1: "we use periodic heartbeat
+//! messages to detect failures").
+//!
+//! The detector is deliberately simple — an eventually-perfect-style timeout
+//! detector. The paper acknowledges 100 % accuracy is impossible and relies
+//! on the protocol tolerating premature removals (they only affect
+//! liveness); the same argument applies here.
+
+use simnet::time::{SimDuration, SimTime};
+use southbound::types::ControllerId;
+use std::collections::BTreeMap;
+
+/// Tracks controller heartbeats and reports suspects.
+#[derive(Clone, Debug)]
+pub struct HeartbeatDetector {
+    timeout: SimDuration,
+    last_seen: BTreeMap<ControllerId, SimTime>,
+}
+
+impl HeartbeatDetector {
+    /// Creates a detector that suspects peers silent for longer than
+    /// `timeout`.
+    pub fn new(timeout: SimDuration) -> Self {
+        HeartbeatDetector {
+            timeout,
+            last_seen: BTreeMap::new(),
+        }
+    }
+
+    /// Registers a peer (treated as alive now).
+    pub fn track(&mut self, peer: ControllerId, now: SimTime) {
+        self.last_seen.insert(peer, now);
+    }
+
+    /// Stops tracking a peer (after its removal from the membership).
+    pub fn forget(&mut self, peer: ControllerId) {
+        self.last_seen.remove(&peer);
+    }
+
+    /// Records a heartbeat.
+    pub fn heartbeat(&mut self, peer: ControllerId, now: SimTime) {
+        if let Some(t) = self.last_seen.get_mut(&peer) {
+            if now > *t {
+                *t = now;
+            }
+        } else {
+            self.last_seen.insert(peer, now);
+        }
+    }
+
+    /// Peers whose last heartbeat is older than the timeout.
+    pub fn suspects(&self, now: SimTime) -> Vec<ControllerId> {
+        self.last_seen
+            .iter()
+            .filter(|(_, &seen)| now.since(seen) > self.timeout)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Tracked peer count.
+    pub fn tracked(&self) -> usize {
+        self.last_seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silent_peers_become_suspects() {
+        let mut d = HeartbeatDetector::new(SimDuration::from_millis(100));
+        let t0 = SimTime::ZERO;
+        d.track(ControllerId(1), t0);
+        d.track(ControllerId(2), t0);
+        let t1 = t0 + SimDuration::from_millis(50);
+        d.heartbeat(ControllerId(1), t1);
+        let t2 = t0 + SimDuration::from_millis(120);
+        assert_eq!(d.suspects(t2), vec![ControllerId(2)]);
+        let t3 = t1 + SimDuration::from_millis(120);
+        let s = d.suspects(t3);
+        assert!(s.contains(&ControllerId(1)) && s.contains(&ControllerId(2)));
+    }
+
+    #[test]
+    fn heartbeats_clear_suspicion_and_never_regress() {
+        let mut d = HeartbeatDetector::new(SimDuration::from_millis(10));
+        d.track(ControllerId(1), SimTime::ZERO);
+        let late = SimTime::ZERO + SimDuration::from_millis(50);
+        d.heartbeat(ControllerId(1), late);
+        // A stale (out-of-order) heartbeat cannot roll the clock back.
+        d.heartbeat(ControllerId(1), SimTime::ZERO + SimDuration::from_millis(20));
+        assert!(d.suspects(late + SimDuration::from_millis(5)).is_empty());
+    }
+
+    #[test]
+    fn forgotten_peers_are_not_suspects() {
+        let mut d = HeartbeatDetector::new(SimDuration::from_millis(10));
+        d.track(ControllerId(1), SimTime::ZERO);
+        d.forget(ControllerId(1));
+        assert!(d
+            .suspects(SimTime::ZERO + SimDuration::from_secs(1))
+            .is_empty());
+        assert_eq!(d.tracked(), 0);
+    }
+}

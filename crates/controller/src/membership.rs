@@ -1,0 +1,273 @@
+//! Control-plane membership (paper §4.3).
+//!
+//! A domain's control plane is a dynamic set of controllers with:
+//!
+//! * identifiers that are **never reused** (the aggregator is the lowest
+//!   live identifier, so stability requires monotone assignment);
+//! * a **phase** counter bumped by every single add/remove (changes are
+//!   serialized — "controllers must be added and removed one at a time
+//!   ensuring lock-step increment to the phase");
+//! * a designated trusted **bootstrap controller**, the only member allowed
+//!   to propose additions;
+//! * a derived Byzantine quorum `⌊(n-1)/3⌋ + 1` that parametrizes both the
+//!   threshold signatures and the per-update quorum check.
+
+use serde::{Deserialize, Serialize};
+use southbound::types::{ControllerId, Phase};
+use std::collections::BTreeSet;
+
+/// Errors from membership transitions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MembershipError {
+    /// Only the bootstrap controller may propose additions.
+    NotBootstrap(ControllerId),
+    /// The controller is already / not a member.
+    UnknownMember(ControllerId),
+    /// Identifier reuse attempted.
+    StaleIdentifier(ControllerId),
+    /// Removing would shrink the control plane below the minimum of 4.
+    BelowMinimum,
+}
+
+impl std::fmt::Display for MembershipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MembershipError::NotBootstrap(c) => {
+                write!(f, "controller {c:?} is not the bootstrap controller")
+            }
+            MembershipError::UnknownMember(c) => write!(f, "controller {c:?} is not a member"),
+            MembershipError::StaleIdentifier(c) => {
+                write!(f, "identifier {c:?} was already used")
+            }
+            MembershipError::BelowMinimum => {
+                write!(f, "control plane cannot shrink below 4 members")
+            }
+        }
+    }
+}
+impl std::error::Error for MembershipError {}
+
+/// A domain control plane's membership view. All correct members hold the
+/// same view at the same phase (changes ride the atomic broadcast).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControlPlaneView {
+    members: BTreeSet<ControllerId>,
+    bootstrap: ControllerId,
+    phase: Phase,
+    next_id: u32,
+}
+
+impl ControlPlaneView {
+    /// Creates the initial view with members `1..=n`; controller 1 is the
+    /// bootstrap controller.
+    ///
+    /// Cicero deployments need `n >= 4` to tolerate a fault (paper §3.2) —
+    /// the engine enforces that; the view itself also models the
+    /// single-controller and crash-tolerant baselines, so any `n >= 1` is
+    /// accepted here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn initial(n: u32) -> Self {
+        assert!(n >= 1, "need at least one controller");
+        ControlPlaneView {
+            members: (1..=n).map(ControllerId).collect(),
+            bootstrap: ControllerId(1),
+            phase: Phase(0),
+            next_id: n + 1,
+        }
+    }
+
+    /// Current members, ascending.
+    pub fn members(&self) -> impl Iterator<Item = ControllerId> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// Membership size `n`.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` iff empty (never true for valid views).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// `true` iff `c` is a member.
+    pub fn contains(&self, c: ControllerId) -> bool {
+        self.members.contains(&c)
+    }
+
+    /// The current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// The bootstrap controller.
+    pub fn bootstrap(&self) -> ControllerId {
+        self.bootstrap
+    }
+
+    /// The threshold-polynomial degree `t = ⌊(n-1)/3⌋`.
+    pub fn threshold_t(&self) -> u32 {
+        (self.members.len() as u32 - 1) / 3
+    }
+
+    /// The update quorum `t + 1 = ⌊(n-1)/3⌋ + 1`.
+    pub fn quorum(&self) -> usize {
+        self.threshold_t() as usize + 1
+    }
+
+    /// The aggregator: the member with the lowest identifier (paper §4.2).
+    pub fn aggregator(&self) -> ControllerId {
+        *self.members.iter().next().expect("non-empty membership")
+    }
+
+    /// The identifier the next joining controller will receive.
+    pub fn next_identifier(&self) -> ControllerId {
+        ControllerId(self.next_id)
+    }
+
+    /// Adds a new controller, proposed by `proposer`.
+    ///
+    /// # Errors
+    ///
+    /// [`MembershipError::NotBootstrap`] unless the proposer is the
+    /// bootstrap controller; [`MembershipError::StaleIdentifier`] if `id`
+    /// is not the next fresh identifier.
+    pub fn add(
+        &mut self,
+        proposer: ControllerId,
+        id: ControllerId,
+    ) -> Result<Phase, MembershipError> {
+        if proposer != self.bootstrap {
+            return Err(MembershipError::NotBootstrap(proposer));
+        }
+        if id.0 != self.next_id {
+            return Err(MembershipError::StaleIdentifier(id));
+        }
+        self.members.insert(id);
+        self.next_id += 1;
+        self.phase = self.phase.next();
+        Ok(self.phase)
+    }
+
+    /// Removes a member (proposed by any member that detected the failure).
+    ///
+    /// # Errors
+    ///
+    /// [`MembershipError::UnknownMember`] for non-members;
+    /// [`MembershipError::BelowMinimum`] if the plane would drop below 4.
+    pub fn remove(&mut self, id: ControllerId) -> Result<Phase, MembershipError> {
+        if !self.members.contains(&id) {
+            return Err(MembershipError::UnknownMember(id));
+        }
+        if self.members.len() <= 4 {
+            return Err(MembershipError::BelowMinimum);
+        }
+        self.members.remove(&id);
+        // The bootstrap role survives removals of other members; if the
+        // bootstrap itself is removed, the lowest id inherits the role.
+        if self.bootstrap == id {
+            self.bootstrap = self.aggregator();
+        }
+        self.phase = self.phase.next();
+        Ok(self.phase)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_view() {
+        let v = ControlPlaneView::initial(4);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.quorum(), 2);
+        assert_eq!(v.aggregator(), ControllerId(1));
+        assert_eq!(v.phase(), Phase(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_view_panics() {
+        let _ = ControlPlaneView::initial(0);
+    }
+
+    #[test]
+    fn baseline_views_are_allowed() {
+        let v = ControlPlaneView::initial(1);
+        assert_eq!(v.quorum(), 1);
+        assert_eq!(v.aggregator(), ControllerId(1));
+    }
+
+    #[test]
+    fn add_bumps_phase_and_assigns_fresh_id() {
+        let mut v = ControlPlaneView::initial(4);
+        let id = v.next_identifier();
+        assert_eq!(id, ControllerId(5));
+        let phase = v.add(ControllerId(1), id).unwrap();
+        assert_eq!(phase, Phase(1));
+        assert_eq!(v.len(), 5);
+        assert_eq!(v.quorum(), 2);
+        // Only bootstrap can add.
+        assert_eq!(
+            v.add(ControllerId(2), v.next_identifier()),
+            Err(MembershipError::NotBootstrap(ControllerId(2)))
+        );
+        // Reused / skipped ids rejected.
+        assert_eq!(
+            v.add(ControllerId(1), ControllerId(5)),
+            Err(MembershipError::StaleIdentifier(ControllerId(5)))
+        );
+    }
+
+    #[test]
+    fn identifiers_never_reused_after_removal() {
+        let mut v = ControlPlaneView::initial(5);
+        v.remove(ControllerId(3)).unwrap();
+        assert_eq!(v.len(), 4);
+        let id = v.next_identifier();
+        assert_eq!(id, ControllerId(6), "id 3 is never handed out again");
+        v.add(ControllerId(1), id).unwrap();
+        assert!(!v.contains(ControllerId(3)));
+    }
+
+    #[test]
+    fn aggregator_is_lowest_live_id() {
+        let mut v = ControlPlaneView::initial(5);
+        assert_eq!(v.aggregator(), ControllerId(1));
+        v.remove(ControllerId(1)).unwrap();
+        assert_eq!(v.aggregator(), ControllerId(2));
+        assert_eq!(v.bootstrap(), ControllerId(2), "bootstrap role inherited");
+    }
+
+    #[test]
+    fn cannot_shrink_below_minimum() {
+        let mut v = ControlPlaneView::initial(4);
+        assert_eq!(v.remove(ControllerId(2)), Err(MembershipError::BelowMinimum));
+    }
+
+    #[test]
+    fn quorum_tracks_membership_size() {
+        let mut v = ControlPlaneView::initial(4);
+        for _ in 0..6 {
+            let id = v.next_identifier();
+            v.add(ControllerId(1), id).unwrap();
+        }
+        assert_eq!(v.len(), 10);
+        assert_eq!(v.threshold_t(), 3);
+        assert_eq!(v.quorum(), 4);
+    }
+
+    #[test]
+    fn phases_are_lock_step() {
+        let mut v = ControlPlaneView::initial(5);
+        let p1 = v.add(ControllerId(1), v.next_identifier()).unwrap();
+        let p2 = v.remove(ControllerId(2)).unwrap();
+        let p3 = v.add(ControllerId(1), v.next_identifier()).unwrap();
+        assert_eq!((p1, p2, p3), (Phase(1), Phase(2), Phase(3)));
+    }
+}

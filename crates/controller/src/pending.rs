@@ -1,0 +1,167 @@
+//! Dependency-driven update release.
+//!
+//! Controllers do not fire all updates at once: an update is *released*
+//! (sent to its switch) only when its dependency set has drained, and
+//! verified switch acknowledgements are what drain dependency sets (paper
+//! §4.1). Updates with disjoint dependency sets proceed in parallel
+//! (§3.3, intra-domain parallelism).
+
+use crate::scheduler::ScheduledUpdate;
+use southbound::types::{NetworkUpdate, UpdateId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Tracks scheduled updates until acknowledged.
+#[derive(Clone, Debug, Default)]
+pub struct PendingUpdates {
+    waiting: BTreeMap<UpdateId, ScheduledUpdate>,
+    sent: BTreeSet<UpdateId>,
+    acked: BTreeSet<UpdateId>,
+}
+
+impl PendingUpdates {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        PendingUpdates::default()
+    }
+
+    /// Admits a schedule; returns the updates that are immediately ready to
+    /// send (empty dependency sets).
+    pub fn admit(&mut self, schedule: Vec<ScheduledUpdate>) -> Vec<NetworkUpdate> {
+        for s in schedule {
+            // Dependencies already acknowledged (e.g. re-admission after a
+            // membership change) are pre-drained.
+            let mut s = s;
+            s.deps.retain(|d| !self.acked.contains(d));
+            self.waiting.insert(s.update.id, s);
+        }
+        self.release_ready()
+    }
+
+    /// Records a verified acknowledgement; returns updates that became
+    /// ready.
+    pub fn ack(&mut self, id: UpdateId) -> Vec<NetworkUpdate> {
+        self.acked.insert(id);
+        self.sent.remove(&id);
+        for s in self.waiting.values_mut() {
+            s.deps.remove(&id);
+        }
+        self.release_ready()
+    }
+
+    fn release_ready(&mut self) -> Vec<NetworkUpdate> {
+        let ready_ids: Vec<UpdateId> = self
+            .waiting
+            .iter()
+            .filter(|(_, s)| s.deps.is_empty())
+            .map(|(&id, _)| id)
+            .collect();
+        let mut out = Vec::with_capacity(ready_ids.len());
+        for id in ready_ids {
+            let s = self.waiting.remove(&id).expect("present");
+            self.sent.insert(id);
+            out.push(s.update);
+        }
+        out
+    }
+
+    /// Updates sent but not yet acknowledged.
+    pub fn in_flight(&self) -> impl Iterator<Item = &UpdateId> {
+        self.sent.iter()
+    }
+
+    /// `true` iff nothing is waiting or in flight.
+    pub fn is_drained(&self) -> bool {
+        self.waiting.is_empty() && self.sent.is_empty()
+    }
+
+    /// Number of updates still waiting on dependencies.
+    pub fn waiting_count(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// `true` iff `id` has been acknowledged.
+    pub fn is_acked(&self, id: UpdateId) -> bool {
+        self.acked.contains(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{ReversePathScheduler, UpdateScheduler};
+    use southbound::types::{
+        EventId, FlowAction, FlowMatch, FlowRule, HostId, NextHop, SwitchId, UpdateKind,
+    };
+
+    fn chain(n: u32, event: u64) -> Vec<ScheduledUpdate> {
+        let updates: Vec<NetworkUpdate> = (0..n)
+            .map(|i| NetworkUpdate {
+                id: UpdateId {
+                    event: EventId(event),
+                    seq: i,
+                },
+                switch: SwitchId(i),
+                kind: UpdateKind::Install(FlowRule {
+                    matcher: FlowMatch {
+                        src: HostId(0),
+                        dst: HostId(1),
+                    },
+                    action: FlowAction::Forward(NextHop::Switch(SwitchId(i + 1))),
+                }),
+            })
+            .collect();
+        ReversePathScheduler.schedule(&updates)
+    }
+
+    #[test]
+    fn releases_in_reverse_path_order() {
+        let mut p = PendingUpdates::new();
+        let ready = p.admit(chain(3, 1));
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].switch, SwitchId(2), "last hop first");
+        let ready = p.ack(ready[0].id);
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].switch, SwitchId(1));
+        let ready = p.ack(ready[0].id);
+        assert_eq!(ready[0].switch, SwitchId(0));
+        let ready = p.ack(ready[0].id);
+        assert!(ready.is_empty());
+        assert!(p.is_drained());
+    }
+
+    #[test]
+    fn disjoint_events_progress_in_parallel() {
+        let mut p = PendingUpdates::new();
+        let mut ready = p.admit(chain(2, 1));
+        ready.extend(p.admit(chain(2, 2)));
+        // One releasable update per event.
+        assert_eq!(ready.len(), 2);
+        let events: BTreeSet<u64> = ready.iter().map(|u| u.id.event.0).collect();
+        assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_acks_are_idempotent() {
+        let mut p = PendingUpdates::new();
+        let ready = p.admit(chain(2, 1));
+        let id = ready[0].id;
+        let r1 = p.ack(id);
+        assert_eq!(r1.len(), 1);
+        let r2 = p.ack(id);
+        assert!(r2.is_empty());
+        assert!(p.is_acked(id));
+    }
+
+    #[test]
+    fn admission_after_ack_pre_drains() {
+        let mut p = PendingUpdates::new();
+        let sched = chain(2, 1);
+        let first_ready = p.admit(sched.clone())[0];
+        p.ack(first_ready.id);
+        // Re-admitting the same schedule: the dep on the acked update is
+        // already satisfied.
+        let mut p2 = p.clone();
+        let ready = p2.admit(sched);
+        assert!(ready.iter().any(|u| u.id.seq == 0));
+    }
+}

@@ -1,0 +1,274 @@
+//! Update domains and static global domain policies (paper §3.3, §4.1).
+//!
+//! A [`DomainMap`] partitions the data plane into domains, each with an
+//! independent control plane. The [`GlobalDomainPolicy`] — assumed *static*
+//! by the paper — lets any controller determine which domains an event
+//! affects, so it can forward the event to one controller of each affected
+//! domain without inter-domain agreement.
+
+use netmodel::routing::route;
+use netmodel::topology::Topology;
+use southbound::types::{DomainId, Event, EventKind, FlowMatch, SwitchId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Assignment of every switch to exactly one domain.
+#[derive(Clone, Debug, Default)]
+pub struct DomainMap {
+    of_switch: BTreeMap<SwitchId, DomainId>,
+    members: BTreeMap<DomainId, Vec<SwitchId>>,
+}
+
+impl DomainMap {
+    /// Everything in one domain.
+    pub fn single(topo: &Topology) -> Self {
+        let mut m = DomainMap::default();
+        for s in topo.switches() {
+            m.assign(s.id, DomainId(0));
+        }
+        m
+    }
+
+    /// One domain per `(dc, pod)`, spine/gateway tiers merged into their
+    /// DC's first pod domain — the paper's "one domain per pod" deployment.
+    pub fn by_pod(topo: &Topology) -> Self {
+        let mut m = DomainMap::default();
+        let mut pods: BTreeMap<(u16, u16), DomainId> = BTreeMap::new();
+        let mut next = 0u16;
+        // First pass: real pods.
+        for s in topo.switches() {
+            if s.loc.pod != u16::MAX {
+                let key = (s.loc.dc, s.loc.pod);
+                let id = *pods.entry(key).or_insert_with(|| {
+                    let d = DomainId(next);
+                    next += 1;
+                    d
+                });
+                m.assign(s.id, id);
+            }
+        }
+        // Second pass: interconnect tiers get their own per-DC domain (the
+        // paper's Fig. 12c uses "a third domain (containing 4 redundant
+        // switches) to interconnect" the pod domains).
+        let mut interconnect: BTreeMap<u16, DomainId> = BTreeMap::new();
+        for s in topo.switches() {
+            if s.loc.pod == u16::MAX {
+                let id = *interconnect.entry(s.loc.dc).or_insert_with(|| {
+                    let d = DomainId(next);
+                    next += 1;
+                    d
+                });
+                m.assign(s.id, id);
+            }
+        }
+        m
+    }
+
+    /// Splits a single pod into `k` domains by contiguous rack ranges (the
+    /// event-locality experiment, paper Fig. 12b). Non-ToR switches join
+    /// domain 0.
+    pub fn split_racks(topo: &Topology, k: u16) -> Self {
+        assert!(k >= 1, "need at least one domain");
+        let mut m = DomainMap::default();
+        let racks: BTreeSet<u16> = topo
+            .switches()
+            .iter()
+            .filter(|s| s.role == netmodel::topology::SwitchRole::TopOfRack)
+            .map(|s| s.loc.rack)
+            .collect();
+        let racks: Vec<u16> = racks.into_iter().collect();
+        let per = racks.len().div_ceil(k as usize).max(1);
+        let domain_of_rack = |rack: u16| {
+            let idx = racks.iter().position(|&r| r == rack).unwrap_or(0);
+            DomainId((idx / per).min(k as usize - 1) as u16)
+        };
+        for s in topo.switches() {
+            let d = match s.role {
+                netmodel::topology::SwitchRole::TopOfRack => domain_of_rack(s.loc.rack),
+                _ => DomainId(0),
+            };
+            m.assign(s.id, d);
+        }
+        m
+    }
+
+    /// Assigns one switch.
+    pub fn assign(&mut self, switch: SwitchId, domain: DomainId) {
+        if let Some(old) = self.of_switch.insert(switch, domain) {
+            if let Some(v) = self.members.get_mut(&old) {
+                v.retain(|&s| s != switch);
+            }
+        }
+        self.members.entry(domain).or_default().push(switch);
+    }
+
+    /// The domain of a switch.
+    pub fn domain_of(&self, switch: SwitchId) -> Option<DomainId> {
+        self.of_switch.get(&switch).copied()
+    }
+
+    /// The switches of a domain (insertion order).
+    pub fn switches_of(&self, domain: DomainId) -> &[SwitchId] {
+        self.members.get(&domain).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All domains, ascending.
+    pub fn domains(&self) -> Vec<DomainId> {
+        self.members.keys().copied().collect()
+    }
+
+    /// Number of domains.
+    pub fn domain_count(&self) -> usize {
+        self.members.len()
+    }
+}
+
+/// The static global domain policy: which domains does an event touch?
+///
+/// The evaluation implementation resolves the event's flow to its
+/// shortest path ("our implementation uses global policies based on the
+/// shortest path between domains", §5.1) and maps path switches to domains.
+#[derive(Clone, Debug)]
+pub struct GlobalDomainPolicy {
+    domains: DomainMap,
+}
+
+impl GlobalDomainPolicy {
+    /// Wraps a domain map.
+    pub fn new(domains: DomainMap) -> Self {
+        GlobalDomainPolicy { domains }
+    }
+
+    /// The underlying domain map.
+    pub fn domains(&self) -> &DomainMap {
+        &self.domains
+    }
+
+    /// The set of domains an event's updates will touch.
+    pub fn affected_domains(&self, event: &Event, topo: &Topology) -> BTreeSet<DomainId> {
+        let flow = match event.kind {
+            EventKind::PacketIn { src, dst, .. } => Some(FlowMatch { src, dst }),
+            EventKind::FlowTeardown { src, dst, .. } => Some(FlowMatch { src, dst }),
+            EventKind::LinkFailure { a, b } => {
+                let mut out = BTreeSet::new();
+                out.extend(self.domains.domain_of(a));
+                out.extend(self.domains.domain_of(b));
+                return out;
+            }
+            EventKind::PolicyChange { .. } => {
+                // Administrative events go everywhere.
+                return self.domains.domains().into_iter().collect();
+            }
+            EventKind::MembershipChanged { .. } => return BTreeSet::new(),
+        };
+        let mut out = BTreeSet::new();
+        if let Some(m) = flow {
+            if let Some(r) = route(topo, m.src, m.dst) {
+                for sw in r.path {
+                    out.extend(self.domains.domain_of(sw));
+                }
+            }
+        }
+        out
+    }
+
+    /// `true` iff the event is local to `domain`.
+    pub fn is_local(&self, event: &Event, topo: &Topology, domain: DomainId) -> bool {
+        let affected = self.affected_domains(event, topo);
+        affected.len() == 1 && affected.contains(&domain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmodel::topology::Topology;
+    use southbound::types::{EventId, FlowId, HostId};
+
+    fn packet_in(topo: &Topology, src: HostId, dst: HostId) -> Event {
+        Event {
+            id: EventId(1),
+            kind: EventKind::PacketIn {
+                switch: topo.host(src).unwrap().attached,
+                flow: FlowId(1),
+                src,
+                dst,
+            },
+            origin: DomainId(0),
+            forwarded: false,
+        }
+    }
+
+    #[test]
+    fn single_domain_covers_everything() {
+        let topo = Topology::single_pod(4, 2, 2);
+        let m = DomainMap::single(&topo);
+        assert_eq!(m.domain_count(), 1);
+        for s in topo.switches() {
+            assert_eq!(m.domain_of(s.id), Some(DomainId(0)));
+        }
+    }
+
+    #[test]
+    fn by_pod_assigns_pods_and_interconnect() {
+        let topo = Topology::multi_pod(2, 4, 2, 1, 2);
+        let m = DomainMap::by_pod(&topo);
+        // 2 pods + 1 spine interconnect domain.
+        assert_eq!(m.domain_count(), 3);
+        let spine = topo
+            .switches()
+            .iter()
+            .find(|s| s.role == netmodel::topology::SwitchRole::Spine)
+            .unwrap();
+        assert_eq!(m.domain_of(spine.id), Some(DomainId(2)));
+    }
+
+    #[test]
+    fn split_racks_partitions_tors() {
+        let topo = Topology::single_pod(10, 4, 1);
+        let m = DomainMap::split_racks(&topo, 5);
+        assert_eq!(m.domain_count(), 5);
+        // 10 racks over 5 domains = 2 ToRs each (plus edges in domain 0).
+        let d1 = m.switches_of(DomainId(1));
+        assert_eq!(d1.len(), 2);
+    }
+
+    #[test]
+    fn intra_rack_event_is_local() {
+        let topo = Topology::single_pod(4, 2, 4);
+        let policy = GlobalDomainPolicy::new(DomainMap::split_racks(&topo, 4));
+        let hosts = topo.hosts_on(topo.switches()[2].id); // a ToR
+        let event = packet_in(&topo, hosts[0], hosts[1]);
+        let affected = policy.affected_domains(&event, &topo);
+        assert_eq!(affected.len(), 1, "same-rack flow touches one domain");
+    }
+
+    #[test]
+    fn cross_pod_event_touches_multiple_domains() {
+        let topo = Topology::multi_pod(2, 2, 2, 2, 2);
+        let policy = GlobalDomainPolicy::new(DomainMap::by_pod(&topo));
+        let hosts = topo.hosts();
+        let (src, dst) = (hosts[0].id, hosts.last().unwrap().id);
+        let event = packet_in(&topo, src, dst);
+        let affected = policy.affected_domains(&event, &topo);
+        assert!(
+            affected.len() >= 3,
+            "two pods + interconnect, got {affected:?}"
+        );
+        assert!(!policy.is_local(&event, &topo, DomainId(0)));
+    }
+
+    #[test]
+    fn link_failure_affects_endpoint_domains() {
+        let topo = Topology::multi_pod(2, 2, 2, 1, 1);
+        let policy = GlobalDomainPolicy::new(DomainMap::by_pod(&topo));
+        let l = topo.links()[0];
+        let event = Event {
+            id: EventId(2),
+            kind: EventKind::LinkFailure { a: l.a, b: l.b },
+            origin: DomainId(0),
+            forwarded: false,
+        };
+        let affected = policy.affected_domains(&event, &topo);
+        assert!(!affected.is_empty());
+    }
+}

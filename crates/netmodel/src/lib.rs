@@ -1,0 +1,38 @@
+//! # netmodel — the simulated data plane
+//!
+//! Topologies (Facebook-fabric pods, multi-pod data centers, a Deutsche
+//! Telekom WAN approximation), deterministic shortest-path routing, switch
+//! flow tables and link-load accounting. The *active* switch protocol
+//! runtime lives in `cicero-core`; this crate provides the passive model it
+//! operates on.
+//!
+//! ```
+//! use netmodel::prelude::*;
+//!
+//! let topo = Topology::single_pod(8, 4, 2); // 8 racks, 4 edges, 2 hosts/rack
+//! let hosts = topo.hosts();
+//! let route = route(&topo, hosts[0].id, hosts.last().unwrap().id).unwrap();
+//! assert_eq!(route.path.len(), 3); // ToR -> edge -> ToR
+//! ```
+
+pub mod flowtable;
+pub mod linkload;
+pub mod routing;
+pub mod telekom;
+pub mod topology;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::flowtable::{FlowTable, Lookup};
+    pub use crate::linkload::LinkLoad;
+    pub use crate::routing::{
+        equal_cost_paths, link_key, route, route_avoiding, shortest_switch_path,
+        shortest_switch_path_avoiding, Route,
+    };
+    pub use crate::telekom;
+    pub use crate::topology::{
+        Link, Location, SwitchInfo, SwitchRole, Topology, TopologyBuilder,
+    };
+}
+
+pub use prelude::*;

@@ -1,0 +1,143 @@
+//! An embedded approximation of the Deutsche Telekom backbone from the
+//! Internet Topology Zoo, used by the paper's multi-data-center evaluation
+//! (Fig. 12d).
+//!
+//! **Substitution note (see DESIGN.md):** the Topology Zoo GraphML file is
+//! not available offline, so the ten largest Deutsche Telekom sites and
+//! their approximate great-circle fiber latencies (≈ 5 µs/km, rounded) are
+//! embedded here. The experiment only depends on "several sites with
+//! WAN-scale latencies", which this preserves.
+
+use simnet::time::SimDuration;
+
+/// One backbone site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Site {
+    /// Site index (used as DC id).
+    pub id: u16,
+    /// City name.
+    pub name: &'static str,
+}
+
+/// The ten embedded sites.
+pub const SITES: [Site; 10] = [
+    Site { id: 0, name: "Berlin" },
+    Site { id: 1, name: "Hamburg" },
+    Site { id: 2, name: "Hannover" },
+    Site { id: 3, name: "Dortmund" },
+    Site { id: 4, name: "Koeln" },
+    Site { id: 5, name: "Frankfurt" },
+    Site { id: 6, name: "Mannheim" },
+    Site { id: 7, name: "Stuttgart" },
+    Site { id: 8, name: "Nuernberg" },
+    Site { id: 9, name: "Muenchen" },
+];
+
+/// Backbone adjacency: `(a, b, one-way latency in microseconds)`.
+/// Ring-plus-chords structure mirroring the published topology.
+const BACKBONE: [(u16, u16, u64); 13] = [
+    (0, 1, 1300),  // Berlin - Hamburg
+    (0, 2, 1250),  // Berlin - Hannover
+    (0, 8, 2200),  // Berlin - Nuernberg
+    (1, 2, 750),   // Hamburg - Hannover
+    (2, 3, 1050),  // Hannover - Dortmund
+    (2, 5, 1450),  // Hannover - Frankfurt
+    (3, 4, 470),   // Dortmund - Koeln
+    (4, 5, 760),   // Koeln - Frankfurt
+    (5, 6, 350),   // Frankfurt - Mannheim
+    (6, 7, 480),   // Mannheim - Stuttgart
+    (7, 9, 1000),  // Stuttgart - Muenchen
+    (8, 9, 750),   // Nuernberg - Muenchen
+    (5, 8, 1120),  // Frankfurt - Nuernberg
+];
+
+/// Direct backbone latency between two sites, if they are adjacent.
+pub fn direct_latency(a: u16, b: u16) -> Option<SimDuration> {
+    BACKBONE
+        .iter()
+        .find(|&&(x, y, _)| (x == a && y == b) || (x == b && y == a))
+        .map(|&(_, _, us)| SimDuration::from_micros(us))
+}
+
+/// Shortest-path latency between any two sites over the backbone
+/// (Floyd–Warshall over the 10-site graph).
+pub fn site_latency(a: u16, b: u16) -> SimDuration {
+    let n = SITES.len();
+    let mut d = vec![vec![u64::MAX / 4; n]; n];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = 0;
+    }
+    for &(x, y, us) in &BACKBONE {
+        let (x, y) = (x as usize, y as usize);
+        d[x][y] = d[x][y].min(us);
+        d[y][x] = d[y][x].min(us);
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                let via = d[i][k] + d[k][j];
+                if via < d[i][j] {
+                    d[i][j] = via;
+                }
+            }
+        }
+    }
+    SimDuration::from_micros(d[a as usize][b as usize])
+}
+
+/// A WAN-latency closure suitable for
+/// [`crate::topology::Topology::multi_dc`], restricted to the first `dcs`
+/// sites and only wiring adjacent backbone pairs.
+pub fn wan(dcs: u16) -> impl Fn(u16, u16) -> Option<SimDuration> {
+    move |a, b| {
+        if a >= dcs || b >= dcs {
+            return None;
+        }
+        direct_latency(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backbone_is_connected() {
+        for a in 0..SITES.len() as u16 {
+            for b in 0..SITES.len() as u16 {
+                let lat = site_latency(a, b);
+                if a == b {
+                    assert_eq!(lat, SimDuration::ZERO);
+                } else {
+                    assert!(lat.as_micros() > 0, "{a}-{b} unreachable");
+                    assert!(lat.as_micros() < 10_000, "{a}-{b} implausibly far");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn latencies_are_symmetric_and_triangle_consistent() {
+        assert_eq!(site_latency(0, 9), site_latency(9, 0));
+        // Shortest path never exceeds a specific relay path.
+        let via = site_latency(0, 5).as_micros() + site_latency(5, 9).as_micros();
+        assert!(site_latency(0, 9).as_micros() <= via);
+    }
+
+    #[test]
+    fn direct_lookup() {
+        assert_eq!(
+            direct_latency(0, 1),
+            Some(SimDuration::from_micros(1300))
+        );
+        assert_eq!(direct_latency(1, 0), direct_latency(0, 1));
+        assert!(direct_latency(0, 9).is_none());
+    }
+
+    #[test]
+    fn wan_closure_respects_dc_bound() {
+        let f = wan(2);
+        assert!(f(0, 1).is_some());
+        assert!(f(0, 5).is_none(), "site 5 outside the 2-DC experiment");
+    }
+}

@@ -1,0 +1,108 @@
+//! Fault injection: message loss/duplication and scheduled node crashes.
+//!
+//! Byzantine behaviour is *not* injected here — a Byzantine node is simply an
+//! [`crate::node::Actor`] implementation that lies — but benign network and
+//! crash faults are environmental and belong to the simulator.
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+use rand::rngs::StdRng;
+use rand::RngExt as _;
+use std::collections::HashSet;
+
+/// Declarative fault plan applied by the simulation engine.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Probability in `[0, 1]` that any message is silently dropped.
+    pub drop_probability: f64,
+    /// Probability in `[0, 1]` that a message is delivered twice.
+    pub duplicate_probability: f64,
+    /// Nodes that crash at a given time.
+    pub crashes: Vec<(SimTime, NodeId)>,
+    /// Ordered pairs that can never communicate (network partition).
+    pub severed: HashSet<(NodeId, NodeId)>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Sets a uniform message-drop probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn with_drop_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.drop_probability = p;
+        self
+    }
+
+    /// Sets a uniform message-duplication probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn with_duplicate_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.duplicate_probability = p;
+        self
+    }
+
+    /// Schedules `node` to crash at `at`.
+    pub fn with_crash(mut self, at: SimTime, node: NodeId) -> Self {
+        self.crashes.push((at, node));
+        self
+    }
+
+    /// Severs the link between `a` and `b` in both directions.
+    pub fn with_severed_link(mut self, a: NodeId, b: NodeId) -> Self {
+        self.severed.insert((a, b));
+        self.severed.insert((b, a));
+        self
+    }
+
+    pub(crate) fn should_drop(&self, from: NodeId, to: NodeId, rng: &mut StdRng) -> bool {
+        if self.severed.contains(&(from, to)) {
+            return true;
+        }
+        self.drop_probability > 0.0 && rng.random::<f64>() < self.drop_probability
+    }
+
+    pub(crate) fn should_duplicate(&self, rng: &mut StdRng) -> bool {
+        self.duplicate_probability > 0.0 && rng.random::<f64>() < self.duplicate_probability
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn severed_links_always_drop() {
+        let plan = FaultPlan::none().with_severed_link(NodeId(1), NodeId(2));
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(plan.should_drop(NodeId(1), NodeId(2), &mut rng));
+        assert!(plan.should_drop(NodeId(2), NodeId(1), &mut rng));
+        assert!(!plan.should_drop(NodeId(1), NodeId(3), &mut rng));
+    }
+
+    #[test]
+    fn drop_probability_is_roughly_respected() {
+        let plan = FaultPlan::none().with_drop_probability(0.25);
+        let mut rng = StdRng::seed_from_u64(7);
+        let dropped = (0..10_000)
+            .filter(|_| plan.should_drop(NodeId(1), NodeId(2), &mut rng))
+            .count();
+        assert!((2000..3000).contains(&dropped), "dropped = {dropped}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn invalid_probability_panics() {
+        let _ = FaultPlan::none().with_drop_probability(1.5);
+    }
+}

@@ -1,0 +1,97 @@
+//! Per-node CPU accounting for utilization figures (paper Fig. 11d).
+
+use crate::time::{SimDuration, SimTime};
+
+/// Accumulates busy time into fixed-width buckets so the harness can plot a
+/// utilization time series.
+#[derive(Clone, Debug)]
+pub struct CpuMeter {
+    bucket_width: SimDuration,
+    busy_ns: Vec<u64>,
+    total_busy: SimDuration,
+}
+
+impl CpuMeter {
+    /// Creates a meter with the given bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero bucket width.
+    pub fn new(bucket_width: SimDuration) -> Self {
+        assert!(bucket_width > SimDuration::ZERO, "bucket width must be positive");
+        CpuMeter {
+            bucket_width,
+            busy_ns: Vec::new(),
+            total_busy: SimDuration::ZERO,
+        }
+    }
+
+    /// Records a busy interval starting at `start` lasting `dur`, spreading
+    /// it across bucket boundaries.
+    pub fn record(&mut self, start: SimTime, dur: SimDuration) {
+        self.total_busy += dur;
+        let width = self.bucket_width.as_nanos();
+        let mut t = start.as_nanos();
+        let mut remaining = dur.as_nanos();
+        while remaining > 0 {
+            let bucket = (t / width) as usize;
+            if self.busy_ns.len() <= bucket {
+                self.busy_ns.resize(bucket + 1, 0);
+            }
+            let bucket_end = (bucket as u64 + 1) * width;
+            let chunk = remaining.min(bucket_end - t);
+            self.busy_ns[bucket] += chunk;
+            t += chunk;
+            remaining -= chunk;
+        }
+    }
+
+    /// Total busy time recorded.
+    pub fn total_busy(&self) -> SimDuration {
+        self.total_busy
+    }
+
+    /// Utilization per bucket in `[0, 1]` (empty trailing buckets omitted).
+    pub fn utilization(&self) -> Vec<f64> {
+        let width = self.bucket_width.as_nanos() as f64;
+        self.busy_ns.iter().map(|&b| b as f64 / width).collect()
+    }
+
+    /// The configured bucket width.
+    pub fn bucket_width(&self) -> SimDuration {
+        self.bucket_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spreads_across_buckets() {
+        let mut m = CpuMeter::new(SimDuration::from_millis(10));
+        // 15 ms of work starting at 5 ms: 5 ms in bucket 0, 10 ms in bucket 1.
+        m.record(SimTime::from_nanos(5_000_000), SimDuration::from_millis(15));
+        let u = m.utilization();
+        assert_eq!(u.len(), 2);
+        assert!((u[0] - 0.5).abs() < 1e-9);
+        assert!((u[1] - 1.0).abs() < 1e-9);
+        assert_eq!(m.total_busy().as_millis_f64(), 15.0);
+    }
+
+    #[test]
+    fn accumulates_within_bucket() {
+        let mut m = CpuMeter::new(SimDuration::from_millis(10));
+        m.record(SimTime::from_nanos(0), SimDuration::from_millis(2));
+        m.record(SimTime::from_nanos(3_000_000), SimDuration::from_millis(3));
+        let u = m.utilization();
+        assert_eq!(u.len(), 1);
+        assert!((u[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width must be positive")]
+    fn zero_width_panics() {
+        let _ = CpuMeter::new(SimDuration::ZERO);
+    }
+}

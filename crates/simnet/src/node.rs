@@ -1,0 +1,133 @@
+//! Node identities and the actor trait.
+
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Identifies a simulated node (controller, switch, or host).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An opaque timer identifier chosen by the actor.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct TimerToken(pub u64);
+
+/// A simulated process. `M` is the message type exchanged on the network;
+/// `O` is the observation type emitted to the experiment harness.
+///
+/// Handlers run to completion at a single simulated instant; real processing
+/// cost is modeled explicitly with [`Context::charge_cpu`], which serializes
+/// subsequent deliveries to this node (single-core node model, matching the
+/// OVS switch threads measured in the paper's Fig. 11d).
+pub trait Actor<M, O = ()>: std::any::Any {
+    /// Invoked once when the simulation starts.
+    fn on_start(&mut self, _ctx: &mut Context<'_, M, O>) {}
+
+    /// Invoked for every delivered message.
+    fn on_message(&mut self, ctx: &mut Context<'_, M, O>, from: NodeId, msg: M);
+
+    /// Invoked when a timer set with [`Context::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut Context<'_, M, O>, _token: TimerToken) {}
+}
+
+pub(crate) enum Effect<M, O> {
+    Send {
+        to: NodeId,
+        msg: M,
+        extra_delay: SimDuration,
+    },
+    Timer {
+        delay: SimDuration,
+        token: TimerToken,
+    },
+    Observe(O),
+    Crash,
+}
+
+/// The handler-side API: send messages, set timers, charge CPU time, emit
+/// observations.
+pub struct Context<'a, M, O = ()> {
+    pub(crate) now: SimTime,
+    pub(crate) self_id: NodeId,
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) effects: Vec<Effect<M, O>>,
+    pub(crate) cpu_charge: SimDuration,
+}
+
+impl<'a, M, O> Context<'a, M, O> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Deterministic per-simulation RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Sends `msg` to `to`; it arrives after the link latency (plus any CPU
+    /// time charged by this handler, modeling that transmission happens when
+    /// processing finishes).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.effects.push(Effect::Send {
+            to,
+            msg,
+            extra_delay: SimDuration::ZERO,
+        });
+    }
+
+    /// Sends with an extra artificial delay on top of link latency.
+    pub fn send_delayed(&mut self, to: NodeId, msg: M, extra_delay: SimDuration) {
+        self.effects.push(Effect::Send {
+            to,
+            msg,
+            extra_delay,
+        });
+    }
+
+    /// Sends a clone of `msg` to every node in `to`.
+    pub fn broadcast<I: IntoIterator<Item = NodeId>>(&mut self, to: I, msg: M)
+    where
+        M: Clone,
+    {
+        for node in to {
+            self.send(node, msg.clone());
+        }
+    }
+
+    /// Schedules `on_timer(token)` after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: TimerToken) {
+        self.effects.push(Effect::Timer { delay, token });
+    }
+
+    /// Charges `d` of CPU time to this node: the node stays busy (deferring
+    /// later deliveries) and the busy time is recorded for utilization
+    /// metrics.
+    pub fn charge_cpu(&mut self, d: SimDuration) {
+        self.cpu_charge += d;
+    }
+
+    /// Emits an observation to the experiment harness.
+    pub fn observe(&mut self, obs: O) {
+        self.effects.push(Effect::Observe(obs));
+    }
+
+    /// Crashes this node at the end of the handler: all future deliveries
+    /// and timers are dropped.
+    pub fn crash(&mut self) {
+        self.effects.push(Effect::Crash);
+    }
+}

@@ -1,0 +1,561 @@
+//! The discrete-event simulation engine.
+//!
+//! Determinism contract: given the same actors, latency model, fault plan
+//! and seed, every run produces the identical event order (ties are broken
+//! by a monotone sequence number) and therefore identical observations.
+
+use crate::fault::FaultPlan;
+use crate::latency::LatencyModel;
+use crate::metrics::CpuMeter;
+use crate::node::{Actor, Context, Effect, NodeId, TimerToken};
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The id messages injected by the experiment harness appear to come from.
+pub const ENVIRONMENT: NodeId = NodeId(u32::MAX);
+
+#[derive(Debug)]
+enum EventKind<M> {
+    Deliver { to: NodeId, from: NodeId, msg: M },
+    Timer { node: NodeId, token: TimerToken },
+    Crash { node: NodeId },
+}
+
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct NodeEntry<M, O> {
+    actor: Option<Box<dyn Actor<M, O>>>,
+    busy_until: SimTime,
+    crashed: bool,
+    cpu: CpuMeter,
+}
+
+/// A recorded observation: when, by whom, what.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Observation<O> {
+    /// Simulated time of the observation.
+    pub at: SimTime,
+    /// The emitting node.
+    pub node: NodeId,
+    /// The payload.
+    pub value: O,
+}
+
+/// The simulation: a set of actors, a latency model, a fault plan and an
+/// event queue.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::prelude::*;
+///
+/// struct Echo;
+/// impl Actor<u32, u32> for Echo {
+///     fn on_message(&mut self, ctx: &mut Context<'_, u32, u32>, from: NodeId, msg: u32) {
+///         ctx.observe(msg + 1);
+///         let _ = from;
+///     }
+/// }
+///
+/// let mut sim = Simulation::new(7, UniformLatency(SimDuration::from_micros(10)));
+/// let echo = sim.add_node(Echo);
+/// sim.inject(SimTime::ZERO, echo, 41);
+/// sim.run();
+/// assert_eq!(sim.observations()[0].value, 42);
+/// ```
+pub struct Simulation<M, O = ()> {
+    nodes: Vec<NodeEntry<M, O>>,
+    queue: BinaryHeap<Reverse<Event<M>>>,
+    latency: Box<dyn LatencyModel>,
+    faults: FaultPlan,
+    rng: StdRng,
+    now: SimTime,
+    seq: u64,
+    observations: Vec<Observation<O>>,
+    cpu_bucket: SimDuration,
+    max_events: u64,
+    processed: u64,
+}
+
+impl<M: Clone + 'static, O: 'static> Simulation<M, O> {
+    /// Creates a simulation with a seed and latency model.
+    pub fn new<L: LatencyModel + 'static>(seed: u64, latency: L) -> Self {
+        Simulation {
+            nodes: Vec::new(),
+            queue: BinaryHeap::new(),
+            latency: Box::new(latency),
+            faults: FaultPlan::none(),
+            rng: StdRng::seed_from_u64(seed),
+            now: SimTime::ZERO,
+            seq: 0,
+            observations: Vec::new(),
+            cpu_bucket: SimDuration::from_secs(1),
+            max_events: u64::MAX,
+            processed: 0,
+        }
+    }
+
+    /// Installs a fault plan (scheduling its crashes).
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        for &(at, node) in &faults.crashes {
+            let seq = self.next_seq();
+            self.queue.push(Reverse(Event {
+                at,
+                seq,
+                kind: EventKind::Crash { node },
+            }));
+        }
+        self.faults = faults;
+    }
+
+    /// Sets the CPU-utilization bucket width for nodes added afterwards.
+    pub fn set_cpu_bucket(&mut self, width: SimDuration) {
+        self.cpu_bucket = width;
+    }
+
+    /// Caps the number of processed events (guards against livelock bugs).
+    pub fn set_max_events(&mut self, max: u64) {
+        self.max_events = max;
+    }
+
+    /// Registers an actor, returning its node id (ids are sequential).
+    pub fn add_node<A: Actor<M, O> + 'static>(&mut self, actor: A) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeEntry {
+            actor: Some(Box::new(actor)),
+            busy_until: SimTime::ZERO,
+            crashed: false,
+            cpu: CpuMeter::new(self.cpu_bucket),
+        });
+        id
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Injects a message from the environment, arriving at exactly `at`.
+    pub fn inject(&mut self, at: SimTime, to: NodeId, msg: M) {
+        self.inject_from(at, ENVIRONMENT, to, msg);
+    }
+
+    /// Injects a message that appears to come from `from`, arriving at `at`.
+    pub fn inject_from(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: M) {
+        let seq = self.next_seq();
+        self.queue.push(Reverse(Event {
+            at,
+            seq,
+            kind: EventKind::Deliver { to, from, msg },
+        }));
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// All observations so far.
+    pub fn observations(&self) -> &[Observation<O>] {
+        &self.observations
+    }
+
+    /// Consumes the simulation, returning the observations.
+    pub fn into_observations(self) -> Vec<Observation<O>> {
+        self.observations
+    }
+
+    /// The CPU utilization series of `node` (see [`CpuMeter::utilization`]).
+    pub fn cpu_utilization(&self, node: NodeId) -> Vec<f64> {
+        self.nodes[node.0 as usize].cpu.utilization()
+    }
+
+    /// The total CPU busy time of `node`.
+    pub fn cpu_total(&self, node: NodeId) -> SimDuration {
+        self.nodes[node.0 as usize].cpu.total_busy()
+    }
+
+    /// `true` iff the node crashed (by fault plan or [`Context::crash`]).
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.nodes[node.0 as usize].crashed
+    }
+
+    /// Runs `f` against the concrete actor at `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the actor's concrete type is not `A`.
+    pub fn with_actor<A: Actor<M, O> + 'static, R>(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut A) -> R,
+    ) -> R {
+        let actor = self.nodes[node.0 as usize]
+            .actor
+            .as_mut()
+            .expect("actor is resident between events");
+        let any: &mut dyn std::any::Any = actor.as_mut();
+        f(any.downcast_mut::<A>().expect("actor type mismatch"))
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// Calls every actor's `on_start` (at time zero).
+    pub fn start(&mut self) {
+        for i in 0..self.nodes.len() {
+            self.dispatch_with(NodeId(i as u32), |actor, ctx| actor.on_start(ctx));
+        }
+    }
+
+    /// Runs until the queue is empty (or `max_events` is hit).
+    pub fn run(&mut self) {
+        self.run_until(SimTime::MAX);
+    }
+
+    /// Runs all events with timestamp `<= deadline`; `now` advances to the
+    /// last processed event (not beyond the deadline).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at > deadline || self.processed >= self.max_events {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            self.processed += 1;
+            self.process(ev);
+        }
+    }
+
+    fn process(&mut self, ev: Event<M>) {
+        debug_assert!(ev.at >= self.now, "time went backwards");
+        match ev.kind {
+            EventKind::Crash { node } => {
+                self.now = ev.at;
+                self.nodes[node.0 as usize].crashed = true;
+            }
+            EventKind::Timer { node, token } => {
+                if self.nodes[node.0 as usize].crashed {
+                    return;
+                }
+                // Defer if the node is still busy.
+                let busy = self.nodes[node.0 as usize].busy_until;
+                if busy > ev.at {
+                    let seq = self.next_seq();
+                    self.queue.push(Reverse(Event {
+                        at: busy,
+                        seq,
+                        kind: EventKind::Timer { node, token },
+                    }));
+                    return;
+                }
+                self.now = ev.at;
+                self.dispatch_with(node, |actor, ctx| actor.on_timer(ctx, token));
+            }
+            EventKind::Deliver { to, from, msg } => {
+                // Messages to unknown destinations (e.g. replies to the
+                // environment) are dropped silently.
+                if to.0 as usize >= self.nodes.len() || self.nodes[to.0 as usize].crashed {
+                    return;
+                }
+                let busy = self.nodes[to.0 as usize].busy_until;
+                if busy > ev.at {
+                    let seq = self.next_seq();
+                    self.queue.push(Reverse(Event {
+                        at: busy,
+                        seq,
+                        kind: EventKind::Deliver { to, from, msg },
+                    }));
+                    return;
+                }
+                self.now = ev.at;
+                self.dispatch_with(to, |actor, ctx| actor.on_message(ctx, from, msg));
+            }
+        }
+    }
+
+    fn dispatch_with(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut dyn Actor<M, O>, &mut Context<'_, M, O>),
+    ) {
+        let idx = node.0 as usize;
+        if self.nodes[idx].crashed {
+            return;
+        }
+        let mut actor = self.nodes[idx]
+            .actor
+            .take()
+            .expect("actor is resident between events");
+        let mut ctx = Context {
+            now: self.now,
+            self_id: node,
+            rng: &mut self.rng,
+            effects: Vec::new(),
+            cpu_charge: SimDuration::ZERO,
+        };
+        f(actor.as_mut(), &mut ctx);
+        let Context {
+            effects,
+            cpu_charge,
+            ..
+        } = ctx;
+        self.nodes[idx].actor = Some(actor);
+
+        // CPU model: the node is busy until processing completes; sends
+        // depart at completion time.
+        let done = self.now + cpu_charge;
+        if cpu_charge > SimDuration::ZERO {
+            self.nodes[idx].cpu.record(self.now, cpu_charge);
+            self.nodes[idx].busy_until = done;
+        }
+
+        for effect in effects {
+            match effect {
+                Effect::Send {
+                    to,
+                    msg,
+                    extra_delay,
+                } => {
+                    // Self-addressed messages are intra-node (timers in
+                    // disguise); they never traverse the faulty network.
+                    let loopback = to == node;
+                    if !loopback && self.faults.should_drop(node, to, &mut self.rng) {
+                        continue;
+                    }
+                    let arrive = done + self.latency.latency(node, to) + extra_delay;
+                    if !loopback && self.faults.should_duplicate(&mut self.rng) {
+                        let seq = self.next_seq();
+                        self.queue.push(Reverse(Event {
+                            at: arrive + SimDuration::from_nanos(1),
+                            seq,
+                            kind: EventKind::Deliver {
+                                to,
+                                from: node,
+                                msg: msg.clone(),
+                            },
+                        }));
+                    }
+                    let seq = self.next_seq();
+                    self.queue.push(Reverse(Event {
+                        at: arrive,
+                        seq,
+                        kind: EventKind::Deliver { to, from: node, msg },
+                    }));
+                }
+                Effect::Timer { delay, token } => {
+                    let seq = self.next_seq();
+                    self.queue.push(Reverse(Event {
+                        at: done + delay,
+                        seq,
+                        kind: EventKind::Timer { node, token },
+                    }));
+                }
+                Effect::Observe(obs) => {
+                    self.observations.push(Observation {
+                        at: self.now,
+                        node,
+                        value: obs,
+                    });
+                }
+                Effect::Crash => {
+                    self.nodes[idx].crashed = true;
+                }
+            }
+        }
+    }
+}
+
+impl<M: Clone + 'static, O: 'static> Simulation<M, O> {
+    /// Injects the same message to many nodes.
+    pub fn inject_all<I: IntoIterator<Item = NodeId>>(&mut self, at: SimTime, to: I, msg: M) {
+        for node in to {
+            self.inject(at, node, msg.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::UniformLatency;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Msg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    struct Pinger {
+        peer: NodeId,
+        rounds: u32,
+    }
+    impl Actor<Msg, (NodeId, Msg)> for Pinger {
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg, (NodeId, Msg)>, from: NodeId, msg: Msg) {
+            ctx.observe((from, msg.clone()));
+            match msg {
+                Msg::Ping(n) => ctx.send(from, Msg::Pong(n)),
+                Msg::Pong(n) if n < self.rounds => ctx.send(self.peer, Msg::Ping(n + 1)),
+                Msg::Pong(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_latency_accumulates() {
+        let mut sim: Simulation<Msg, (NodeId, Msg)> =
+            Simulation::new(1, UniformLatency(SimDuration::from_micros(100)));
+        let a = sim.add_node(Pinger {
+            peer: NodeId(1),
+            rounds: 3,
+        });
+        let b = sim.add_node(Pinger {
+            peer: NodeId(0),
+            rounds: 3,
+        });
+        sim.inject_from(SimTime::ZERO, a, b, Msg::Ping(1));
+        sim.run();
+        let obs = sim.observations();
+        // ping(1)@b, then pong(1)@a 100us later, ...
+        assert_eq!(obs[0].value, (a, Msg::Ping(1)));
+        assert_eq!(obs[1].value, (b, Msg::Pong(1)));
+        assert_eq!(obs[1].at.as_micros(), 100);
+        // Full exchange: ping1,pong1,ping2,pong2,ping3,pong3 observed.
+        assert_eq!(obs.len(), 6);
+        assert_eq!(obs[5].at.as_micros(), 500);
+        let _ = a;
+    }
+
+    struct Worker;
+    impl Actor<Msg, u64> for Worker {
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg, u64>, _from: NodeId, _msg: Msg) {
+            ctx.observe(ctx.now().as_micros());
+            ctx.charge_cpu(SimDuration::from_micros(500));
+        }
+    }
+
+    #[test]
+    fn cpu_serializes_deliveries() {
+        let mut sim: Simulation<Msg, u64> =
+            Simulation::new(2, UniformLatency(SimDuration::ZERO));
+        let w = sim.add_node(Worker);
+        // Three messages arrive simultaneously; each takes 500 us of CPU.
+        for _ in 0..3 {
+            sim.inject(SimTime::ZERO, w, Msg::Ping(0));
+        }
+        sim.run();
+        let starts: Vec<u64> = sim.observations().iter().map(|o| o.value).collect();
+        assert_eq!(starts, vec![0, 500, 1000]);
+        assert_eq!(sim.cpu_total(w).as_micros(), 1500);
+    }
+
+    struct CrashOnPing;
+    impl Actor<Msg> for CrashOnPing {
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, _msg: Msg) {
+            ctx.crash();
+        }
+    }
+
+    #[test]
+    fn crashed_nodes_stop_processing() {
+        let mut sim: Simulation<Msg> = Simulation::new(3, UniformLatency(SimDuration::ZERO));
+        let n = sim.add_node(CrashOnPing);
+        sim.inject(SimTime::ZERO, n, Msg::Ping(0));
+        sim.inject(SimTime::from_nanos(10), n, Msg::Ping(1));
+        sim.run();
+        assert!(sim.is_crashed(n));
+    }
+
+    #[test]
+    fn scheduled_crash_drops_future_messages() {
+        let mut sim: Simulation<Msg, u64> =
+            Simulation::new(4, UniformLatency(SimDuration::ZERO));
+        let w = sim.add_node(Worker);
+        sim.set_faults(
+            FaultPlan::none().with_crash(SimTime::from_nanos(5), w),
+        );
+        sim.inject(SimTime::ZERO, w, Msg::Ping(0));
+        sim.inject(SimTime::from_nanos(10), w, Msg::Ping(1));
+        sim.run();
+        assert_eq!(sim.observations().len(), 1);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run(seed: u64) -> Vec<Observation<(NodeId, Msg)>> {
+            let mut sim: Simulation<Msg, (NodeId, Msg)> =
+                Simulation::new(seed, UniformLatency(SimDuration::from_micros(33)));
+            let a = sim.add_node(Pinger {
+                peer: NodeId(1),
+                rounds: 5,
+            });
+            let b = sim.add_node(Pinger {
+                peer: NodeId(0),
+                rounds: 5,
+            });
+            sim.inject_from(SimTime::ZERO, a, b, Msg::Ping(1));
+            sim.inject_from(SimTime::ZERO, b, a, Msg::Ping(1));
+            sim.run();
+            sim.into_observations()
+        }
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim: Simulation<Msg, (NodeId, Msg)> =
+            Simulation::new(5, UniformLatency(SimDuration::from_micros(100)));
+        let a = sim.add_node(Pinger {
+            peer: NodeId(1),
+            rounds: 100,
+        });
+        let b = sim.add_node(Pinger {
+            peer: NodeId(0),
+            rounds: 100,
+        });
+        sim.inject_from(SimTime::ZERO, a, b, Msg::Ping(1));
+        sim.run_until(SimTime::from_nanos(250_000));
+        assert!(sim.now() <= SimTime::from_nanos(250_000));
+        let before = sim.observations().len();
+        assert!(before >= 2);
+        sim.run();
+        assert!(sim.observations().len() > before);
+    }
+
+    #[test]
+    fn with_actor_downcasts() {
+        let mut sim: Simulation<Msg, (NodeId, Msg)> =
+            Simulation::new(6, UniformLatency(SimDuration::ZERO));
+        let n = sim.add_node(Pinger {
+            peer: NodeId(0),
+            rounds: 1,
+        });
+        let rounds = sim.with_actor::<Pinger, _>(n, |p| p.rounds);
+        assert_eq!(rounds, 1);
+    }
+}

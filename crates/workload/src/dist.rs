@@ -1,0 +1,158 @@
+//! Sampling routines (`rand_distr` is not on the offline allowlist, so the
+//! few distributions the workloads need are implemented here).
+
+use rand::rngs::StdRng;
+use rand::RngExt as _;
+
+/// Exponential distribution with the given mean (inter-arrival times of a
+/// Poisson process).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exponential {
+    /// The mean (1/λ).
+    pub mean: f64,
+}
+
+impl Exponential {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive mean.
+    pub fn new(mean: f64) -> Self {
+        assert!(mean > 0.0, "mean must be positive");
+        Exponential { mean }
+    }
+
+    /// Draws a sample via inverse transform.
+    pub fn sample(&self, rng: &mut StdRng) -> f64 {
+        // 1 - U avoids ln(0).
+        let u: f64 = 1.0 - rng.random::<f64>();
+        -self.mean * u.ln()
+    }
+}
+
+/// Log-normal distribution parametrized by its *median* and shape `sigma`
+/// (heavy-tailed flow sizes; the Facebook traces are strongly skewed).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogNormal {
+    /// ln(median).
+    pub mu: f64,
+    /// Shape parameter.
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates from a median and shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive median or negative sigma.
+    pub fn from_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0, "median must be positive");
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        LogNormal {
+            mu: median.ln(),
+            sigma,
+        }
+    }
+
+    /// The distribution mean `median · exp(σ²/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    /// Draws a sample (Box–Muller normal, exponentiated).
+    pub fn sample(&self, rng: &mut StdRng) -> f64 {
+        let z = standard_normal(rng);
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+/// One standard-normal sample via Box–Muller.
+pub fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples an index according to (unnormalized) non-negative weights.
+///
+/// # Panics
+///
+/// Panics if the weights are empty or sum to zero.
+pub fn weighted_index(weights: &[f64], rng: &mut StdRng) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must have positive mass");
+    let mut x = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5eed)
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = Exponential::new(5.0);
+        let mut rng = rng();
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean = {mean}");
+    }
+
+    #[test]
+    fn lognormal_median_and_mean() {
+        let d = LogNormal::from_median(100.0, 1.0);
+        let mut rng = rng();
+        let n = 20_000;
+        let mut samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        assert!((median / 100.0 - 1.0).abs() < 0.1, "median = {median}");
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean / d.mean() - 1.0).abs() < 0.15, "mean = {mean}");
+    }
+
+    #[test]
+    fn normal_is_roughly_standard() {
+        let mut rng = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var = {var}");
+    }
+
+    #[test]
+    fn weighted_index_respects_mass() {
+        let mut rng = rng();
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[weighted_index(&weights, &mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.4, "ratio = {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive mass")]
+    fn zero_weights_panic() {
+        let mut rng = rng();
+        weighted_index(&[0.0, 0.0], &mut rng);
+    }
+}

@@ -1,0 +1,39 @@
+//! # workload — synthetic Facebook-style traffic
+//!
+//! The paper evaluates Cicero under "Hadoop MapReduce and web server traffic
+//! workloads" reproduced from the Facebook data-center study, with Poisson
+//! arrivals and strong locality. The raw traces are not public, so this
+//! crate synthesizes equivalent workloads from the fractions the paper
+//! itself quotes (see [`spec`] for the calibration notes):
+//!
+//! * [`dist`] — exponential / log-normal / weighted sampling;
+//! * [`spec`] — the Hadoop and web-server profiles;
+//! * [`gen`] — locality-aware flow generation over a concrete topology.
+//!
+//! ```
+//! use workload::prelude::*;
+//! use netmodel::topology::Topology;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let topo = Topology::single_pod(4, 2, 4);
+//! let mut spec = hadoop();
+//! spec.flows = 100;
+//! let flows = generate(&topo, &spec, &mut StdRng::seed_from_u64(1));
+//! assert_eq!(flows.len(), 100);
+//! ```
+
+pub mod dist;
+pub mod gen;
+pub mod spec;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::dist::{Exponential, LogNormal};
+    pub use crate::gen::{generate, FlowSpec};
+    pub use crate::spec::{
+        hadoop, hadoop_multi_dc, web_server, web_server_multi_dc, LocalityClass, LocalityMix,
+        WorkloadSpec, DEFAULT_FLOWS,
+    };
+}
+
+pub use prelude::*;

@@ -1,0 +1,58 @@
+//! # Cicero — Consistent and Secure Network Updates Made Practical
+//!
+//! A from-scratch Rust reproduction of *Cicero* (Lembke, Ravi, Roman,
+//! Eugster — Middleware '20): a control-plane middleware for SD-WAN that
+//! makes network updates **consistent** (scheduler-ordered, transient-error
+//! free) and **secure** (applied only under a Byzantine quorum's threshold
+//! BLS signature) while staying **practical** (update domains, intra-domain
+//! parallelism, optional controller-side signature aggregation).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! | Crate | Provides |
+//! |---|---|
+//! | [`blscrypto`] | BLS12-381, threshold BLS, Shamir, Feldman VSS, DKG, resharing |
+//! | [`simnet`] | deterministic discrete-event network simulator |
+//! | [`southbound`] | signed OpenFlow-like message layer |
+//! | [`netmodel`] | topologies, routing, flow tables, link loads |
+//! | [`bft`] | PBFT atomic broadcast (sans-io) |
+//! | [`controller`] | apps, schedulers, domains, membership, failure detection |
+//! | [`cicero_core`] | the Cicero protocol engine and experiment drivers |
+//! | [`workload`] | Facebook-style Hadoop / web-server workloads |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cicero::prelude::*;
+//!
+//! // A single-pod fabric under the full Cicero protocol.
+//! let cfg = EngineConfig::for_mode(Mode::Cicero { aggregation: Aggregation::Switch });
+//! let topo = Topology::single_pod(4, 2, 2);
+//! let dm = DomainMap::single(&topo);
+//! let mut engine = Engine::build(cfg, topo, dm, 0);
+//! engine.run(SimTime::ZERO + SimDuration::from_secs(1));
+//! assert!(engine.observations().is_empty()); // no flows injected yet
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! experiment harness regenerating every figure of the paper's evaluation.
+
+pub use bft;
+pub use blscrypto;
+pub use cicero_core;
+pub use controller;
+pub use netmodel;
+pub use simnet;
+pub use southbound;
+pub use workload;
+
+/// Commonly used items across the workspace.
+pub mod prelude {
+    pub use cicero_core::prelude::*;
+    pub use controller::prelude::{
+        DomainMap, FirewallPolicy, GlobalDomainPolicy, ReversePathScheduler, UnorderedScheduler,
+    };
+    pub use netmodel::prelude::{route, Topology};
+    pub use southbound::types::*;
+    pub use workload::prelude::*;
+}

@@ -1,0 +1,258 @@
+//! Table 1 consistency properties as integration tests: the hazards exist
+//! under unordered updates and are absent under Cicero's schedulers.
+
+use cicero::prelude::*;
+use cicero_core::audit::{audit_flow, WalkOutcome};
+use netmodel::topology::{Location, SwitchRole};
+use simnet::sim::ENVIRONMENT;
+
+/// The paper's five-switch example fabric (Figs. 1–3).
+fn paper_topology() -> Topology {
+    let mut t = Topology::empty();
+    let loc = Location {
+        dc: 0,
+        pod: 0,
+        rack: 0,
+    };
+    for i in 1..=5 {
+        t.add_switch(SwitchId(i), SwitchRole::TopOfRack, loc);
+    }
+    let lat = SimDuration::from_micros(20);
+    t.add_link(SwitchId(1), SwitchId(3), lat, 5);
+    t.add_link(SwitchId(2), SwitchId(3), lat, 5);
+    t.add_link(SwitchId(3), SwitchId(4), lat, 5);
+    t.add_link(SwitchId(3), SwitchId(5), lat, 5);
+    t.add_link(SwitchId(4), SwitchId(5), lat, 5);
+    t.add_host(HostId(1), SwitchId(1));
+    t.add_host(HostId(2), SwitchId(2));
+    t.add_host(HostId(5), SwitchId(5));
+    t
+}
+
+enum Sched {
+    Unordered,
+    ReversePath,
+    DependencyGraph,
+}
+
+fn run_with_scheduler(sched: Sched) -> Vec<cicero_core::audit::Hazard> {
+    let mut cfg = EngineConfig::for_mode(Mode::Cicero {
+        aggregation: Aggregation::Switch,
+    });
+    cfg.crypto = CryptoMode::Modeled;
+    let topo = paper_topology();
+    let dm = DomainMap::single(&topo);
+    let mut engine = Engine::build(cfg, topo.clone(), dm, 0);
+    for c in 1..=4u32 {
+        engine.with_controller(DomainId(0), ControllerId(c), |ctrl| match sched {
+            Sched::Unordered => ctrl.set_scheduler(Box::new(UnorderedScheduler)),
+            Sched::ReversePath => ctrl.set_scheduler(Box::new(ReversePathScheduler)),
+            Sched::DependencyGraph => ctrl.set_scheduler(Box::new(
+                controller::scheduler::DependencyGraphScheduler::new(),
+            )),
+        });
+    }
+    let (src, dst) = (HostId(1), HostId(5));
+    let r = route(&topo, src, dst).expect("connected");
+    let start = SimTime::ZERO + SimDuration::from_millis(1);
+    engine.inject_raw(
+        start,
+        ENVIRONMENT,
+        engine.switch_node(r.path[0]),
+        Net::FlowArrival {
+            flow: FlowId(1),
+            src,
+            dst,
+            bytes: 500,
+            transit: r.latency,
+            start,
+        },
+    );
+    engine.run(start + SimDuration::from_secs(10));
+    // The flow must complete under every scheduler (liveness)...
+    assert!(engine
+        .observations()
+        .iter()
+        .any(|o| matches!(o.value, Obs::FlowCompleted { .. })));
+    // ...the difference is the safety of intermediate states.
+    audit_flow(engine.observations(), r.path[0], FlowMatch { src, dst }, false)
+}
+
+#[test]
+fn unordered_updates_expose_transient_black_hole() {
+    let hazards = run_with_scheduler(Sched::Unordered);
+    assert!(
+        hazards
+            .iter()
+            .any(|h| matches!(h.outcome, WalkOutcome::BlackHole(_))),
+        "expected a transient black hole, got {hazards:?}"
+    );
+}
+
+#[test]
+fn reverse_path_scheduler_is_hazard_free() {
+    assert!(run_with_scheduler(Sched::ReversePath).is_empty());
+}
+
+#[test]
+fn dependency_graph_scheduler_is_hazard_free() {
+    assert!(run_with_scheduler(Sched::DependencyGraph).is_empty());
+}
+
+#[test]
+fn firewall_policy_is_never_transiently_bypassed() {
+    let mut cfg = EngineConfig::for_mode(Mode::Cicero {
+        aggregation: Aggregation::Switch,
+    });
+    cfg.crypto = CryptoMode::Modeled;
+    let topo = paper_topology();
+    let dm = DomainMap::single(&topo);
+    let mut engine = Engine::build(cfg, topo.clone(), dm, 0);
+    let denied_pair = FlowMatch {
+        src: HostId(2),
+        dst: HostId(5),
+    };
+    for c in 1..=4u32 {
+        engine.with_controller(DomainId(0), ControllerId(c), |ctrl| {
+            ctrl.app_mut().firewall.deny(denied_pair);
+        });
+    }
+    let r = route(&topo, denied_pair.src, denied_pair.dst).unwrap();
+    let start = SimTime::ZERO + SimDuration::from_millis(1);
+    engine.inject_raw(
+        start,
+        ENVIRONMENT,
+        engine.switch_node(r.path[0]),
+        Net::FlowArrival {
+            flow: FlowId(9),
+            src: denied_pair.src,
+            dst: denied_pair.dst,
+            bytes: 500,
+            transit: r.latency,
+            start,
+        },
+    );
+    engine.run(start + SimDuration::from_secs(10));
+    assert!(engine
+        .observations()
+        .iter()
+        .any(|o| matches!(o.value, Obs::FlowDenied { .. })));
+    assert!(!engine
+        .observations()
+        .iter()
+        .any(|o| matches!(o.value, Obs::FlowCompleted { .. })));
+    assert!(audit_flow(engine.observations(), r.path[0], denied_pair, true).is_empty());
+}
+
+#[test]
+fn all_modes_complete_flows_identically() {
+    // Consistency must hold in every mode; only timing differs.
+    for mode in ALL_MODES {
+        let mut cfg = EngineConfig::for_mode(mode);
+        cfg.crypto = CryptoMode::Modeled;
+        let topo = paper_topology();
+        let dm = DomainMap::single(&topo);
+        let mut engine = Engine::build(cfg, topo.clone(), dm, 0);
+        let (src, dst) = (HostId(1), HostId(5));
+        let r = route(&topo, src, dst).unwrap();
+        let start = SimTime::ZERO + SimDuration::from_millis(1);
+        engine.inject_raw(
+            start,
+            ENVIRONMENT,
+            engine.switch_node(r.path[0]),
+            Net::FlowArrival {
+                flow: FlowId(1),
+                src,
+                dst,
+                bytes: 500,
+                transit: r.latency,
+                start,
+            },
+        );
+        engine.run(start + SimDuration::from_secs(10));
+        assert!(
+            engine
+                .observations()
+                .iter()
+                .any(|o| matches!(o.value, Obs::FlowCompleted { .. })),
+            "{} failed to complete the flow",
+            mode.label()
+        );
+        assert!(
+            audit_flow(engine.observations(), r.path[0], FlowMatch { src, dst }, false)
+                .is_empty(),
+            "{} exposed a hazard",
+            mode.label()
+        );
+    }
+}
+
+#[test]
+fn link_failure_reroutes_without_hazards() {
+    // Paper Fig. 2: a flow to s5 runs over the s4-s5 link; the link fails;
+    // Cicero repairs the route make-before-break — the replay audit must
+    // find no transient loop or black hole, and the final path avoids the
+    // dead link.
+    let mut cfg = EngineConfig::for_mode(Mode::Cicero {
+        aggregation: Aggregation::Switch,
+    });
+    cfg.crypto = CryptoMode::Modeled;
+    let topo = paper_topology();
+    let dm = DomainMap::single(&topo);
+    let mut engine = Engine::build(cfg, topo.clone(), dm, 0);
+
+    // Force the initial route over s4 by failing s3-s5 first? Simpler: the
+    // shortest path h1->h5 is s1-s3-s5; fail s3-s5 and require the repair
+    // to go via s4.
+    let (src, dst) = (HostId(1), HostId(5));
+    let m = FlowMatch { src, dst };
+    let r = route(&topo, src, dst).unwrap();
+    assert_eq!(r.path, vec![SwitchId(1), SwitchId(3), SwitchId(5)]);
+    let start = SimTime::ZERO + SimDuration::from_millis(1);
+    engine.inject_raw(
+        start,
+        simnet::sim::ENVIRONMENT,
+        engine.switch_node(r.path[0]),
+        Net::FlowArrival {
+            flow: FlowId(1),
+            src,
+            dst,
+            bytes: 500,
+            transit: r.latency,
+            start,
+        },
+    );
+    engine.run(start + SimDuration::from_secs(5));
+    assert!(engine
+        .observations()
+        .iter()
+        .any(|o| matches!(o.value, Obs::FlowCompleted { .. })));
+
+    // The s3-s5 link dies; s3 reports it.
+    let fail_at = engine.now() + SimDuration::from_millis(10);
+    engine.fail_link(fail_at, SwitchId(3), SwitchId(5));
+    engine.run(fail_at + SimDuration::from_secs(10));
+
+    // Replay the full applied-update history: no transient hazards, and the
+    // final state routes around the failure.
+    let hazards = audit_flow(engine.observations(), SwitchId(1), m, false);
+    assert!(hazards.is_empty(), "repair must be make-before-break: {hazards:?}");
+
+    let mut state = cicero_core::audit::ReplayState::new();
+    for o in engine.observations() {
+        if let Obs::UpdateApplied { switch, kind, .. } = o.value {
+            state.apply(switch, kind);
+        }
+    }
+    assert_eq!(
+        state.walk(SwitchId(1), m),
+        WalkOutcome::Delivered(dst),
+        "flow still routed after repair"
+    );
+    // The new path uses s4, not the dead s3-s5 link.
+    assert_eq!(
+        state.rule(SwitchId(3), m),
+        Some(FlowAction::Forward(NextHop::Switch(SwitchId(4)))),
+        "repaired route detours via s4"
+    );
+}

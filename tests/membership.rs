@@ -1,0 +1,207 @@
+//! Control-plane membership changes (paper §4.3) with **real** threshold
+//! cryptography end to end: additions and removals re-key the control plane
+//! without ever changing the group public key switches hold.
+
+use cicero::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn build(n_standby: u32) -> (Engine, Topology) {
+    let mut cfg = EngineConfig::for_mode(Mode::Cicero {
+        aggregation: Aggregation::Switch,
+    });
+    cfg.crypto = CryptoMode::Real;
+    cfg.controllers_per_domain = 5; // allows one removal (minimum is 4)
+    let topo = Topology::single_pod(2, 2, 4);
+    let dm = DomainMap::single(&topo);
+    let engine = Engine::build(cfg, topo.clone(), dm, n_standby);
+    (engine, topo)
+}
+
+fn completed(engine: &Engine) -> usize {
+    engine
+        .observations()
+        .iter()
+        .filter(|o| matches!(o.value, Obs::FlowCompleted { .. }))
+        .count()
+}
+
+fn inject_some_flows(engine: &mut Engine, topo: &Topology, seed: u64, n: usize) {
+    let mut spec = hadoop();
+    spec.flows = n;
+    let mut flows = generate(topo, &spec, &mut StdRng::seed_from_u64(seed));
+    let offset = engine.now() + SimDuration::from_millis(100);
+    for f in flows.iter_mut() {
+        f.start = offset + SimDuration::from_nanos(f.start.as_nanos());
+    }
+    engine.inject_flows(&flows);
+}
+
+#[test]
+fn adding_a_controller_preserves_the_group_key() {
+    let (mut engine, topo) = build(1);
+    let domain = DomainId(0);
+    let pk_before = engine.shared().keys.domains[&domain].public_key;
+
+    inject_some_flows(&mut engine, &topo, 1, 3);
+    engine.run(engine.now() + SimDuration::from_secs(30));
+    let before = completed(&engine);
+    assert_eq!(before, 3);
+
+    let at = engine.now() + SimDuration::from_millis(50);
+    engine.inject_membership(at, domain, OrderedOp::AddController(ControllerId(6)));
+    engine.run(at + SimDuration::from_secs(5));
+
+    // All six controllers re-keyed; phases advanced in lock step.
+    let phases: Vec<u64> = engine
+        .observations()
+        .iter()
+        .filter_map(|o| match o.value {
+            Obs::PhaseChanged { phase, .. } => Some(phase),
+            _ => None,
+        })
+        .collect();
+    assert!(phases.len() >= 6, "all members + joiner re-key, got {phases:?}");
+    assert!(phases.iter().all(|&p| p == 1));
+
+    for c in 1..=6u32 {
+        let (pk, view_len, active) = engine.with_controller(domain, ControllerId(c), |ctrl| {
+            (
+                ctrl.group().public_key(),
+                ctrl.view().len(),
+                ctrl.is_active(),
+            )
+        });
+        assert!(active, "controller {c} active");
+        assert_eq!(view_len, 6);
+        assert_eq!(pk, pk_before, "controller {c} sees the same group key");
+    }
+
+    // The enlarged control plane still serves flows.
+    inject_some_flows(&mut engine, &topo, 2, 3);
+    engine.run(engine.now() + SimDuration::from_secs(30));
+    assert_eq!(completed(&engine), 6);
+}
+
+#[test]
+fn removing_a_controller_preserves_the_group_key_and_liveness() {
+    let (mut engine, topo) = build(0);
+    let domain = DomainId(0);
+    let pk_before = engine.shared().keys.domains[&domain].public_key;
+
+    let at = engine.now() + SimDuration::from_millis(50);
+    engine.inject_membership(at, domain, OrderedOp::RemoveController(ControllerId(3)));
+    engine.run(at + SimDuration::from_secs(5));
+
+    let removed_active =
+        engine.with_controller(domain, ControllerId(3), |c| c.is_active());
+    assert!(!removed_active, "removed controller must deactivate");
+    for c in [1u32, 2, 4, 5] {
+        let (pk, view_len) = engine.with_controller(domain, ControllerId(c), |ctrl| {
+            (ctrl.group().public_key(), ctrl.view().len())
+        });
+        assert_eq!(view_len, 4);
+        assert_eq!(pk, pk_before);
+    }
+
+    // The shrunken control plane still serves flows.
+    inject_some_flows(&mut engine, &topo, 3, 3);
+    engine.run(engine.now() + SimDuration::from_secs(30));
+    assert_eq!(completed(&engine), 3);
+}
+
+#[test]
+fn events_arriving_during_the_change_are_queued_and_served() {
+    let (mut engine, topo) = build(1);
+    let domain = DomainId(0);
+    let at = engine.now() + SimDuration::from_millis(50);
+    engine.inject_membership(at, domain, OrderedOp::AddController(ControllerId(6)));
+    // Flows land immediately after the membership op (likely mid-change).
+    inject_some_flows(&mut engine, &topo, 4, 3);
+    engine.run(engine.now() + SimDuration::from_secs(60));
+    assert_eq!(completed(&engine), 3, "queued events must be drained");
+}
+
+#[test]
+fn non_bootstrap_add_proposals_are_ignored() {
+    let (mut engine, _topo) = build(1);
+    let domain = DomainId(0);
+    // Controller 2 (not the bootstrap) tries to admit someone.
+    let node = engine.controller_node(domain, ControllerId(2));
+    engine.inject_raw(
+        engine.now() + SimDuration::from_millis(1),
+        simnet::sim::ENVIRONMENT,
+        node,
+        Net::MembershipCmd(OrderedOp::AddController(ControllerId(6))),
+    );
+    engine.run(engine.now() + SimDuration::from_secs(3));
+    assert!(
+        !engine
+            .observations()
+            .iter()
+            .any(|o| matches!(o.value, Obs::PhaseChanged { .. })),
+        "only the bootstrap controller may propose additions"
+    );
+}
+
+#[test]
+fn identifiers_are_never_reused_across_changes() {
+    let (mut engine, _topo) = build(2);
+    let domain = DomainId(0);
+    let t1 = engine.now() + SimDuration::from_millis(50);
+    engine.inject_membership(t1, domain, OrderedOp::RemoveController(ControllerId(5)));
+    engine.run(t1 + SimDuration::from_secs(5));
+    // Admitting "5" again must be rejected; the valid next id is 6.
+    let t2 = engine.now() + SimDuration::from_millis(50);
+    engine.inject_membership(t2, domain, OrderedOp::AddController(ControllerId(5)));
+    engine.run(t2 + SimDuration::from_secs(5));
+    let len = engine.with_controller(domain, ControllerId(1), |c| c.view().len());
+    assert_eq!(len, 4, "stale identifier must not re-enter");
+    let t3 = engine.now() + SimDuration::from_millis(50);
+    engine.inject_membership(t3, domain, OrderedOp::AddController(ControllerId(6)));
+    engine.run(t3 + SimDuration::from_secs(5));
+    let len = engine.with_controller(domain, ControllerId(1), |c| c.view().len());
+    assert_eq!(len, 5, "the fresh identifier is admitted");
+}
+
+#[test]
+fn failure_detector_removes_a_crashed_controller_automatically() {
+    // Paper §4.3 + §5.1: heartbeats detect a crashed member; any member
+    // proposes its removal through consensus; the reshare re-keys the
+    // remaining plane under the same group public key.
+    let mut cfg = EngineConfig::for_mode(Mode::Cicero {
+        aggregation: Aggregation::Switch,
+    });
+    cfg.crypto = CryptoMode::Real;
+    cfg.controllers_per_domain = 5;
+    cfg.heartbeat = Some(SimDuration::from_millis(50));
+    let topo = Topology::single_pod(2, 2, 4);
+    let dm = DomainMap::single(&topo);
+    let mut engine = Engine::build(cfg, topo.clone(), dm, 0);
+    let domain = DomainId(0);
+    let pk_before = engine.shared().keys.domains[&domain].public_key;
+
+    // Controller 3 dies silently.
+    let victim = engine.controller_node(domain, ControllerId(3));
+    engine.set_faults(
+        simnet::fault::FaultPlan::none()
+            .with_crash(SimTime::ZERO + SimDuration::from_millis(10), victim),
+    );
+    engine.run(SimTime::ZERO + SimDuration::from_secs(5));
+
+    // The survivors detected, agreed, and re-keyed.
+    let (len, contains, pk) = engine.with_controller(domain, ControllerId(1), |c| {
+        (
+            c.view().len(),
+            c.view().contains(ControllerId(3)),
+            c.group().public_key(),
+        )
+    });
+    assert_eq!(len, 4, "membership shrank automatically");
+    assert!(!contains, "the crashed controller was removed");
+    assert_eq!(pk, pk_before, "group public key preserved");
+
+    // And the plane still serves flows.
+    inject_some_flows(&mut engine, &topo, 9, 2);
+    engine.run(engine.now() + SimDuration::from_secs(30));
+    assert_eq!(completed(&engine), 2);
+}

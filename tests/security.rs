@@ -1,0 +1,275 @@
+//! Security properties (paper §3.2) under **real** cryptography: switches
+//! apply updates only with a verifiable quorum; controllers only accept
+//! authentic events and acknowledgements.
+
+use blscrypto::bls::{PartialSignature, SecretKey};
+use blscrypto::curves::g1_generator;
+use cicero::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use simnet::sim::ENVIRONMENT;
+use southbound::envelope::{MsgId, QuorumSigned, ShareSigned, Signed};
+
+fn build() -> (Engine, Topology) {
+    let mut cfg = EngineConfig::for_mode(Mode::Cicero {
+        aggregation: Aggregation::Switch,
+    });
+    cfg.crypto = CryptoMode::Real;
+    let topo = Topology::single_pod(2, 2, 2);
+    let dm = DomainMap::single(&topo);
+    let engine = Engine::build(cfg, topo.clone(), dm, 0);
+    (engine, topo)
+}
+
+fn applied(engine: &Engine) -> usize {
+    engine
+        .observations()
+        .iter()
+        .filter(|o| matches!(o.value, Obs::UpdateApplied { .. }))
+        .count()
+}
+
+fn rogue_update(victim: SwitchId) -> NetworkUpdate {
+    NetworkUpdate {
+        id: UpdateId {
+            event: EventId(0xbad),
+            seq: 0,
+        },
+        switch: victim,
+        kind: UpdateKind::Install(FlowRule {
+            matcher: FlowMatch {
+                src: HostId(0),
+                dst: HostId(1),
+            },
+            action: FlowAction::Deny,
+        }),
+    }
+}
+
+#[test]
+fn below_quorum_updates_are_never_applied() {
+    let (mut engine, topo) = build();
+    let victim = topo.switches()[2].id;
+    let rogue = engine.controller_node(DomainId(0), ControllerId(2));
+    engine.inject_raw(
+        SimTime::ZERO + SimDuration::from_millis(1),
+        rogue,
+        engine.switch_node(victim),
+        Net::UpdateMsg(ShareSigned {
+            payload: rogue_update(victim),
+            phase: Phase(0),
+            msg_id: MsgId { origin: 2, seq: 1 },
+            partial: PartialSignature {
+                index: 2,
+                sig: g1_generator().to_affine(),
+            },
+        }),
+    );
+    engine.run(SimTime::ZERO + SimDuration::from_secs(3));
+    assert_eq!(applied(&engine), 0);
+}
+
+#[test]
+fn forged_quorum_fails_group_key_verification() {
+    let (mut engine, topo) = build();
+    let victim = topo.switches()[2].id;
+    let rogue = engine.controller_node(DomainId(0), ControllerId(2));
+    let update = rogue_update(victim);
+    for idx in [1u32, 2, 3, 4] {
+        engine.inject_raw(
+            SimTime::ZERO + SimDuration::from_millis(1),
+            rogue,
+            engine.switch_node(victim),
+            Net::UpdateMsg(ShareSigned {
+                payload: update,
+                phase: Phase(0),
+                msg_id: MsgId {
+                    origin: 2,
+                    seq: idx as u64,
+                },
+                partial: PartialSignature {
+                    index: idx,
+                    sig: g1_generator()
+                        .mul_fr(blscrypto::fields::Fr::from_u64(idx as u64 + 7))
+                        .to_affine(),
+                },
+            }),
+        );
+    }
+    engine.run(SimTime::ZERO + SimDuration::from_secs(3));
+    assert_eq!(applied(&engine), 0);
+    assert!(engine
+        .observations()
+        .iter()
+        .any(|o| matches!(o.value, Obs::UpdateRejected { .. })));
+}
+
+#[test]
+fn forged_aggregated_update_is_rejected_in_controller_agg_mode() {
+    let mut cfg = EngineConfig::for_mode(Mode::Cicero {
+        aggregation: Aggregation::Controller,
+    });
+    cfg.crypto = CryptoMode::Real;
+    let topo = Topology::single_pod(2, 2, 2);
+    let dm = DomainMap::single(&topo);
+    let mut engine = Engine::build(cfg, topo.clone(), dm, 0);
+    let victim = topo.switches()[2].id;
+    // A malicious "aggregator" fabricates an aggregated signature.
+    let mut rng = StdRng::seed_from_u64(666);
+    let fake_key = SecretKey::generate(&mut rng);
+    let update = rogue_update(victim);
+    let digest = southbound::envelope::signing_digest(
+        "CICERO_UPDATE_V1",
+        Phase(0),
+        &update,
+    );
+    let forged = QuorumSigned {
+        payload: update,
+        phase: Phase(0),
+        msg_id: MsgId { origin: 1, seq: 1 },
+        signature: fake_key.sign(&digest),
+    };
+    let rogue = engine.controller_node(DomainId(0), ControllerId(1));
+    engine.inject_raw(
+        SimTime::ZERO + SimDuration::from_millis(1),
+        rogue,
+        engine.switch_node(victim),
+        Net::UpdateAggregated(forged),
+    );
+    engine.run(SimTime::ZERO + SimDuration::from_secs(3));
+    assert_eq!(applied(&engine), 0);
+    assert!(engine
+        .observations()
+        .iter()
+        .any(|o| matches!(o.value, Obs::UpdateRejected { .. })));
+}
+
+#[test]
+fn unauthenticated_events_are_ignored() {
+    let (mut engine, topo) = build();
+    // An attacker injects a PacketIn claiming to be from a switch, signed
+    // with the wrong key: controllers must not process it.
+    let mut rng = StdRng::seed_from_u64(1234);
+    let attacker_key = SecretKey::generate(&mut rng);
+    let event = Event {
+        id: EventId(0xf00),
+        kind: EventKind::PacketIn {
+            switch: topo.switches()[2].id,
+            flow: FlowId(1),
+            src: HostId(0),
+            dst: HostId(1),
+        },
+        origin: DomainId(0),
+        forwarded: false,
+    };
+    let forged = Signed::sign(
+        "CICERO_EVENT_V1",
+        event,
+        Phase(0),
+        MsgId {
+            origin: topo.switches()[2].id.0,
+            seq: 1,
+        },
+        &attacker_key,
+    );
+    for c in 1..=4u32 {
+        let node = engine.controller_node(DomainId(0), ControllerId(c));
+        engine.inject_raw(
+            SimTime::ZERO + SimDuration::from_millis(1),
+            ENVIRONMENT,
+            node,
+            Net::EventMsg(forged.clone()),
+        );
+    }
+    engine.run(SimTime::ZERO + SimDuration::from_secs(3));
+    assert!(
+        !engine
+            .observations()
+            .iter()
+            .any(|o| matches!(o.value, Obs::EventProcessed { .. })),
+        "forged events must not enter agreement"
+    );
+    assert_eq!(applied(&engine), 0);
+}
+
+#[test]
+fn forged_acks_cannot_accelerate_the_reverse_path_pipeline() {
+    // The reverse-path schedule releases update k only after the verified
+    // ack of update k+1. An attacker pre-forging every ack (wrong key)
+    // must not release anything early: completion time with the forged
+    // acks present is never earlier than without them.
+    fn run(with_forged_acks: bool) -> SimDuration {
+        let (mut engine, topo) = build();
+        let hosts = topo.hosts();
+        let src = hosts[0].id;
+        let dst = hosts
+            .iter()
+            .find(|h| h.attached != hosts[0].attached)
+            .unwrap()
+            .id;
+        let r = route(&topo, src, dst).unwrap();
+        assert_eq!(r.path.len(), 3);
+        let start = SimTime::ZERO + SimDuration::from_millis(1);
+        if with_forged_acks {
+            let mut rng = StdRng::seed_from_u64(99);
+            let attacker_key = SecretKey::generate(&mut rng);
+            // PacketIn event ids are (switch << 32 | 1); forge acks for all
+            // three updates of that event, addressed to all controllers.
+            let event = EventId(((r.path[0].0 as u64) << 32) | 1);
+            for seq in 0..3u32 {
+                let body = cicero_core::msg::AckBody {
+                    update: UpdateId { event, seq },
+                    switch: r.path[seq as usize],
+                };
+                let forged = Signed::sign(
+                    "CICERO_ACK_V1",
+                    body,
+                    Phase(0),
+                    MsgId {
+                        origin: r.path[seq as usize].0,
+                        seq: 100 + seq as u64,
+                    },
+                    &attacker_key,
+                );
+                for c in 1..=4u32 {
+                    let node = engine.controller_node(DomainId(0), ControllerId(c));
+                    engine.inject_raw(
+                        start + SimDuration::from_micros(100),
+                        ENVIRONMENT,
+                        node,
+                        Net::AckMsg(forged.clone()),
+                    );
+                }
+            }
+        }
+        engine.inject_raw(
+            start,
+            ENVIRONMENT,
+            engine.switch_node(r.path[0]),
+            Net::FlowArrival {
+                flow: FlowId(1),
+                src,
+                dst,
+                bytes: 500,
+                transit: r.latency,
+                start,
+            },
+        );
+        engine.run(start + SimDuration::from_secs(10));
+        let done = engine
+            .observations()
+            .iter()
+            .find_map(|o| match o.value {
+                Obs::FlowCompleted { start, .. } => Some(o.at.since(start)),
+                _ => None,
+            })
+            .expect("flow completes despite the attack");
+        done
+    }
+
+    let honest = run(false);
+    let attacked = run(true);
+    assert!(
+        attacked >= honest,
+        "forged acks must not accelerate completion ({attacked} < {honest})"
+    );
+}
