@@ -1,9 +1,10 @@
-//! Criterion benchmarks of the PBFT atomic broadcast: ordering throughput
-//! as the control-plane size grows (the messaging-cost side of Fig. 12a).
+//! Benchmarks of the PBFT atomic broadcast on the in-tree
+//! `substrate::benchkit` harness: ordering throughput as the control-plane
+//! size grows (the messaging-cost side of Fig. 12a).
 
 use bft::prelude::*;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use substrate::benchkit::{BenchmarkId, Harness};
 
 /// Drives `payloads` submissions through an in-memory replica group until
 /// everything is delivered; returns the delivered count of replica 0.
@@ -48,7 +49,7 @@ fn order_payloads(n: u32, payloads: u64) -> u64 {
     delivered
 }
 
-fn bench_ordering(c: &mut Criterion) {
+fn bench_ordering(c: &mut Harness) {
     let mut group = c.benchmark_group("pbft_order_100_payloads");
     for n in [4u32, 7, 10] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, &n| {
@@ -62,5 +63,8 @@ fn bench_ordering(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ordering);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::new("consensus");
+    bench_ordering(&mut harness);
+    harness.finish();
+}

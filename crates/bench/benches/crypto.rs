@@ -1,9 +1,11 @@
-//! Criterion micro-benchmarks of the from-scratch threshold cryptography.
+//! Micro-benchmarks of the from-scratch threshold cryptography, on the
+//! in-tree `substrate::benchkit` harness.
 //!
 //! These measurements ground the simulator's [`cicero_core::config::CostModel`]:
 //! EXPERIMENTS.md compares them against the modeled per-operation costs
 //! (which are calibrated to the paper's 2012-era Xeon testbed, not to this
-//! host).
+//! host). Run with `BENCHKIT_OUT=BENCH_protocol.json` to merge the suite
+//! into the recorded baseline.
 
 use blscrypto::bls::{self, SecretKey};
 use blscrypto::curves::{g1_generator, hash_to_g1};
@@ -12,11 +14,11 @@ use blscrypto::fields::Fr;
 use blscrypto::pairing::pairing;
 use blscrypto::reshare;
 use blscrypto::shamir;
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::{rngs::StdRng, SeedableRng};
 use std::hint::black_box;
+use substrate::benchkit::Harness;
+use substrate::rng::{SeedableRng, StdRng};
 
-fn bench_field_and_curve(c: &mut Criterion) {
+fn bench_field_and_curve(c: &mut Harness) {
     let mut rng = StdRng::seed_from_u64(1);
     let a = Fr::random(&mut rng);
     let b = Fr::random(&mut rng);
@@ -31,7 +33,7 @@ fn bench_field_and_curve(c: &mut Criterion) {
     c.bench_function("pairing", |bch| bch.iter(|| black_box(pairing(&p, &q))));
 }
 
-fn bench_bls(c: &mut Criterion) {
+fn bench_bls(c: &mut Harness) {
     let mut rng = StdRng::seed_from_u64(2);
     let sk = SecretKey::generate(&mut rng);
     let pk = sk.public_key();
@@ -60,7 +62,7 @@ fn bench_bls(c: &mut Criterion) {
     });
 }
 
-fn bench_dkg_and_reshare(c: &mut Criterion) {
+fn bench_dkg_and_reshare(c: &mut Harness) {
     let mut group = c.benchmark_group("ceremonies");
     group.sample_size(10);
     group.bench_function("dkg_n4_t1", |bch| {
@@ -91,5 +93,10 @@ fn bench_dkg_and_reshare(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_field_and_curve, bench_bls, bench_dkg_and_reshare);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::new("crypto");
+    bench_field_and_curve(&mut harness);
+    bench_bls(&mut harness);
+    bench_dkg_and_reshare(&mut harness);
+    harness.finish();
+}

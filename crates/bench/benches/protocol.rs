@@ -1,17 +1,19 @@
-//! Criterion benchmarks of the protocol-layer data structures: the wire
-//! codec, update schedulers, flow tables and routing — the per-message
-//! software costs the simulator's `CostModel` abstracts.
+//! Benchmarks of the protocol-layer data structures on the in-tree
+//! `substrate::benchkit` harness: the wire codec, update schedulers, flow
+//! tables and routing — the per-message software costs the simulator's
+//! `CostModel` abstracts. Run with `BENCHKIT_OUT=BENCH_protocol.json` to
+//! merge the suite into the recorded baseline.
 
 use controller::scheduler::{
     DependencyGraphScheduler, ReversePathScheduler, UpdateScheduler,
 };
-use criterion::{criterion_group, criterion_main, Criterion};
 use netmodel::flowtable::FlowTable;
 use netmodel::routing::route;
 use netmodel::topology::Topology;
 use southbound::codec::Wire;
 use southbound::types::*;
 use std::hint::black_box;
+use substrate::benchkit::Harness;
 
 fn sample_updates(n: u32) -> Vec<NetworkUpdate> {
     (0..n)
@@ -32,7 +34,7 @@ fn sample_updates(n: u32) -> Vec<NetworkUpdate> {
         .collect()
 }
 
-fn bench_codec(c: &mut Criterion) {
+fn bench_codec(c: &mut Harness) {
     let event = Event {
         id: EventId(7),
         kind: EventKind::PacketIn {
@@ -51,7 +53,7 @@ fn bench_codec(c: &mut Criterion) {
     });
 }
 
-fn bench_schedulers(c: &mut Criterion) {
+fn bench_schedulers(c: &mut Harness) {
     let updates = sample_updates(8);
     c.bench_function("schedule_reverse_path_8", |b| {
         b.iter(|| black_box(ReversePathScheduler.schedule(&updates)))
@@ -61,7 +63,7 @@ fn bench_schedulers(c: &mut Criterion) {
     });
 }
 
-fn bench_flow_table(c: &mut Criterion) {
+fn bench_flow_table(c: &mut Harness) {
     let mut table = FlowTable::new();
     for i in 0..10_000u32 {
         table.install(FlowRule {
@@ -82,7 +84,7 @@ fn bench_flow_table(c: &mut Criterion) {
     });
 }
 
-fn bench_routing(c: &mut Criterion) {
+fn bench_routing(c: &mut Harness) {
     let topo = Topology::multi_pod(4, 40, 4, 4, 4);
     let hosts = topo.hosts();
     let (src, dst) = (hosts[0].id, hosts.last().unwrap().id);
@@ -91,5 +93,11 @@ fn bench_routing(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_codec, bench_schedulers, bench_flow_table, bench_routing);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::new("protocol");
+    bench_codec(&mut harness);
+    bench_schedulers(&mut harness);
+    bench_flow_table(&mut harness);
+    bench_routing(&mut harness);
+    harness.finish();
+}

@@ -1,10 +1,9 @@
 //! PBFT protocol messages.
 
-use serde::{Deserialize, Serialize};
 
 /// A replica index within the consensus group (`0..n`).
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug,
 )]
 pub struct ReplicaId(pub u32);
 

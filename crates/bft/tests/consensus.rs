@@ -2,9 +2,8 @@
 //! primaries, Byzantine equivocation, and randomized message schedules.
 
 use bft::prelude::*;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{RngExt as _, SeedableRng};
+use substrate::rng::StdRng;
+use substrate::rng::{Rng as _, SeedableRng};
 use std::collections::HashSet;
 
 /// In-memory network driving a replica group with controllable scheduling.
@@ -235,14 +234,12 @@ fn high_load_total_order() {
     assert_eq!(order.len(), 100);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-    #[test]
-    fn random_schedules_preserve_agreement(
-        seed in any::<u64>(),
-        n_msgs in 1usize..20,
-        crash_one in any::<bool>(),
-    ) {
+#[test]
+fn random_schedules_preserve_agreement() {
+    substrate::forall!(cases = 24, |g| {
+        let seed = g.u64();
+        let n_msgs = g.usize_in(1..20);
+        let crash_one = g.bool();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut net = TestNet::new(4);
         if crash_one {
@@ -260,9 +257,9 @@ proptest! {
         // With at most one crash, every payload submitted at a correct
         // replica must be delivered.
         let submitted_at_correct = n_msgs; // submit() ignores crashed nodes
-        prop_assert!(order.len() <= submitted_at_correct);
+        assert!(order.len() <= submitted_at_correct);
         // No duplicates ever.
         let set: HashSet<u64> = order.iter().copied().collect();
-        prop_assert_eq!(set.len(), order.len());
-    }
+        assert_eq!(set.len(), order.len());
+    });
 }

@@ -38,7 +38,7 @@ pub struct Signature(pub G1Affine);
 
 impl SecretKey {
     /// Samples a fresh secret key.
-    pub fn generate<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+    pub fn generate<R: substrate::rng::Rng + ?Sized>(rng: &mut R) -> Self {
         loop {
             let s = Fr::random(rng);
             if !s.is_zero() {
@@ -229,7 +229,7 @@ pub fn shares_to_key_shares(shares: &[Share]) -> Vec<KeyShare> {
 mod tests {
     use super::*;
     use crate::shamir::share_secret;
-    use rand::{rngs::StdRng, SeedableRng};
+    use substrate::rng::{SeedableRng, StdRng};
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0x515)

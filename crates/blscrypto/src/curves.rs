@@ -743,7 +743,7 @@ impl G2Affine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, SeedableRng};
+    use substrate::rng::{SeedableRng, StdRng};
 
     #[test]
     fn generators_are_valid() {

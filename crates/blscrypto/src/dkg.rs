@@ -108,7 +108,7 @@ pub struct Complaint {
 }
 
 /// Produces dealer `dealer`'s contribution.
-pub fn deal<R: rand::Rng + ?Sized>(cfg: DkgConfig, dealer: u32, rng: &mut R) -> Dealing {
+pub fn deal<R: substrate::rng::Rng + ?Sized>(cfg: DkgConfig, dealer: u32, rng: &mut R) -> Dealing {
     let poly = Polynomial::random(Fr::random(rng), cfg.t as usize, rng);
     let commitment = Commitment::commit(&poly);
     let shares = (1..=cfg.n)
@@ -242,7 +242,7 @@ pub struct ParticipantOutput {
 ///
 /// Propagates [`finalize`] errors; also fails if every dealer is
 /// disqualified.
-pub fn run_with_faults<R: rand::Rng + ?Sized>(
+pub fn run_with_faults<R: substrate::rng::Rng + ?Sized>(
     n: u32,
     t: u32,
     corrupt: &[u32],
@@ -289,7 +289,7 @@ pub fn run_with_faults<R: rand::Rng + ?Sized>(
 /// # Errors
 ///
 /// As [`run_with_faults`].
-pub fn run_trusted_dealer_free<R: rand::Rng + ?Sized>(
+pub fn run_trusted_dealer_free<R: substrate::rng::Rng + ?Sized>(
     n: u32,
     t: u32,
     rng: &mut R,
@@ -302,7 +302,7 @@ mod tests {
     use super::*;
     use crate::bls;
     use crate::shamir::{reconstruct, Share};
-    use rand::{rngs::StdRng, SeedableRng};
+    use substrate::rng::{SeedableRng, StdRng};
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0xd1c6)

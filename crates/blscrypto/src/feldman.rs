@@ -104,7 +104,7 @@ impl Commitment {
 mod tests {
     use super::*;
     use crate::shamir::share_secret;
-    use rand::{rngs::StdRng, SeedableRng};
+    use substrate::rng::{SeedableRng, StdRng};
 
     #[test]
     fn honest_shares_verify() {

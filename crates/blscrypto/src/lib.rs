@@ -28,7 +28,7 @@
 //!
 //! ```
 //! use blscrypto::{dkg, bls};
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use substrate::rng::{SeedableRng, StdRng};
 //!
 //! let mut rng = StdRng::seed_from_u64(1);
 //! let out = dkg::run_trusted_dealer_free(4, 2, &mut rng)?; // t = 2 ⇒ 3 signers needed

@@ -150,7 +150,7 @@ pub fn pairing_product_is_one(pairs: &[(G1Affine, G2Affine)]) -> bool {
 mod tests {
     use super::*;
     use crate::curves::{g1_generator, g2_generator, G1Projective, G2Projective};
-    use rand::{rngs::StdRng, SeedableRng};
+    use substrate::rng::{SeedableRng, StdRng};
 
     fn gens() -> (G1Affine, G2Affine) {
         (g1_generator().to_affine(), g2_generator().to_affine())

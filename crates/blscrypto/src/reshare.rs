@@ -51,7 +51,7 @@ impl ReshareDealing {
 
 /// Old shareholder `share` deals sub-shares for the new membership
 /// (`new_n` participants with indices `1..=new_n`, degree `new_t`).
-pub fn deal_reshare<R: rand::Rng + ?Sized>(
+pub fn deal_reshare<R: substrate::rng::Rng + ?Sized>(
     share: &KeyShare,
     new_cfg: DkgConfig,
     rng: &mut R,
@@ -67,7 +67,7 @@ pub fn deal_reshare<R: rand::Rng + ?Sized>(
 /// # Panics
 ///
 /// Panics if `recipients` is empty or contains index zero.
-pub fn deal_reshare_to<R: rand::Rng + ?Sized>(
+pub fn deal_reshare_to<R: substrate::rng::Rng + ?Sized>(
     share: &KeyShare,
     new_t: u32,
     recipients: &[u32],
@@ -174,7 +174,7 @@ pub fn finalize_reshare(
 /// # Errors
 ///
 /// As [`finalize_reshare`].
-pub fn run_reshare<R: rand::Rng + ?Sized>(
+pub fn run_reshare<R: substrate::rng::Rng + ?Sized>(
     old: &DkgOutput,
     new_cfg: DkgConfig,
     rng: &mut R,
@@ -206,7 +206,7 @@ mod tests {
     use super::*;
     use crate::bls;
     use crate::dkg::run_trusted_dealer_free;
-    use rand::{rngs::StdRng, SeedableRng};
+    use substrate::rng::{SeedableRng, StdRng};
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0x2e5a)

@@ -23,7 +23,7 @@ impl std::fmt::Debug for Polynomial {
 impl Polynomial {
     /// Samples a random polynomial of the given degree with the given
     /// constant term.
-    pub fn random<R: rand::Rng + ?Sized>(secret: Fr, degree: usize, rng: &mut R) -> Self {
+    pub fn random<R: substrate::rng::Rng + ?Sized>(secret: Fr, degree: usize, rng: &mut R) -> Self {
         let mut coeffs = Vec::with_capacity(degree + 1);
         coeffs.push(secret);
         for _ in 0..degree {
@@ -83,7 +83,7 @@ pub struct Share {
 /// # Panics
 ///
 /// Panics if `t >= n` (reconstruction would be impossible) or `n == 0`.
-pub fn share_secret<R: rand::Rng + ?Sized>(
+pub fn share_secret<R: substrate::rng::Rng + ?Sized>(
     secret: Fr,
     t: usize,
     n: usize,
@@ -175,8 +175,7 @@ pub fn reconstruct(shares: &[Share], t: usize) -> Result<Fr, Error> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::{rngs::StdRng, SeedableRng};
+    use substrate::rng::{SeedableRng, StdRng};
 
     #[test]
     fn share_and_reconstruct() {
@@ -241,24 +240,24 @@ mod tests {
         assert_eq!(sum, Fr::one());
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(16))]
-        #[test]
-        fn any_threshold_subset_reconstructs(
-            seed in any::<u64>(),
-            t in 1usize..4,
-            extra in 0usize..3,
-        ) {
+    #[test]
+    fn any_threshold_subset_reconstructs() {
+        substrate::forall!(cases = 16, |g| {
+            let seed = g.u64();
+            let t = g.usize_in(1..4);
+            let extra = g.usize_in(0..3);
             let mut rng = StdRng::seed_from_u64(seed);
             let n = t + 1 + extra;
             let secret = Fr::random(&mut rng);
             let (_, shares) = share_secret(secret, t, n, &mut rng);
-            prop_assert_eq!(reconstruct(&shares[extra..], t).unwrap(), secret);
-        }
+            assert_eq!(reconstruct(&shares[extra..], t).unwrap(), secret);
+        });
+    }
 
-        #[test]
-        fn interpolation_at_share_point_matches(seed in any::<u64>()) {
-            let mut rng = StdRng::seed_from_u64(seed);
+    #[test]
+    fn interpolation_at_share_point_matches() {
+        substrate::forall!(cases = 16, |g| {
+            let mut rng = StdRng::seed_from_u64(g.u64());
             let secret = Fr::random(&mut rng);
             let (poly, shares) = share_secret(secret, 2, 5, &mut rng);
             // Interpolate at x = 4 using shares {1,2,3}; must equal f(4).
@@ -268,7 +267,7 @@ mod tests {
                 .zip(coeffs)
                 .map(|(s, l)| s.value * l)
                 .sum();
-            prop_assert_eq!(got, poly.eval(Fr::from_u64(4)));
-        }
+            assert_eq!(got, poly.eval(Fr::from_u64(4)));
+        });
     }
 }

@@ -112,7 +112,7 @@ impl Fp2 {
     }
 
     /// Samples a random element.
-    pub fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+    pub fn random<R: substrate::rng::Rng + ?Sized>(rng: &mut R) -> Self {
         Fp2::new(Fp::random(rng), Fp::random(rng))
     }
 
@@ -450,17 +450,17 @@ impl Field for Fp12 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, SeedableRng};
+    use substrate::rng::{SeedableRng, StdRng};
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0xc1ce_20)
     }
 
-    fn random_fp6<R: rand::Rng>(rng: &mut R) -> Fp6 {
+    fn random_fp6<R: substrate::rng::Rng>(rng: &mut R) -> Fp6 {
         Fp6::new(Fp2::random(rng), Fp2::random(rng), Fp2::random(rng))
     }
 
-    fn random_fp12<R: rand::Rng>(rng: &mut R) -> Fp12 {
+    fn random_fp12<R: substrate::rng::Rng>(rng: &mut R) -> Fp12 {
         Fp12::new(random_fp6(rng), random_fp6(rng))
     }
 

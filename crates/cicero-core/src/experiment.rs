@@ -9,8 +9,8 @@ use crate::obs::{events_per_domain, flow_latencies, Cdf, Obs};
 use controller::policy::DomainMap;
 use netmodel::telekom;
 use netmodel::topology::Topology;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use substrate::rng::StdRng;
+use substrate::rng::SeedableRng;
 use simnet::time::{SimDuration, SimTime};
 use southbound::types::{DomainId, FlowId, HostId};
 use std::collections::BTreeMap;

@@ -4,7 +4,7 @@
 use bft::message::{BftMessage, BftPayload, Digest};
 use blscrypto::reshare::ReshareDealing;
 use blscrypto::sha256::sha256_parts;
-use bytes::BytesMut;
+use substrate::buf::BytesMut;
 use simnet::time::{SimDuration, SimTime};
 use southbound::codec::{DecodeError, Wire};
 use southbound::envelope::{QuorumSigned, ShareSigned, Signed};

@@ -9,8 +9,8 @@ use blscrypto::feldman::Commitment;
 use blscrypto::curves::G2Projective;
 use controller::policy::GlobalDomainPolicy;
 use netmodel::topology::Topology;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use substrate::rng::StdRng;
+use substrate::rng::SeedableRng;
 use simnet::node::NodeId;
 use southbound::types::{ControllerId, DomainId, SwitchId};
 use std::collections::BTreeMap;

@@ -7,21 +7,17 @@ use cicero_core::prelude::*;
 use controller::policy::DomainMap;
 use netmodel::routing::route;
 use netmodel::topology::Topology;
-use proptest::prelude::*;
 use simnet::sim::ENVIRONMENT;
 use southbound::types::{FlowId, FlowMatch};
 use std::collections::HashSet;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn random_workloads_complete_and_stay_consistent(
-        seed in any::<u64>(),
-        n_flows in 1usize..10,
-        agg in any::<bool>(),
-        drop_pct in 0u32..4,
-    ) {
+#[test]
+fn random_workloads_complete_and_stay_consistent() {
+    substrate::forall!(cases = 12, |g| {
+        let seed = g.u64();
+        let n_flows = g.usize_in(1..10);
+        let agg = g.bool();
+        let drop_pct = g.u32_in(0..4);
         let mut cfg = EngineConfig::for_mode(Mode::Cicero {
             aggregation: if agg { Aggregation::Controller } else { Aggregation::Switch },
         });
@@ -69,25 +65,25 @@ proptest! {
         let mut completed = HashSet::new();
         for o in engine.observations() {
             if let Obs::FlowCompleted { flow, .. } = o.value {
-                prop_assert!(completed.insert(flow), "flow {flow:?} completed twice");
+                assert!(completed.insert(flow), "flow {flow:?} completed twice");
             }
         }
         for (flow, _, _) in &pairs {
-            prop_assert!(completed.contains(flow), "flow {flow:?} never completed");
+            assert!(completed.contains(flow), "flow {flow:?} never completed");
         }
 
         // No update applied twice at any switch.
         let mut seen = HashSet::new();
         for o in engine.observations() {
             if let Obs::UpdateApplied { switch, update, .. } = o.value {
-                prop_assert!(seen.insert((switch, update)), "duplicate application");
+                assert!(seen.insert((switch, update)), "duplicate application");
             }
         }
 
         // No transient hazard for any flow.
         for (_, ingress, m) in &pairs {
             let hazards = audit_flow(engine.observations(), *ingress, *m, false);
-            prop_assert!(hazards.is_empty(), "hazards for {m:?}: {hazards:?}");
+            assert!(hazards.is_empty(), "hazards for {m:?}: {hazards:?}");
         }
-    }
+    });
 }

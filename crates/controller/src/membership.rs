@@ -12,7 +12,6 @@
 //! * a derived Byzantine quorum `⌊(n-1)/3⌋ + 1` that parametrizes both the
 //!   threshold signatures and the per-update quorum check.
 
-use serde::{Deserialize, Serialize};
 use southbound::types::{ControllerId, Phase};
 use std::collections::BTreeSet;
 
@@ -49,7 +48,7 @@ impl std::error::Error for MembershipError {}
 
 /// A domain control plane's membership view. All correct members hold the
 /// same view at the same phase (changes ride the atomic broadcast).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ControlPlaneView {
     members: BTreeSet<ControllerId>,
     bootstrap: ControllerId,

@@ -7,13 +7,12 @@
 //! * [`Topology::multi_dc`] — several multi-pod data centers joined by an
 //!   inter-DC WAN with per-site-pair latencies (see [`crate::telekom`]).
 
-use serde::{Deserialize, Serialize};
 use simnet::time::SimDuration;
 use southbound::types::{HostId, SwitchId};
 use std::collections::{BTreeMap, HashMap};
 
 /// Physical placement of a switch or host.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Location {
     /// Data-center index.
     pub dc: u16,
@@ -24,7 +23,7 @@ pub struct Location {
 }
 
 /// Switch tier in the fabric.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum SwitchRole {
     /// Top-of-rack switch with attached hosts.
     TopOfRack,
@@ -37,7 +36,7 @@ pub enum SwitchRole {
 }
 
 /// Static description of one switch.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct SwitchInfo {
     /// The switch.
     pub id: SwitchId,
@@ -48,7 +47,7 @@ pub struct SwitchInfo {
 }
 
 /// Static description of one host.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct HostInfo {
     /// The host.
     pub id: HostId,
@@ -59,7 +58,7 @@ pub struct HostInfo {
 }
 
 /// An undirected switch-to-switch link.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Link {
     /// One endpoint.
     pub a: SwitchId,
@@ -84,16 +83,13 @@ pub const LAT_GATEWAY: SimDuration = SimDuration::from_micros(300);
 pub const DEFAULT_CAPACITY: u64 = 100;
 
 /// An immutable network topology: switches, hosts, links.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Topology {
     switches: Vec<SwitchInfo>,
     hosts: Vec<HostInfo>,
     links: Vec<Link>,
-    #[serde(skip)]
     adjacency: HashMap<SwitchId, Vec<(SwitchId, SimDuration)>>,
-    #[serde(skip)]
     host_index: HashMap<HostId, usize>,
-    #[serde(skip)]
     switch_index: HashMap<SwitchId, usize>,
 }
 

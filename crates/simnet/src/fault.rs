@@ -6,8 +6,8 @@
 
 use crate::node::NodeId;
 use crate::time::SimTime;
-use rand::rngs::StdRng;
-use rand::RngExt as _;
+use substrate::rng::StdRng;
+use substrate::rng::Rng as _;
 use std::collections::HashSet;
 
 /// Declarative fault plan applied by the simulation engine.
@@ -79,7 +79,7 @@ impl FaultPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use substrate::rng::SeedableRng;
 
     #[test]
     fn severed_links_always_drop() {

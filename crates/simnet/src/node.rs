@@ -1,12 +1,11 @@
 //! Node identities and the actor trait.
 
 use crate::time::{SimDuration, SimTime};
-use rand::rngs::StdRng;
-use serde::{Deserialize, Serialize};
+use substrate::rng::StdRng;
 
 /// Identifies a simulated node (controller, switch, or host).
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default,
 )]
 pub struct NodeId(pub u32);
 
@@ -17,7 +16,7 @@ impl std::fmt::Display for NodeId {
 }
 
 /// An opaque timer identifier chosen by the actor.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub struct TimerToken(pub u64);
 
 /// A simulated process. `M` is the message type exchanged on the network;

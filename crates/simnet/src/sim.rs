@@ -9,8 +9,8 @@ use crate::latency::LatencyModel;
 use crate::metrics::CpuMeter;
 use crate::node::{Actor, Context, Effect, NodeId, TimerToken};
 use crate::time::{SimDuration, SimTime};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use substrate::rng::StdRng;
+use substrate::rng::SeedableRng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 

@@ -7,7 +7,7 @@
 //! input (decoding arbitrary bytes never panics — property-tested).
 
 use crate::types::*;
-use bytes::{Buf, BufMut, BytesMut};
+use substrate::buf::{Buf, BufMut, BytesMut};
 
 /// Decoding failure.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -393,7 +393,6 @@ impl Wire for Event {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
         let bytes = v.to_wire();
@@ -476,37 +475,93 @@ mod tests {
         assert!(Vec::<u64>::from_wire(&buf).is_err());
     }
 
-    proptest! {
-        #[test]
-        fn decoding_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+    /// Golden wire fixtures: the exact byte layout is part of the protocol
+    /// contract. These pin the big-endian encoding across buffer-layer
+    /// changes (the `substrate::buf` swap must be byte-identical).
+    #[test]
+    fn golden_event_fixture() {
+        let event = Event {
+            id: EventId(0x0102030405060708),
+            kind: EventKind::PacketIn {
+                switch: SwitchId(0x0a0b0c0d),
+                flow: FlowId(0x1112131415161718),
+                src: HostId(0x21222324),
+                dst: HostId(0x31323334),
+            },
+            origin: DomainId(0x4142),
+            forwarded: true,
+        };
+        let expected: &[u8] = &[
+            0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, // id
+            0x00, // PacketIn discriminant
+            0x0a, 0x0b, 0x0c, 0x0d, // switch
+            0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17, 0x18, // flow
+            0x21, 0x22, 0x23, 0x24, // src
+            0x31, 0x32, 0x33, 0x34, // dst
+            0x41, 0x42, // origin
+            0x01, // forwarded
+        ];
+        assert_eq!(&event.to_wire()[..], expected);
+        assert_eq!(Event::from_wire(expected).unwrap(), event);
+    }
+
+    #[test]
+    fn golden_update_fixture() {
+        let update = NetworkUpdate {
+            id: UpdateId {
+                event: EventId(0x99),
+                seq: 3,
+            },
+            switch: SwitchId(7),
+            kind: UpdateKind::Install(FlowRule {
+                matcher: FlowMatch {
+                    src: HostId(1),
+                    dst: HostId(2),
+                },
+                action: FlowAction::Forward(NextHop::Switch(SwitchId(8))),
+            }),
+        };
+        let expected: &[u8] = &[
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x99, // id.event
+            0x00, 0x00, 0x00, 0x03, // id.seq
+            0x00, 0x00, 0x00, 0x07, // switch
+            0x00, // Install discriminant
+            0x00, 0x00, 0x00, 0x01, // matcher.src
+            0x00, 0x00, 0x00, 0x02, // matcher.dst
+            0x00, // Forward discriminant
+            0x00, // NextHop::Switch discriminant
+            0x00, 0x00, 0x00, 0x08, // next-hop switch
+        ];
+        assert_eq!(&update.to_wire()[..], expected);
+        assert_eq!(NetworkUpdate::from_wire(expected).unwrap(), update);
+    }
+
+    #[test]
+    fn decoding_arbitrary_bytes_never_panics() {
+        substrate::forall!(|g| {
+            let bytes = g.bytes(255);
             let _ = Event::from_wire(&bytes);
             let _ = NetworkUpdate::from_wire(&bytes);
             let _ = Vec::<FlowRule>::from_wire(&bytes);
-        }
+        });
+    }
 
-        #[test]
-        fn event_round_trip(
-            id in any::<u64>(),
-            switch in any::<u32>(),
-            flow in any::<u64>(),
-            src in any::<u32>(),
-            dst in any::<u32>(),
-            origin in any::<u16>(),
-            forwarded in any::<bool>(),
-        ) {
+    #[test]
+    fn event_round_trip() {
+        substrate::forall!(|g| {
             let event = Event {
-                id: EventId(id),
+                id: EventId(g.u64()),
                 kind: EventKind::PacketIn {
-                    switch: SwitchId(switch),
-                    flow: FlowId(flow),
-                    src: HostId(src),
-                    dst: HostId(dst),
+                    switch: SwitchId(g.u32()),
+                    flow: FlowId(g.u64()),
+                    src: HostId(g.u32()),
+                    dst: HostId(g.u32()),
                 },
-                origin: DomainId(origin),
-                forwarded,
+                origin: DomainId(g.u16()),
+                forwarded: g.bool(),
             };
             let bytes = event.to_wire();
-            prop_assert_eq!(Event::from_wire(&bytes).unwrap(), event);
-        }
+            assert_eq!(Event::from_wire(&bytes).unwrap(), event);
+        });
     }
 }

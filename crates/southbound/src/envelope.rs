@@ -139,7 +139,7 @@ mod tests {
     use super::*;
     use crate::types::{EventId, FlowId};
     use blscrypto::dkg;
-    use rand::{rngs::StdRng, SeedableRng};
+    use substrate::rng::{SeedableRng, StdRng};
 
     const LABEL: &str = "TEST_ENVELOPE";
 

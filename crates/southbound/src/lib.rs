@@ -16,7 +16,7 @@
 //! ```
 //! use southbound::prelude::*;
 //! use blscrypto::bls::SecretKey;
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use substrate::rng::{SeedableRng, StdRng};
 //!
 //! let mut rng = StdRng::seed_from_u64(9);
 //! let key = SecretKey::generate(&mut rng);

@@ -1,17 +1,16 @@
 //! Identifiers and data-plane primitives shared across the control and data
 //! planes.
 
-use serde::{Deserialize, Serialize};
 
 /// A compute host attached to a top-of-rack switch.
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug,
 )]
 pub struct HostId(pub u32);
 
 /// A data-plane switch.
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug,
 )]
 pub struct SwitchId(pub u32);
 
@@ -20,32 +19,32 @@ pub struct SwitchId(pub u32);
 /// Identifiers are 1-based, never reused, and double as threshold-crypto
 /// share indices (paper §4.2: the aggregator is the lowest live identifier).
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug,
 )]
 pub struct ControllerId(pub u32);
 
 /// An update domain: an independent control plane + data plane partition
 /// (paper §3.3).
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug,
 )]
 pub struct DomainId(pub u16);
 
 /// A workload-level network flow.
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug,
 )]
 pub struct FlowId(pub u64);
 
 /// A data-plane event, unique network-wide.
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug,
 )]
 pub struct EventId(pub u64);
 
 /// A network update, unique within its event.
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug,
 )]
 pub struct UpdateId {
     /// The event this update answers.
@@ -57,7 +56,7 @@ pub struct UpdateId {
 /// The control-plane membership phase (paper §4.3): incremented on every
 /// controller addition/removal; events are tagged and queued across changes.
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default,
 )]
 pub struct Phase(pub u64);
 
@@ -69,7 +68,7 @@ impl Phase {
 }
 
 /// Where a matching packet is sent next.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum NextHop {
     /// Forward to a neighbouring switch.
     Switch(SwitchId),
@@ -80,7 +79,7 @@ pub enum NextHop {
 /// An exact-match flow descriptor (the subset of the OpenFlow match space
 /// the protocol exercises).
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug,
 )]
 pub struct FlowMatch {
     /// Source host.
@@ -90,7 +89,7 @@ pub struct FlowMatch {
 }
 
 /// What to do with a matching packet.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum FlowAction {
     /// Forward toward the next hop.
     Forward(NextHop),
@@ -99,7 +98,7 @@ pub enum FlowAction {
 }
 
 /// One forwarding rule.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct FlowRule {
     /// The match.
     pub matcher: FlowMatch,
@@ -108,7 +107,7 @@ pub struct FlowRule {
 }
 
 /// The modification an update applies to a switch flow table.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum UpdateKind {
     /// Install (or replace) a rule.
     Install(FlowRule),
@@ -118,7 +117,7 @@ pub enum UpdateKind {
 
 /// A network update: one rule change on one switch (paper §3.1:
 /// `u = (s, r)`).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct NetworkUpdate {
     /// Unique id (event + sequence), preventing duplicate processing.
     pub id: UpdateId,
@@ -129,7 +128,7 @@ pub struct NetworkUpdate {
 }
 
 /// Data-plane and administrative events that trigger network updates.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum EventKind {
     /// A packet with no matching flow-table rule arrived at a switch.
     PacketIn {
@@ -178,7 +177,7 @@ pub enum EventKind {
 
 /// A control-plane event: unique id, payload, originating domain, and the
 /// forwarded flag that stops endless cross-domain dissemination (paper §4.1).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Event {
     /// Unique event id.
     pub id: EventId,
@@ -218,6 +217,166 @@ mod tests {
                 event: EventId(7),
                 seq: 0
             }
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Explicit JSON projections (replacing the former serde derives): these are
+// the documents experiment harnesses and external tooling consume, so the
+// encoding is spelled out by hand and locked by tests.
+
+use substrate::ser::{JsonValue, ToJson};
+
+macro_rules! json_newtype {
+    ($($ty:ident),*) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> JsonValue {
+                self.0.to_json()
+            }
+        }
+    )*};
+}
+
+json_newtype!(HostId, SwitchId, ControllerId, DomainId, FlowId, EventId, Phase);
+
+impl ToJson for UpdateId {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([("event", self.event.to_json()), ("seq", self.seq.to_json())])
+    }
+}
+
+impl ToJson for NextHop {
+    fn to_json(&self) -> JsonValue {
+        match self {
+            NextHop::Switch(s) => JsonValue::object([("switch", s.to_json())]),
+            NextHop::Host(h) => JsonValue::object([("host", h.to_json())]),
+        }
+    }
+}
+
+impl ToJson for FlowMatch {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([("src", self.src.to_json()), ("dst", self.dst.to_json())])
+    }
+}
+
+impl ToJson for FlowAction {
+    fn to_json(&self) -> JsonValue {
+        match self {
+            FlowAction::Forward(n) => JsonValue::object([("forward", n.to_json())]),
+            FlowAction::Deny => JsonValue::Str("deny".into()),
+        }
+    }
+}
+
+impl ToJson for FlowRule {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("match", self.matcher.to_json()),
+            ("action", self.action.to_json()),
+        ])
+    }
+}
+
+impl ToJson for UpdateKind {
+    fn to_json(&self) -> JsonValue {
+        match self {
+            UpdateKind::Install(r) => JsonValue::object([("install", r.to_json())]),
+            UpdateKind::Remove(m) => JsonValue::object([("remove", m.to_json())]),
+        }
+    }
+}
+
+impl ToJson for NetworkUpdate {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("id", self.id.to_json()),
+            ("switch", self.switch.to_json()),
+            ("kind", self.kind.to_json()),
+        ])
+    }
+}
+
+impl ToJson for EventKind {
+    fn to_json(&self) -> JsonValue {
+        match *self {
+            EventKind::PacketIn { switch, flow, src, dst } => JsonValue::object([
+                ("type", "packet_in".to_json()),
+                ("switch", switch.to_json()),
+                ("flow", flow.to_json()),
+                ("src", src.to_json()),
+                ("dst", dst.to_json()),
+            ]),
+            EventKind::FlowTeardown { flow, src, dst } => JsonValue::object([
+                ("type", "flow_teardown".to_json()),
+                ("flow", flow.to_json()),
+                ("src", src.to_json()),
+                ("dst", dst.to_json()),
+            ]),
+            EventKind::LinkFailure { a, b } => JsonValue::object([
+                ("type", "link_failure".to_json()),
+                ("a", a.to_json()),
+                ("b", b.to_json()),
+            ]),
+            EventKind::PolicyChange { policy } => JsonValue::object([
+                ("type", "policy_change".to_json()),
+                ("policy", policy.to_json()),
+            ]),
+            EventKind::MembershipChanged { domain, controller, added } => JsonValue::object([
+                ("type", "membership_changed".to_json()),
+                ("domain", domain.to_json()),
+                ("controller", controller.to_json()),
+                ("added", added.to_json()),
+            ]),
+        }
+    }
+}
+
+impl ToJson for Event {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("id", self.id.to_json()),
+            ("kind", self.kind.to_json()),
+            ("origin", self.origin.to_json()),
+            ("forwarded", self.forwarded.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod json_tests {
+    use super::*;
+    use substrate::ser::ToJson;
+
+    #[test]
+    fn network_update_emits_stable_document() {
+        let u = NetworkUpdate {
+            id: UpdateId { event: EventId(9), seq: 2 },
+            switch: SwitchId(3),
+            kind: UpdateKind::Install(FlowRule {
+                matcher: FlowMatch { src: HostId(1), dst: HostId(2) },
+                action: FlowAction::Forward(NextHop::Host(HostId(2))),
+            }),
+        };
+        assert_eq!(
+            u.to_json_string(),
+            r#"{"id":{"event":9,"seq":2},"switch":3,"kind":{"install":{"match":{"src":1,"dst":2},"action":{"forward":{"host":2}}}}}"#
+        );
+    }
+
+    #[test]
+    fn event_kinds_are_tagged() {
+        let e = Event {
+            id: EventId(5),
+            kind: EventKind::LinkFailure { a: SwitchId(1), b: SwitchId(2) },
+            origin: DomainId(0),
+            forwarded: false,
+        };
+        let json = e.to_json();
+        assert_eq!(
+            json.get("kind").unwrap().get("type").unwrap().as_str(),
+            Some("link_failure")
         );
     }
 }

@@ -1,0 +1,34 @@
+//! The workspace's foundation crate: everything the rest of the system would
+//! otherwise pull from crates.io, implemented from scratch with **zero
+//! dependencies** so the workspace builds, tests, and benches offline and
+//! deterministically.
+//!
+//! Modules:
+//!
+//! * [`rng`] — splitmix64-seeded xoshiro256** generator behind a small
+//!   [`rng::Rng`] trait (`random`, `random_range`, `fill_bytes`, `shuffle`);
+//!   a drop-in for the previous `rand` usage.
+//! * [`buf`] — minimal [`buf::Buf`]/[`buf::BufMut`]/[`buf::BytesMut`] byte
+//!   buffers for the southbound wire codec.
+//! * [`ser`] — an explicit, proc-macro-free serialization story: a
+//!   [`ser::JsonValue`] tree with an emitter *and* parser, and a
+//!   [`ser::ToJson`] trait implemented manually on config, message, and
+//!   metric types.
+//! * [`sync`] — poison-free `Mutex`/`RwLock` and mpsc channels over
+//!   `std::sync` (the `parking_lot`/`crossbeam` stand-in).
+//! * [`check`] — a seeded property-testing harness: [`check::Gen`]
+//!   generators, the [`forall!`] macro, failing-seed reports, and
+//!   `CHECK_SEED=<seed>` single-case replay.
+//! * [`benchkit`] — warmup/iteration timing with median/p95 statistics and
+//!   JSON output, replacing criterion for the micro-benchmarks.
+//!
+//! Determinism is the design center: the same seed always produces the same
+//! byte stream, the same property-test cases, and the same simulated
+//! schedules, on every host, forever.
+
+pub mod benchkit;
+pub mod buf;
+pub mod check;
+pub mod rng;
+pub mod ser;
+pub mod sync;

@@ -1,0 +1,98 @@
+//! Regression guard for simulator reproducibility: the RNG stream for a
+//! given seed is part of `substrate`'s contract. If any of these tests
+//! fail, a change to `substrate::rng` has silently re-randomized every
+//! seeded experiment, property case, and simulated schedule in the repo.
+
+use substrate::rng::{Rng, SeedableRng, StdRng};
+
+/// First outputs of `StdRng::seed_from_u64(0)` — splitmix64-expanded
+/// xoshiro256**. Golden values: regenerate ONLY on an intentional,
+/// documented algorithm change.
+const GOLDEN_SEED0: [u64; 4] = [
+    0x99ec5f36cb75f2b4,
+    0xbf6e1f784956452a,
+    0x1a5f849d4933e6e0,
+    0x6aa594f1262d2d2c,
+];
+
+#[test]
+fn golden_stream_for_seed_zero() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let got: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+    assert_eq!(got, GOLDEN_SEED0, "xoshiro256** stream changed for seed 0");
+}
+
+#[test]
+fn same_seed_same_byte_stream() {
+    for seed in [0u64, 1, 42, u64::MAX, 0xc1ce_0000_0000_0001] {
+        let mut a = StdRng::seed_from_u64(seed);
+        let mut b = StdRng::seed_from_u64(seed);
+        let mut buf_a = vec![0u8; 1027]; // deliberately unaligned length
+        let mut buf_b = vec![0u8; 1027];
+        a.fill_bytes(&mut buf_a);
+        b.fill_bytes(&mut buf_b);
+        assert_eq!(buf_a, buf_b, "seed {seed} produced divergent byte streams");
+    }
+}
+
+#[test]
+fn same_seed_same_range_sequence() {
+    let mut a = StdRng::seed_from_u64(7);
+    let mut b = StdRng::seed_from_u64(7);
+    for i in 0..10_000u64 {
+        let hi = 2 + (i % 1000);
+        assert_eq!(
+            a.random_range(0..hi),
+            b.random_range(0..hi),
+            "gen_range diverged at draw {i}"
+        );
+    }
+}
+
+#[test]
+fn mixed_draw_kinds_stay_in_lockstep() {
+    // Interleaving draw kinds must not desynchronize two identically
+    // seeded generators (each derived method consumes a deterministic
+    // number of raw outputs).
+    let mut a = StdRng::seed_from_u64(123);
+    let mut b = StdRng::seed_from_u64(123);
+    for _ in 0..1000 {
+        assert_eq!(a.random::<f64>(), b.random::<f64>());
+        assert_eq!(a.random_range(0..97usize), b.random_range(0..97usize));
+        assert_eq!(a.random::<bool>(), b.random::<bool>());
+        let mut xa = [0u8; 5];
+        let mut xb = [0u8; 5];
+        a.fill_bytes(&mut xa);
+        b.fill_bytes(&mut xb);
+        assert_eq!(xa, xb);
+    }
+}
+
+#[test]
+fn distinct_seeds_diverge() {
+    let mut streams: Vec<Vec<u64>> = [1u64, 2, 3, 0xdead_beef]
+        .iter()
+        .map(|&seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..64).map(|_| rng.next_u64()).collect()
+        })
+        .collect();
+    streams.sort();
+    streams.dedup();
+    assert_eq!(streams.len(), 4, "distinct seeds must give distinct streams");
+}
+
+#[test]
+fn nearby_seeds_are_uncorrelated_in_ranges() {
+    // Adjacent seeds should not produce correlated small-range draws
+    // (splitmix64 expansion decorrelates them).
+    let draws = |seed: u64| -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..256).map(|_| rng.random_range(0..4u32)).collect()
+    };
+    let a = draws(1000);
+    let b = draws(1001);
+    let agree = a.iter().zip(&b).filter(|(x, y)| x == y).count();
+    // Expected agreement ≈ 64/256; 1/2 would indicate correlation.
+    assert!(agree < 128, "adjacent seeds agree on {agree}/256 draws");
+}

@@ -1,8 +1,8 @@
 //! Sampling routines (`rand_distr` is not on the offline allowlist, so the
 //! few distributions the workloads need are implemented here).
 
-use rand::rngs::StdRng;
-use rand::RngExt as _;
+use substrate::rng::StdRng;
+use substrate::rng::Rng as _;
 
 /// Exponential distribution with the given mean (inter-arrival times of a
 /// Poisson process).
@@ -96,7 +96,7 @@ pub fn weighted_index(weights: &[f64], rng: &mut StdRng) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use substrate::rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0x5eed)

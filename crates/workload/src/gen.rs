@@ -4,8 +4,8 @@
 use crate::dist::weighted_index;
 use crate::spec::{LocalityClass, WorkloadSpec};
 use netmodel::topology::Topology;
-use rand::rngs::StdRng;
-use rand::RngExt as _;
+use substrate::rng::StdRng;
+use substrate::rng::Rng as _;
 use simnet::time::SimTime;
 use southbound::types::{FlowId, HostId};
 
@@ -131,7 +131,7 @@ mod tests {
     use super::*;
     use crate::spec::{hadoop, web_server_multi_dc, LocalityMix};
     use netmodel::telekom;
-    use rand::SeedableRng;
+    use substrate::rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0xf10e)

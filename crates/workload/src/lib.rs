@@ -13,7 +13,7 @@
 //! ```
 //! use workload::prelude::*;
 //! use netmodel::topology::Topology;
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use substrate::rng::{SeedableRng, StdRng};
 //!
 //! let topo = Topology::single_pod(4, 2, 4);
 //! let mut spec = hadoop();

@@ -14,10 +14,9 @@
 //! ≈33.6 ms at the default host bandwidth (see DESIGN.md).
 
 use crate::dist::{Exponential, LogNormal};
-use serde::{Deserialize, Serialize};
 
 /// Where a flow's destination sits relative to its source.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum LocalityClass {
     /// Same rack (same ToR).
     IntraRack,
@@ -30,7 +29,7 @@ pub enum LocalityClass {
 }
 
 /// Probability mass over the four locality classes.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LocalityMix {
     /// P(same rack).
     pub intra_rack: f64,

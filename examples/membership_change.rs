@@ -7,7 +7,7 @@
 //! Run with: `cargo run --example membership_change`
 
 use cicero::prelude::*;
-use rand::{rngs::StdRng, SeedableRng};
+use substrate::rng::{SeedableRng, StdRng};
 
 fn main() {
     let mut cfg = EngineConfig::for_mode(Mode::Cicero {

@@ -8,7 +8,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use cicero::prelude::*;
-use rand::{rngs::StdRng, SeedableRng};
+use substrate::rng::{SeedableRng, StdRng};
 
 fn main() {
     // 1. The deployment: one pod (4 racks x 4 edge switches, 4 hosts per

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the workspace must build, test, and stay
+# dependency-free entirely offline. Run from anywhere inside the repo.
+set -euo pipefail
+
+cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel 2>/dev/null || dirname "$0")/"
+[ -f Cargo.toml ] || cd "$(dirname "$0")/.."
+
+echo "== dependency freeze check =="
+# The workspace is self-contained: every [dependencies]/[dev-dependencies]
+# entry must be a path crate of this workspace. Fail if any manifest
+# reintroduces an external crate (rand, serde, bytes, parking_lot,
+# crossbeam, proptest, criterion, or anything else from crates.io).
+fail=0
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    # Dependency section bodies, stripped of comments/blank lines.
+    deps=$(awk '
+        /^\[(workspace\.)?(dev-|build-)?dependencies\]/ { indep = 1; next }
+        /^\[/ { indep = 0 }
+        indep && NF && $0 !~ /^#/ { print }
+    ' "$manifest")
+    while IFS= read -r line; do
+        [ -z "$line" ] && continue
+        # Allowed forms: `name.workspace = true` or `name = { path = ... }`.
+        if echo "$line" | grep -qE '^[a-z0-9_-]+\.workspace *= *true'; then
+            continue
+        fi
+        if echo "$line" | grep -qE '^[a-z0-9_-]+ *= *\{[^}]*path *='; then
+            continue
+        fi
+        echo "  FORBIDDEN external dependency in $manifest: $line"
+        fail=1
+    done <<< "$deps"
+done
+if [ "$fail" -ne 0 ]; then
+    echo "dependency freeze check FAILED: the workspace must stay self-contained"
+    exit 1
+fi
+echo "  ok: all dependencies are in-workspace path crates"
+
+echo "== tier-1: cargo build --release --offline =="
+cargo build --release --offline
+
+echo "== tier-1: cargo test -q --offline =="
+cargo test -q --offline
+
+echo "verify.sh: all checks passed"

@@ -3,7 +3,7 @@
 //! without ever changing the group public key switches hold.
 
 use cicero::prelude::*;
-use rand::{rngs::StdRng, SeedableRng};
+use substrate::rng::{SeedableRng, StdRng};
 
 fn build(n_standby: u32) -> (Engine, Topology) {
     let mut cfg = EngineConfig::for_mode(Mode::Cicero {

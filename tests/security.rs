@@ -5,7 +5,7 @@
 use blscrypto::bls::{PartialSignature, SecretKey};
 use blscrypto::curves::g1_generator;
 use cicero::prelude::*;
-use rand::{rngs::StdRng, SeedableRng};
+use substrate::rng::{SeedableRng, StdRng};
 use simnet::sim::ENVIRONMENT;
 use southbound::envelope::{MsgId, QuorumSigned, ShareSigned, Signed};
 
