@@ -123,6 +123,12 @@ pub enum BftMessage<P> {
         new_view: View,
         /// Entries the sender prepared in earlier views.
         prepared: Vec<Prepared<P>>,
+        /// The sender's delivery frontier. The new primary re-proposes from
+        /// the quorum's *minimum* frontier so replicas whose logs fell
+        /// behind (lossy links) catch up on slots the rest already
+        /// delivered — PBFT's checkpoint-based state transfer, reduced to
+        /// the no-garbage-collection case.
+        last_delivered: Seq,
     },
     /// The new primary's installation message: certificates justify
     /// re-proposals, which follow as fresh `PrePrepare`s.

@@ -38,6 +38,14 @@ impl BftConfig {
         }
     }
 
+    /// Overrides the progress timeout (builder style). Lossy deployments
+    /// raise it so benign message loss does not masquerade as a faulty
+    /// primary; a value of `0` is clamped to `1`.
+    pub fn with_view_timeout(mut self, ticks: u32) -> Self {
+        self.view_timeout_ticks = ticks.max(1);
+        self
+    }
+
     /// Maximum tolerated Byzantine faults `⌊(n-1)/3⌋`.
     pub fn f(&self) -> u32 {
         (self.n.saturating_sub(1)) / 3
@@ -110,7 +118,10 @@ pub struct Replica<P> {
     proposed_this_view: HashMap<Digest, Seq>,
     delivered_digests: HashSet<Digest>,
     ticks_waiting: u32,
-    view_change_votes: BTreeMap<View, BTreeMap<ReplicaId, Vec<Prepared<P>>>>,
+    /// Consecutive view timeouts without delivery progress; exponent of
+    /// the current timeout backoff.
+    timeout_shift: u32,
+    view_change_votes: BTreeMap<View, BTreeMap<ReplicaId, (Seq, Vec<Prepared<P>>)>>,
 }
 
 impl<P: BftPayload> Replica<P> {
@@ -134,6 +145,7 @@ impl<P: BftPayload> Replica<P> {
             proposed_this_view: HashMap::new(),
             delivered_digests: HashSet::new(),
             ticks_waiting: 0,
+            timeout_shift: 0,
             view_change_votes: BTreeMap::new(),
         }
     }
@@ -156,6 +168,11 @@ impl<P: BftPayload> Replica<P> {
     /// Number of payload-or-noop slots delivered so far.
     pub fn delivered_count(&self) -> u64 {
         self.last_delivered
+    }
+
+    /// Submitted payloads not yet delivered locally (liveness diagnostics).
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
     }
 
     /// Submits a payload for total ordering (replicas are their own
@@ -231,6 +248,24 @@ impl<P: BftPayload> Replica<P> {
         {
             let e = self.entry(seq);
             if e.committed {
+                // Already committed here (and possibly delivered). Re-cast
+                // our votes in the proposing view anyway: a replica that
+                // missed the original round can only commit the re-proposal
+                // if the up-to-date majority participates again. Delivery
+                // is idempotent (`check_committed` skips committed
+                // entries), so this is pure catch-up bandwidth.
+                if e.digest == Some(digest) {
+                    let mut out = Vec::new();
+                    if me != primary {
+                        out.push(Output::Broadcast(BftMessage::Prepare {
+                            view,
+                            seq,
+                            digest,
+                        }));
+                    }
+                    out.push(Output::Broadcast(BftMessage::Commit { view, seq, digest }));
+                    return out;
+                }
                 return Vec::new();
             }
             if e.digest == Some(digest) && e.view == view {
@@ -328,6 +363,7 @@ impl<P: BftPayload> Replica<P> {
             let slot = e.slot.clone().expect("committed entries carry slots");
             self.last_delivered = next;
             self.ticks_waiting = 0;
+            self.timeout_shift = 0;
             if let Slot::Payload(payload) = slot {
                 let digest = payload.digest();
                 self.pending.retain(|(d, _)| *d != digest);
@@ -386,9 +422,11 @@ impl<P: BftPayload> Replica<P> {
                     .insert(from);
                 self.check_committed(seq)
             }
-            BftMessage::ViewChange { new_view, prepared } => {
-                self.handle_view_change(from, new_view, prepared)
-            }
+            BftMessage::ViewChange {
+                new_view,
+                prepared,
+                last_delivered,
+            } => self.handle_view_change(from, new_view, prepared, last_delivered),
             BftMessage::NewView {
                 view,
                 voters,
@@ -398,8 +436,12 @@ impl<P: BftPayload> Replica<P> {
     }
 
     /// Progress clock: the embedding calls this on a fixed cadence; after
-    /// `view_timeout_ticks` without delivery progress while work is pending,
-    /// the replica votes to change views.
+    /// the current view timeout without delivery progress while work is
+    /// pending, the replica votes to change views. Consecutive timeouts
+    /// without any delivery in between double the timeout (capped at 32x,
+    /// reset on progress), as in PBFT: a load burst that briefly outlives
+    /// one timeout must not snowball into a view-change storm whose own
+    /// cost keeps the next timeout firing.
     pub fn on_tick(&mut self) -> Vec<Output<P>> {
         // Liveness signals: our own undelivered submissions, or a committed
         // slot stuck behind a gap. (A merely *prepared* foreign entry is the
@@ -415,10 +457,15 @@ impl<P: BftPayload> Replica<P> {
             return Vec::new();
         }
         self.ticks_waiting += 1;
-        if self.ticks_waiting <= self.cfg.view_timeout_ticks {
+        let timeout = self
+            .cfg
+            .view_timeout_ticks
+            .saturating_mul(1 << self.timeout_shift.min(5));
+        if self.ticks_waiting <= timeout {
             return Vec::new();
         }
         self.ticks_waiting = 0;
+        self.timeout_shift = self.timeout_shift.saturating_add(1);
         let next = self.target_view.max(self.view) + 1;
         self.vote_view_change(next)
     }
@@ -448,10 +495,11 @@ impl<P: BftPayload> Replica<P> {
         self.view_change_votes
             .entry(new_view)
             .or_default()
-            .insert(self.id, prepared.clone());
+            .insert(self.id, (self.last_delivered, prepared.clone()));
         let mut out = vec![Output::Broadcast(BftMessage::ViewChange {
             new_view,
             prepared,
+            last_delivered: self.last_delivered,
         })];
         out.extend(self.maybe_install_view(new_view));
         out
@@ -462,6 +510,7 @@ impl<P: BftPayload> Replica<P> {
         from: ReplicaId,
         new_view: View,
         prepared: Vec<Prepared<P>>,
+        last_delivered: Seq,
     ) -> Vec<Output<P>> {
         if new_view <= self.view {
             return Vec::new();
@@ -469,7 +518,7 @@ impl<P: BftPayload> Replica<P> {
         self.view_change_votes
             .entry(new_view)
             .or_default()
-            .insert(from, prepared);
+            .insert(from, (last_delivered, prepared));
         let mut out = Vec::new();
         // Join rule: seeing f+1 votes for a higher view, join it (liveness
         // when the timeout hasn't fired locally yet).
@@ -501,12 +550,24 @@ impl<P: BftPayload> Replica<P> {
         if votes.len() < self.cfg.quorum() {
             return Vec::new();
         }
+        // Re-proposals must start at the *quorum minimum* delivery
+        // frontier, not our own: a backup whose log fell behind under loss
+        // can only close its gaps if the slots the rest already delivered
+        // are run through the new view again (our committed entries are
+        // re-shipped verbatim; replicas that delivered them ignore the
+        // duplicates).
+        let floor = votes
+            .values()
+            .map(|(ld, _)| *ld)
+            .min()
+            .unwrap_or(self.last_delivered)
+            .min(self.last_delivered);
         // Adopt, per sequence number, the prepared certificate with the
         // highest view among the quorum's reports; fill gaps with noops.
         let mut adopt: BTreeMap<Seq, Prepared<P>> = BTreeMap::new();
-        for certs in votes.values() {
+        for (_, certs) in votes.values() {
             for c in certs {
-                if c.seq <= self.last_delivered {
+                if c.seq <= floor {
                     continue;
                 }
                 let better = adopt
@@ -519,12 +580,24 @@ impl<P: BftPayload> Replica<P> {
             }
         }
         let voters: Vec<ReplicaId> = votes.keys().copied().collect();
-        let max_seq = adopt.keys().next_back().copied().unwrap_or(self.last_delivered);
+        let max_seq = adopt
+            .keys()
+            .next_back()
+            .copied()
+            .unwrap_or(floor)
+            .max(self.last_delivered);
         let mut reproposals: Vec<(Seq, Slot<P>)> = Vec::new();
-        for seq in self.last_delivered + 1..=max_seq {
-            let slot = adopt
+        for seq in floor + 1..=max_seq {
+            // Our own committed slot is authoritative for anything we
+            // already delivered (commitment implies a quorum agreed on it
+            // in an earlier view); prepared certificates cover the rest.
+            let committed = self
+                .entries
                 .get(&seq)
-                .map(|c| c.slot.clone())
+                .filter(|e| e.committed)
+                .and_then(|e| e.slot.clone());
+            let slot = committed
+                .or_else(|| adopt.get(&seq).map(|c| c.slot.clone()))
                 .unwrap_or(Slot::Noop);
             reproposals.push((seq, slot));
         }

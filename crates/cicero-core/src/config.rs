@@ -126,6 +126,66 @@ impl Default for CostModel {
     }
 }
 
+/// Reliable-delivery knobs: retransmission backoff, retry budgets, NACK
+/// (state re-sync) timing. See DESIGN.md "Reliable delivery under loss".
+///
+/// The paper's southbound channel is TCP, so loss recovery is implicit
+/// there; the reproduction's simulated network loses raw messages, and
+/// this layer makes the update path *explicitly* loss-tolerant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReliabilityConfig {
+    /// Master switch: when `false`, nothing is retransmitted and no NACKs
+    /// are sent (the pre-reliability behavior, kept for control runs that
+    /// demonstrate what the layer buys).
+    pub enabled: bool,
+    /// Delay before the first retransmission of an unacked update.
+    pub retry_base: SimDuration,
+    /// Backoff ceiling for updates, events and NACKs.
+    pub retry_max_backoff: SimDuration,
+    /// Retransmissions allowed per update before it is reported failed.
+    pub retry_budget: u32,
+    /// Delay before a switch re-sends an unanswered signed event.
+    pub event_retry_base: SimDuration,
+    /// Event retransmissions allowed before the switch gives up.
+    pub event_retry_budget: u32,
+    /// How long a switch lets a below-quorum update bucket age before
+    /// NACKing the control plane for the missing shares.
+    pub nack_timeout: SimDuration,
+    /// NACKs allowed per update bucket.
+    pub nack_budget: u32,
+}
+
+impl Default for ReliabilityConfig {
+    /// The bases sit well above the *loaded* service time of each path
+    /// (flow-completion p99 under a burst is a few hundred ms), not its
+    /// idle latency: a retry timer below the queueing delay retransmits
+    /// messages that were never lost, and on a busy control plane that
+    /// self-amplifies — duplicates add load, load adds delay, delay fires
+    /// more timers. Loss recovery still only costs one base interval.
+    fn default() -> Self {
+        ReliabilityConfig {
+            enabled: true,
+            retry_base: SimDuration::from_millis(150),
+            retry_max_backoff: SimDuration::from_secs(2),
+            retry_budget: 16,
+            event_retry_base: SimDuration::from_millis(250),
+            event_retry_budget: 16,
+            nack_timeout: SimDuration::from_millis(150),
+            nack_budget: 8,
+        }
+    }
+}
+
+impl ReliabilityConfig {
+    /// The no-retransmission control configuration.
+    pub fn disabled() -> Self {
+        ReliabilityConfig {
+            enabled: false,
+            ..ReliabilityConfig::default()
+        }
+    }
+}
+
 /// Full engine configuration.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
@@ -157,6 +217,20 @@ pub struct EngineConfig {
     /// of any figure). When enabled, a controller silent for 4 periods is
     /// proposed for removal (paper §4.3/§5.1).
     pub heartbeat: Option<SimDuration>,
+    /// Reliable-delivery layer (retransmission, NACK/re-sync) knobs.
+    pub reliability: ReliabilityConfig,
+    /// PBFT progress timeout in consensus ticks before a view change
+    /// (BFT-SMaRt's request timeout analogue); lossy soaks raise it so
+    /// benign loss does not masquerade as a faulty primary.
+    pub view_timeout_ticks: u32,
+    /// Liveness-watchdog sampling period for [`crate::engine::Engine::run_reporting`]:
+    /// how often progress is checked against the outstanding-work snapshot.
+    pub watchdog_slice: SimDuration,
+    /// Consecutive progress-free watchdog slices before the run is declared
+    /// stalled. The quiet window (`slices * slice`) must exceed the longest
+    /// retransmission interval (`retry_max_backoff` plus 25% jitter),
+    /// otherwise a healthy backoff pause reads as a stall.
+    pub watchdog_stall_slices: u32,
 }
 
 impl Default for EngineConfig {
@@ -174,6 +248,10 @@ impl Default for EngineConfig {
             cpu_bucket: SimDuration::from_secs(1),
             trace_deliveries: false,
             heartbeat: None,
+            reliability: ReliabilityConfig::default(),
+            view_timeout_ticks: 8,
+            watchdog_slice: SimDuration::from_millis(250),
+            watchdog_stall_slices: 12,
         }
     }
 }

@@ -6,7 +6,7 @@
 //! logic, the optional aggregator role, and the heartbeat failure detector.
 
 use crate::config::{Aggregation, Mode};
-use crate::msg::{AckBody, Net, OrderedOp, PhaseInfo};
+use crate::msg::{AckBody, NackBody, Net, OrderedOp, PhaseInfo};
 use crate::obs::Obs;
 use crate::runtime::{fake_group, labels, Shared};
 use bft::message::{BftPayload, ReplicaId};
@@ -17,7 +17,7 @@ use blscrypto::reshare::{deal_reshare_to, finalize_reshare, ReshareDealing};
 use controller::app::{NetworkApp, ShortestPathApp};
 use controller::failure::HeartbeatDetector;
 use controller::membership::ControlPlaneView;
-use controller::pending::PendingUpdates;
+use controller::pending::{PendingUpdates, RetryPolicy};
 use controller::scheduler::{ReversePathScheduler, UpdateScheduler};
 use simnet::node::{Actor, Context, NodeId, TimerToken};
 use simnet::time::SimDuration;
@@ -31,6 +31,7 @@ use std::sync::Arc;
 
 const TICK: TimerToken = TimerToken(1);
 const HEARTBEAT: TimerToken = TimerToken(2);
+const RETRY: TimerToken = TimerToken(3);
 const TICK_PERIOD: SimDuration = SimDuration::from_millis(5);
 
 /// An aggregation bucket at the aggregator controller.
@@ -39,7 +40,9 @@ struct AggBucket {
     update: NetworkUpdate,
     phase: Phase,
     partials: BTreeMap<u32, PartialSignature>,
-    sent: bool,
+    /// The relayed quorum signature, kept so a share retransmission after
+    /// the relay can trigger a re-send (the switch evidently lost it).
+    relayed: Option<QuorumSigned<NetworkUpdate>>,
 }
 
 /// State tracked while a membership change (and its reshare) is in flight.
@@ -75,6 +78,7 @@ pub struct ControllerActor {
     remote_members: BTreeMap<DomainId, Vec<ControllerId>>,
     detector: HeartbeatDetector,
     msg_seq: u64,
+    retry_armed: bool,
 }
 
 impl ControllerActor {
@@ -90,7 +94,19 @@ impl ControllerActor {
         active: bool,
     ) -> Self {
         let group = shared.keys.domains[&domain].group.clone();
-        let replica = active.then(|| Self::build_replica(&view, id));
+        let replica =
+            active.then(|| Self::build_replica(&view, id, shared.cfg.view_timeout_ticks));
+        let rel = &shared.cfg.reliability;
+        let policy = RetryPolicy {
+            base: rel.retry_base,
+            max_backoff: rel.retry_max_backoff,
+            budget: if rel.enabled { rel.retry_budget } else { 0 },
+            // Per-controller jitter stream: replicas must not retransmit in
+            // lockstep or every retry wave collides at the switch.
+            jitter_seed: shared.cfg.seed
+                ^ (u64::from(domain.0) << 32)
+                ^ u64::from(id.0).rotate_left(13),
+        };
         let remote_members = shared
             .dir
             .initial_members
@@ -116,7 +132,7 @@ impl ControllerActor {
             replica,
             app: ShortestPathApp::new(),
             scheduler: Box::new(ReversePathScheduler),
-            pending: PendingUpdates::new(),
+            pending: PendingUpdates::new().with_policy(policy),
             seen_events: HashSet::new(),
             unprocessed: BTreeMap::new(),
             queued_events: Vec::new(),
@@ -128,6 +144,7 @@ impl ControllerActor {
             remote_members,
             detector,
             msg_seq: 0,
+            retry_armed: false,
         }
     }
 
@@ -156,13 +173,33 @@ impl ControllerActor {
         self.active
     }
 
-    fn build_replica(view: &ControlPlaneView, id: ControllerId) -> Replica<OrderedOp> {
+    /// The pending-update tracker (watchdog / tests: drain checks).
+    pub fn pending(&self) -> &PendingUpdates {
+        &self.pending
+    }
+
+    /// Consensus liveness snapshot: `(view, delivered slots, undelivered
+    /// submissions)`. `None` when the mode runs without consensus.
+    pub fn consensus_status(&self) -> Option<(u64, u64, usize)> {
+        self.replica
+            .as_ref()
+            .map(|r| (r.view(), r.delivered_count(), r.pending_len()))
+    }
+
+    fn build_replica(
+        view: &ControlPlaneView,
+        id: ControllerId,
+        view_timeout_ticks: u32,
+    ) -> Replica<OrderedOp> {
         let members: Vec<ControllerId> = view.members().collect();
         let pos = members
             .iter()
             .position(|&m| m == id)
             .expect("active controller is a member") as u32;
-        Replica::new(ReplicaId(pos), BftConfig::new(members.len() as u32))
+        Replica::new(
+            ReplicaId(pos),
+            BftConfig::new(members.len() as u32).with_view_timeout(view_timeout_ticks),
+        )
     }
 
     fn msg_id(&mut self) -> MsgId {
@@ -341,7 +378,7 @@ impl ControllerActor {
         }
         ctx.charge_cpu(self.shared.cfg.costs.event_process);
         let schedule = self.scheduler.schedule(&updates);
-        let ready = self.pending.admit(schedule);
+        let ready = self.pending.admit(schedule, ctx.now());
         let mut pipeline = self.shared.cfg.costs.event_pipeline;
         if self.shared.cfg.mode.is_cicero() {
             pipeline += self.shared.cfg.costs.bls_verify;
@@ -349,6 +386,7 @@ impl ControllerActor {
         for u in ready {
             self.send_update_delayed(ctx, u, pipeline);
         }
+        self.arm_retry(ctx);
     }
 
     fn sign_forward(&mut self, ctx: &mut Context<'_, Net, Obs>, event: Event) -> Signed<Event> {
@@ -450,16 +488,28 @@ impl ControllerActor {
                     update: msg.payload,
                     phase: msg.phase,
                     partials: BTreeMap::new(),
-                    sent: false,
+                    relayed: None,
                 });
                 buckets.last_mut().expect("just pushed")
             }
         };
-        bucket.partials.insert(msg.partial.index, msg.partial);
-        if bucket.sent || bucket.partials.len() < quorum {
+        let fresh = bucket.partials.insert(msg.partial.index, msg.partial).is_none();
+        if let Some(out) = &bucket.relayed {
+            // Already relayed: a *retransmitted* share means the sending
+            // controller has not seen an ack, so the switch probably lost
+            // the aggregated update — relay it again.
+            if !fresh {
+                ctx.send_delayed(
+                    self.shared.dir.switch(bucket.update.switch),
+                    Net::UpdateAggregated(out.clone()),
+                    self.shared.cfg.costs.aggregator_delay,
+                );
+            }
             return;
         }
-        bucket.sent = true;
+        if bucket.partials.len() < quorum {
+            return;
+        }
         let partials: Vec<PartialSignature> = bucket.partials.values().copied().collect();
         let update = bucket.update;
         let phase = bucket.phase;
@@ -477,11 +527,87 @@ impl ControllerActor {
                 signature: self.shared.keys.dummy,
             }
         };
+        if let Some(b) = self
+            .agg_buckets
+            .get_mut(&key)
+            .and_then(|bs| bs.iter_mut().find(|b| b.update == update))
+        {
+            b.relayed = Some(out.clone());
+        }
         ctx.send_delayed(
             self.shared.dir.switch(update.switch),
             Net::UpdateAggregated(out),
             self.shared.cfg.costs.aggregator_delay,
         );
+    }
+
+    // ----- reliable delivery (retransmission + re-sync) -------------------
+
+    /// Arms the retry timer for the earliest in-flight deadline. One timer
+    /// is outstanding at a time; it re-arms itself from `on_timer`.
+    fn arm_retry(&mut self, ctx: &mut Context<'_, Net, Obs>) {
+        if self.retry_armed || !self.shared.cfg.reliability.enabled {
+            return;
+        }
+        let Some(due) = self.pending.next_due() else {
+            return;
+        };
+        ctx.set_timer(due.since(ctx.now()), RETRY);
+        self.retry_armed = true;
+    }
+
+    fn on_retry_timer(&mut self, ctx: &mut Context<'_, Net, Obs>) {
+        self.retry_armed = false;
+        if !self.active {
+            return;
+        }
+        let batch = self.pending.due_retries(ctx.now());
+        for (u, attempt) in batch.resend {
+            ctx.observe(Obs::UpdateRetransmitted {
+                domain: self.domain,
+                controller: self.id.0,
+                update: u.id,
+                attempt,
+            });
+            self.send_update_delayed(ctx, u, SimDuration::ZERO);
+        }
+        for id in batch.failed {
+            ctx.observe(Obs::UpdateRetryExhausted {
+                domain: self.domain,
+                controller: self.id.0,
+                update: id,
+            });
+        }
+        self.arm_retry(ctx);
+    }
+
+    /// Handles a switch NACK: re-send the signed update if we still hold it
+    /// (in flight, or acknowledged-by-quorum but missed by this switch).
+    fn on_update_nack(&mut self, ctx: &mut Context<'_, Net, Obs>, m: Signed<NackBody>) {
+        if !self.active || !self.shared.cfg.reliability.enabled {
+            return;
+        }
+        ctx.charge_cpu(self.shared.cfg.costs.ctrl_msg);
+        if self.shared.cfg.mode.is_cicero() && self.shared.real_crypto() {
+            let pk = self.shared.keys.switch_pk.get(&SwitchId(m.msg_id.origin));
+            let valid = pk.map(|pk| m.verify(labels::NACK, pk)).unwrap_or(false);
+            if !valid {
+                return;
+            }
+        }
+        let body: NackBody = m.payload;
+        if body.switch != SwitchId(m.msg_id.origin) {
+            return;
+        }
+        if let Some(u) = self.pending.resync(body.update, ctx.now()) {
+            ctx.observe(Obs::ResyncReplied {
+                domain: self.domain,
+                controller: self.id.0,
+                update: u.id,
+            });
+            self.send_update_delayed(ctx, u, SimDuration::ZERO);
+            self.arm_retry(ctx);
+        }
     }
 
     // ----- membership & resharing ----------------------------------------
@@ -626,7 +752,11 @@ impl ControllerActor {
     fn finish_phase_change(&mut self, ctx: &mut Context<'_, Net, Obs>) {
         self.in_phase_change = false;
         self.active = true;
-        self.replica = Some(Self::build_replica(&self.view, self.id));
+        self.replica = Some(Self::build_replica(
+            &self.view,
+            self.id,
+            self.shared.cfg.view_timeout_ticks,
+        ));
         self.agg_buckets.clear();
         ctx.observe(Obs::PhaseChanged {
             domain: self.domain,
@@ -819,6 +949,8 @@ impl Actor<Net, Obs> for ControllerActor {
                 }
                 ctx.set_timer(hb, HEARTBEAT);
             }
+        } else if token == RETRY {
+            self.on_retry_timer(ctx);
         }
     }
 
@@ -864,11 +996,13 @@ impl Actor<Net, Obs> for ControllerActor {
                     }
                 }
                 let body: AckBody = m.payload;
-                let ready = self.pending.ack(body.update);
+                let ready = self.pending.ack(body.update, ctx.now());
                 for u in ready {
                     self.send_update_delayed(ctx, u, extra);
                 }
+                self.arm_retry(ctx);
             }
+            Net::UpdateNack(m) => self.on_update_nack(ctx, m),
             Net::UpdateToAggregator(m) => self.on_update_to_aggregator(ctx, m),
             Net::PhasePartial(m) => self.on_phase_partial(ctx, m),
             Net::Heartbeat { from, .. } => {

@@ -5,7 +5,7 @@
 use crate::config::{CryptoMode, EngineConfig, Mode};
 use crate::ctrl::ControllerActor;
 use crate::msg::Net;
-use crate::obs::Obs;
+use crate::obs::{retransmit_stats, Obs, RetransmitStats};
 use crate::runtime::{bootstrap_keys, Directory, Shared};
 use crate::switch::{initial_phase_info, SwitchActor};
 use blscrypto::bls::KeyShare;
@@ -51,6 +51,82 @@ impl LatencyModel for ControlLatency {
     }
 }
 
+/// The liveness watchdog's verdict on a [`Engine::run_reporting`] run.
+///
+/// A run *completes* when every injected flow resolved (completed or
+/// denied) and no reliable-delivery work is outstanding anywhere — no
+/// unacked or dependency-blocked update at any controller, no pending
+/// signed event at any switch. It *stalls* when the watchdog sees
+/// [`EngineConfig::watchdog_stall_slices`] consecutive progress-free
+/// slices (or a drained event queue) while work is still outstanding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunReport {
+    /// All injected flows resolved and the delivery pipeline drained.
+    pub completed: bool,
+    /// The watchdog declared the run quiescent-but-undrained.
+    pub stalled: bool,
+    /// Simulated time when the run ended.
+    pub end: SimTime,
+    /// Flows injected into the simulation.
+    pub injected_flows: usize,
+    /// Flows that completed or were denied.
+    pub resolved_flows: usize,
+    /// Updates sent but never acknowledged (summed over controllers).
+    pub unacked_updates: usize,
+    /// Updates still blocked on dependencies (summed over controllers).
+    pub waiting_updates: usize,
+    /// Updates abandoned after retry-budget exhaustion.
+    pub failed_updates: usize,
+    /// Signed events switches are still retransmitting.
+    pub outstanding_events: usize,
+    /// Reliable-delivery activity counters for the whole run.
+    pub stats: RetransmitStats,
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let verdict = if self.completed {
+            "completed"
+        } else if self.stalled {
+            "STALLED"
+        } else {
+            "horizon reached"
+        };
+        writeln!(
+            f,
+            "run {} at {}: {}/{} flows resolved",
+            verdict, self.end, self.resolved_flows, self.injected_flows
+        )?;
+        writeln!(
+            f,
+            "  outstanding: {} unacked, {} waiting, {} failed updates; {} pending events",
+            self.unacked_updates,
+            self.waiting_updates,
+            self.failed_updates,
+            self.outstanding_events
+        )?;
+        write!(
+            f,
+            "  recoveries: {} update rtx, {} ack rtx, {} event rtx, {} nacks, {} resyncs, {} updates / {} events exhausted",
+            self.stats.update_retransmits,
+            self.stats.ack_retransmits,
+            self.stats.event_retransmits,
+            self.stats.nacks,
+            self.stats.resyncs,
+            self.stats.updates_exhausted,
+            self.stats.events_exhausted
+        )
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Outstanding {
+    unacked: usize,
+    waiting: usize,
+    failed: usize,
+    events: usize,
+}
+
 /// A fully built deployment ready to run.
 pub struct Engine {
     sim: Simulation<Net, Obs>,
@@ -58,6 +134,7 @@ pub struct Engine {
     switch_nodes: BTreeMap<SwitchId, NodeId>,
     controller_nodes: BTreeMap<(DomainId, ControllerId), NodeId>,
     bootstrap_nodes: BTreeMap<DomainId, NodeId>,
+    injected_flows: usize,
 }
 
 impl Engine {
@@ -226,6 +303,7 @@ impl Engine {
             switch_nodes,
             controller_nodes,
             bootstrap_nodes,
+            injected_flows: 0,
         }
     }
 
@@ -267,6 +345,7 @@ impl Engine {
                     start: f.start,
                 },
             );
+            self.injected_flows += 1;
         }
     }
 
@@ -290,12 +369,116 @@ impl Engine {
 
     /// Injects an arbitrary message (tests: rogue controllers, raw events).
     pub fn inject_raw(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: Net) {
+        if matches!(msg, Net::FlowArrival { .. }) {
+            self.injected_flows += 1;
+        }
         self.sim.inject_from(at, from, to, msg);
     }
 
     /// Runs until the event queue drains (bounded by `horizon`).
     pub fn run(&mut self, horizon: SimTime) {
         self.sim.run_until(horizon);
+    }
+
+    /// Runs with the liveness watchdog: advances in
+    /// [`EngineConfig::watchdog_slice`] steps, declaring the run *complete*
+    /// when all flows resolved and the delivery pipeline drained, and
+    /// *stalled* when [`EngineConfig::watchdog_stall_slices`] consecutive
+    /// slices elapse without a single new observation while work is still
+    /// outstanding. Either way it returns a [`RunReport`] instead of
+    /// silently handing back a half-done simulation.
+    pub fn run_reporting(&mut self, horizon: SimTime) -> RunReport {
+        let slice = self.shared.cfg.watchdog_slice;
+        let stall_slices = self.shared.cfg.watchdog_stall_slices.max(1);
+        let mut last_obs = self.sim.observations().len();
+        let mut quiet: u32 = 0;
+        let mut completed = false;
+        let mut stalled = false;
+        let mut cursor = self.sim.now();
+        loop {
+            let out = self.snapshot_outstanding();
+            let resolved = self.resolved_flows();
+            if resolved >= self.injected_flows
+                && out.unacked == 0
+                && out.waiting == 0
+                && out.events == 0
+            {
+                completed = true;
+                break;
+            }
+            if cursor >= horizon {
+                break;
+            }
+            match self.sim.next_event_at() {
+                // Drained queue with outstanding work: nothing will ever
+                // make progress again.
+                None => {
+                    stalled = true;
+                    break;
+                }
+                Some(at) if at > horizon => break,
+                Some(_) => {}
+            }
+            cursor = std::cmp::min(cursor + slice, horizon);
+            self.sim.run_until(cursor);
+            let n = self.sim.observations().len();
+            if n == last_obs {
+                quiet += 1;
+                if quiet >= stall_slices {
+                    stalled = true;
+                    break;
+                }
+            } else {
+                last_obs = n;
+                quiet = 0;
+            }
+        }
+        let out = self.snapshot_outstanding();
+        RunReport {
+            completed,
+            stalled,
+            end: self.sim.now(),
+            injected_flows: self.injected_flows,
+            resolved_flows: self.resolved_flows(),
+            unacked_updates: out.unacked,
+            waiting_updates: out.waiting,
+            failed_updates: out.failed,
+            outstanding_events: out.events,
+            stats: retransmit_stats(self.sim.observations()),
+        }
+    }
+
+    fn resolved_flows(&self) -> usize {
+        self.sim
+            .observations()
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o.value,
+                    Obs::FlowCompleted { .. } | Obs::FlowDenied { .. }
+                )
+            })
+            .count()
+    }
+
+    fn snapshot_outstanding(&mut self) -> Outstanding {
+        let mut out = Outstanding::default();
+        let controllers: Vec<(DomainId, ControllerId)> =
+            self.controller_nodes.keys().copied().collect();
+        for (d, c) in controllers {
+            let (unacked, waiting, failed) = self.with_controller(d, c, |ca| {
+                let p = ca.pending();
+                (p.in_flight_count(), p.waiting_count(), p.failed_count())
+            });
+            out.unacked += unacked;
+            out.waiting += waiting;
+            out.failed += failed;
+        }
+        let switches: Vec<SwitchId> = self.switch_nodes.keys().copied().collect();
+        for s in switches {
+            out.events += self.with_switch(s, |sw| sw.outstanding_event_count());
+        }
+        out
     }
 
     /// Observations so far.

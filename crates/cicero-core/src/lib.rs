@@ -46,9 +46,11 @@ pub mod switch;
 /// Commonly used items.
 pub mod prelude {
     pub use crate::audit::{audit_flow, Hazard, ReplayState, WalkOutcome};
-    pub use crate::config::{Aggregation, CostModel, CryptoMode, EngineConfig, Mode};
+    pub use crate::config::{
+        Aggregation, CostModel, CryptoMode, EngineConfig, Mode, ReliabilityConfig,
+    };
     pub use crate::ctrl::ControllerActor;
-    pub use crate::engine::{default_pod_engine, Engine};
+    pub use crate::engine::{default_pod_engine, Engine, RunReport};
     pub use crate::experiment::{
         fig11_flow_completion, fig11d_switch_cpu, fig12a_update_time, fig12b_event_locality,
         fig12c_runs, fig12d_runs, flow_setup_latency_ms, run_flow_completion, FlowRun,
@@ -57,7 +59,7 @@ pub mod prelude {
     pub use crate::msg::{AckBody, Net, OrderedOp, PhaseInfo};
     pub use crate::obs::{
         check_event_linearizability, delivery_sequences, events_per_domain, flow_latencies,
-        unique_events, Cdf, Obs,
+        retransmit_stats, unique_events, Cdf, Obs, RetransmitStats,
     };
     pub use crate::runtime::{bootstrap_keys, Directory, KeyMaterial, Shared};
     pub use crate::switch::SwitchActor;

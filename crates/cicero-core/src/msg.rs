@@ -35,6 +35,36 @@ impl Wire for AckBody {
     }
 }
 
+/// A negative acknowledgement / state re-sync request: switch `switch`
+/// holds a below-quorum share bucket for `update` and asks the control
+/// plane to retransmit the missing signed shares (e.g. after loss or a
+/// healed partition). `have` is how many distinct shares the switch holds,
+/// so controllers can prioritize nearly-complete buckets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct NackBody {
+    /// The update the switch cannot yet apply.
+    pub update: UpdateId,
+    /// The requesting switch.
+    pub switch: SwitchId,
+    /// Distinct signature shares held so far.
+    pub have: u32,
+}
+
+impl Wire for NackBody {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.update.encode(buf);
+        self.switch.encode(buf);
+        self.have.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(NackBody {
+            update: UpdateId::decode(buf)?,
+            switch: SwitchId::decode(buf)?,
+            have: u32::decode(buf)?,
+        })
+    }
+}
+
 /// The per-domain control-plane state switches must track across
 /// membership changes: phase, quorum size, aggregator. Distributed to
 /// switches under the (membership-invariant) group public key, replacing
@@ -170,6 +200,10 @@ pub enum Net {
     UpdateAggregated(QuorumSigned<NetworkUpdate>),
     /// Switch → controller(s): signed application acknowledgement.
     AckMsg(Signed<AckBody>),
+    /// Switch → controller(s): signed negative acknowledgement — a share
+    /// bucket aged below quorum; please re-send the missing signed update
+    /// (reliable-delivery layer, see DESIGN.md).
+    UpdateNack(Signed<NackBody>),
     /// Controller → controller: liveness heartbeat.
     Heartbeat {
         /// Sender.
@@ -231,6 +265,19 @@ mod tests {
             OrderedOp::AddController(ControllerId(5)).digest(),
             OrderedOp::RemoveController(ControllerId(5)).digest()
         );
+    }
+
+    #[test]
+    fn nack_body_round_trip() {
+        let n = NackBody {
+            update: UpdateId {
+                event: EventId(12),
+                seq: 3,
+            },
+            switch: SwitchId(4),
+            have: 1,
+        };
+        assert_eq!(NackBody::from_wire(&n.to_wire()).unwrap(), n);
     }
 
     #[test]

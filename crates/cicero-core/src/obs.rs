@@ -66,6 +66,122 @@ pub enum Obs {
         /// The new phase value.
         phase: u64,
     },
+    /// A controller retransmitted an unacknowledged update (reliable
+    /// delivery layer; `attempt` is 1-based over retransmissions).
+    UpdateRetransmitted {
+        /// The domain.
+        domain: DomainId,
+        /// The retransmitting controller (1-based id).
+        controller: u32,
+        /// The update.
+        update: UpdateId,
+        /// Which retransmission this is.
+        attempt: u32,
+    },
+    /// A controller exhausted an update's retry budget: the update (and any
+    /// dependents abandoned with it) is reported failed instead of stalling
+    /// the dependency graph silently.
+    UpdateRetryExhausted {
+        /// The domain.
+        domain: DomainId,
+        /// The reporting controller.
+        controller: u32,
+        /// The failed update.
+        update: UpdateId,
+    },
+    /// A switch re-sent an acknowledgement after seeing a duplicate of an
+    /// already-applied update (ack-loss recovery).
+    AckRetransmitted {
+        /// The switch.
+        switch: SwitchId,
+        /// The re-acknowledged update.
+        update: UpdateId,
+    },
+    /// A switch retransmitted a signed event that has not produced a rule
+    /// yet (event-loss recovery).
+    EventRetransmitted {
+        /// The switch.
+        switch: SwitchId,
+        /// The event.
+        event: EventId,
+        /// Which retransmission this is (1-based).
+        attempt: u32,
+    },
+    /// A switch exhausted an event's retry budget and gave up re-raising it.
+    EventRetryExhausted {
+        /// The switch.
+        switch: SwitchId,
+        /// The abandoned event.
+        event: EventId,
+    },
+    /// A switch NACKed a below-quorum update bucket, requesting the missing
+    /// signature shares (state re-sync request).
+    NackSent {
+        /// The switch.
+        switch: SwitchId,
+        /// The stuck update.
+        update: UpdateId,
+        /// Shares held when the NACK was sent.
+        have: u32,
+    },
+    /// A controller answered a NACK by re-sending the requested signed
+    /// update (from flight or from its acknowledged archive).
+    ResyncReplied {
+        /// The domain.
+        domain: DomainId,
+        /// The answering controller.
+        controller: u32,
+        /// The re-sent update.
+        update: UpdateId,
+    },
+}
+
+/// Aggregate counters over the reliable-delivery observations of a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetransmitStats {
+    /// Controller → switch update retransmissions.
+    pub update_retransmits: u64,
+    /// Updates reported failed after budget exhaustion.
+    pub updates_exhausted: u64,
+    /// Switch ack re-sends (ack-loss recovery).
+    pub ack_retransmits: u64,
+    /// Switch event retransmissions.
+    pub event_retransmits: u64,
+    /// Events abandoned after budget exhaustion.
+    pub events_exhausted: u64,
+    /// NACKs (state re-sync requests) sent by switches.
+    pub nacks: u64,
+    /// NACKs answered by controllers with a re-sent update.
+    pub resyncs: u64,
+}
+
+impl RetransmitStats {
+    /// Total recovery actions taken (any retransmission, NACK or re-sync).
+    pub fn total_recoveries(&self) -> u64 {
+        self.update_retransmits
+            + self.ack_retransmits
+            + self.event_retransmits
+            + self.nacks
+            + self.resyncs
+    }
+}
+
+/// Reduces a run's observations to its [`RetransmitStats`].
+pub fn retransmit_stats(obs: &[Observation<Obs>]) -> RetransmitStats {
+    let mut s = RetransmitStats::default();
+    for o in obs {
+        match o.value {
+            Obs::UpdateRetransmitted { .. } => s.update_retransmits += 1,
+            Obs::UpdateRetryExhausted { .. } => s.updates_exhausted += 1,
+            Obs::AckRetransmitted { .. } => s.ack_retransmits += 1,
+            Obs::EventRetransmitted { .. } => s.event_retransmits += 1,
+            Obs::EventRetryExhausted { .. } => s.events_exhausted += 1,
+            Obs::NackSent { .. } => s.nacks += 1,
+            Obs::ResyncReplied { .. } => s.resyncs += 1,
+            _ => {}
+        }
+    }
+    s
 }
 
 /// Flow-completion latencies extracted from a run's observations.

@@ -26,6 +26,8 @@ pub mod labels {
     pub const UPDATE: &str = "CICERO_UPDATE_V1";
     /// Switch acknowledgements.
     pub const ACK: &str = "CICERO_ACK_V1";
+    /// Switch negative acknowledgements (state re-sync requests).
+    pub const NACK: &str = "CICERO_NACK_V1";
     /// Phase notices.
     pub const PHASE: &str = "CICERO_PHASE_V1";
 }

@@ -8,13 +8,14 @@
 //! simulated CPU time so Fig. 11d's utilization comparison is reproducible.
 
 use crate::config::{Aggregation, Mode};
-use crate::msg::{AckBody, Net, PhaseInfo};
+use crate::msg::{AckBody, NackBody, Net, PhaseInfo};
 use crate::obs::Obs;
 use crate::runtime::{labels, Shared};
 use blscrypto::bls::{self, PartialSignature, SecretKey};
 use controller::membership::ControlPlaneView;
+use controller::pending::RetryPolicy;
 use netmodel::flowtable::{FlowTable, Lookup};
-use simnet::node::{Actor, Context, NodeId};
+use simnet::node::{Actor, Context, NodeId, TimerToken};
 use simnet::time::{SimDuration, SimTime};
 use southbound::envelope::{signing_digest, MsgId, QuorumSigned, Signed};
 use southbound::types::{
@@ -23,6 +24,31 @@ use southbound::types::{
 };
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
+
+const RETRY: TimerToken = TimerToken(1);
+
+/// A signed event the switch keeps for retransmission until its effect is
+/// visible in the flow table (reliable delivery layer). `LinkFailure`
+/// events are deliberately *not* tracked: they have no local effect to
+/// await, and the link-state convergence story is out of scope here (a
+/// documented deviation, see DESIGN.md).
+#[derive(Clone, Debug)]
+struct PendingEvent {
+    signed: Signed<Event>,
+    /// The flow-table entry whose appearance (`PacketIn`) or disappearance
+    /// (`FlowTeardown`) cancels the retransmission.
+    matcher: FlowMatch,
+    teardown: bool,
+    attempts: u32,
+    next_due: SimTime,
+}
+
+/// NACK (state re-sync request) state for a below-quorum update bucket.
+#[derive(Clone, Copy, Debug)]
+struct NackState {
+    attempts: u32,
+    next_due: SimTime,
+}
 
 /// A flow parked at its ingress switch until the route is installed.
 #[derive(Clone, Copy, Debug)]
@@ -54,9 +80,18 @@ pub struct SwitchActor {
     outstanding: HashSet<FlowMatch>,
     buckets: HashMap<(southbound::types::UpdateId, Phase), Vec<QuorumBucket>>,
     applied: HashSet<southbound::types::UpdateId>,
+    /// Signer indices seen per applied update: shares from signers *not*
+    /// in here are the tail of the original broadcast (quorum fired before
+    /// every controller's share landed) and must not trigger re-acks.
+    applied_signers: HashMap<southbound::types::UpdateId, HashSet<u32>>,
     phase_info: PhaseInfo,
     event_seq: u64,
     msg_seq: u64,
+    pending_events: BTreeMap<EventId, PendingEvent>,
+    nacks: BTreeMap<southbound::types::UpdateId, NackState>,
+    event_policy: RetryPolicy,
+    nack_policy: RetryPolicy,
+    retry_armed: bool,
 }
 
 impl SwitchActor {
@@ -68,6 +103,19 @@ impl SwitchActor {
         key: Option<SecretKey>,
         phase_info: PhaseInfo,
     ) -> Self {
+        let rel = &shared.cfg.reliability;
+        let event_policy = RetryPolicy {
+            base: rel.event_retry_base,
+            max_backoff: rel.retry_max_backoff,
+            budget: if rel.enabled { rel.event_retry_budget } else { 0 },
+            jitter_seed: shared.cfg.seed ^ u64::from(id.0).rotate_left(29),
+        };
+        let nack_policy = RetryPolicy {
+            base: rel.nack_timeout,
+            max_backoff: rel.retry_max_backoff,
+            budget: if rel.enabled { rel.nack_budget } else { 0 },
+            jitter_seed: shared.cfg.seed ^ u64::from(id.0).rotate_left(47),
+        };
         SwitchActor {
             shared,
             id,
@@ -78,10 +126,21 @@ impl SwitchActor {
             outstanding: HashSet::new(),
             buckets: HashMap::new(),
             applied: HashSet::new(),
+            applied_signers: HashMap::new(),
             phase_info,
             event_seq: 0,
             msg_seq: 0,
+            pending_events: BTreeMap::new(),
+            nacks: BTreeMap::new(),
+            event_policy,
+            nack_policy,
+            retry_armed: false,
         }
+    }
+
+    /// Signed events still awaiting their effect (watchdog / tests).
+    pub fn outstanding_event_count(&self) -> usize {
+        self.pending_events.len()
     }
 
     /// Read access to the flow table (tests, examples).
@@ -159,6 +218,38 @@ impl SwitchActor {
         for node in self.event_targets(ctx) {
             ctx.send(node, Net::EventMsg(signed.clone()));
         }
+        // Track events whose effect we can await locally, for
+        // retransmission if the control plane never answers.
+        if self.shared.cfg.reliability.enabled {
+            let track = match event.kind {
+                EventKind::PacketIn { src, dst, .. } => Some((FlowMatch { src, dst }, false)),
+                EventKind::FlowTeardown { src, dst, .. } => {
+                    Some((FlowMatch { src, dst }, true))
+                }
+                _ => None,
+            };
+            if let Some((matcher, teardown)) = track {
+                let next_due = ctx.now() + self.event_backoff(event.id, 1);
+                self.pending_events.insert(
+                    event.id,
+                    PendingEvent {
+                        signed,
+                        matcher,
+                        teardown,
+                        attempts: 0,
+                        next_due,
+                    },
+                );
+                self.arm_retry(ctx);
+            }
+        }
+    }
+
+    fn event_backoff(&self, id: EventId, attempt: u32) -> SimDuration {
+        self.event_policy.backoff(
+            southbound::types::UpdateId { event: id, seq: 0 },
+            attempt,
+        )
     }
 
     fn complete_waiters(&mut self, ctx: &mut Context<'_, Net, Obs>, m: FlowMatch) {
@@ -198,12 +289,22 @@ impl SwitchActor {
         if !self.applied.insert(update.id) {
             return;
         }
+        self.nacks.remove(&update.id);
         self.table.apply(&update);
         ctx.observe(Obs::UpdateApplied {
             switch: self.id,
             update: update.id,
             kind: update.kind,
         });
+        // The update's effect cancels any event retransmission awaiting it.
+        match update.kind {
+            UpdateKind::Install(rule) => self
+                .pending_events
+                .retain(|_, p| p.teardown || p.matcher != rule.matcher),
+            UpdateKind::Remove(matcher) => self
+                .pending_events
+                .retain(|_, p| !p.teardown || p.matcher != matcher),
+        }
         if let UpdateKind::Install(rule) = update.kind {
             self.outstanding.remove(&rule.matcher);
             self.complete_waiters(ctx, rule.matcher);
@@ -256,6 +357,158 @@ impl SwitchActor {
         }
     }
 
+    /// A duplicate of an already-applied update means some controller has
+    /// not seen our acknowledgement — re-send it (ack-loss recovery).
+    fn reack(&mut self, ctx: &mut Context<'_, Net, Obs>, update: NetworkUpdate) {
+        if !self.shared.cfg.reliability.enabled {
+            return;
+        }
+        ctx.observe(Obs::AckRetransmitted {
+            switch: self.id,
+            update: update.id,
+        });
+        self.send_ack(ctx, update);
+    }
+
+    // ----- reliable delivery (event retransmission + NACKs) ---------------
+
+    /// Arms the retry timer for the earliest pending deadline. One timer is
+    /// outstanding at a time; it re-arms itself from `on_timer`.
+    fn arm_retry(&mut self, ctx: &mut Context<'_, Net, Obs>) {
+        if self.retry_armed || !self.shared.cfg.reliability.enabled {
+            return;
+        }
+        let next = self
+            .pending_events
+            .values()
+            .map(|p| p.next_due)
+            .chain(self.nacks.values().map(|n| n.next_due))
+            .min();
+        let Some(due) = next else {
+            return;
+        };
+        ctx.set_timer(due.since(ctx.now()), RETRY);
+        self.retry_armed = true;
+    }
+
+    fn sweep_pending_events(&mut self, ctx: &mut Context<'_, Net, Obs>, now: SimTime) {
+        let budget = self.shared.cfg.reliability.event_retry_budget;
+        let due: Vec<EventId> = self
+            .pending_events
+            .iter()
+            .filter(|(_, p)| p.next_due <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in due {
+            let p = self.pending_events.get_mut(&id).expect("present");
+            if p.attempts >= budget {
+                self.pending_events.remove(&id);
+                ctx.observe(Obs::EventRetryExhausted {
+                    switch: self.id,
+                    event: id,
+                });
+                continue;
+            }
+            p.attempts += 1;
+            let attempt = p.attempts;
+            let signed = p.signed.clone();
+            let backoff = self.event_backoff(id, attempt + 1);
+            self.pending_events
+                .get_mut(&id)
+                .expect("present")
+                .next_due = now + backoff;
+            ctx.observe(Obs::EventRetransmitted {
+                switch: self.id,
+                event: id,
+                attempt,
+            });
+            for node in self.event_targets(ctx) {
+                ctx.send(node, Net::EventMsg(signed.clone()));
+            }
+        }
+    }
+
+    fn sweep_nacks(&mut self, ctx: &mut Context<'_, Net, Obs>, now: SimTime) {
+        let budget = self.shared.cfg.reliability.nack_budget;
+        let due: Vec<southbound::types::UpdateId> = self
+            .nacks
+            .iter()
+            .filter(|(_, n)| n.next_due <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in due {
+            // The bucket may have reached quorum (applied) or been pruned by
+            // a phase change in the meantime.
+            let have = self
+                .buckets
+                .get(&(id, self.phase_info.phase))
+                .map(|bs| bs.iter().map(|b| b.partials.len()).max().unwrap_or(0))
+                .unwrap_or(0);
+            if self.applied.contains(&id) || have == 0 {
+                self.nacks.remove(&id);
+                continue;
+            }
+            let st = self.nacks.get_mut(&id).expect("present");
+            if st.attempts >= budget {
+                // Stop NACKing; the controllers' own retransmission (and its
+                // exhaustion report) remains the backstop.
+                self.nacks.remove(&id);
+                continue;
+            }
+            st.attempts += 1;
+            let attempt = st.attempts;
+            st.next_due = now + self.nack_policy.backoff(id, attempt + 1);
+            self.send_nack(ctx, id, have as u32);
+        }
+    }
+
+    fn send_nack(
+        &mut self,
+        ctx: &mut Context<'_, Net, Obs>,
+        update: southbound::types::UpdateId,
+        have: u32,
+    ) {
+        let body = NackBody {
+            update,
+            switch: self.id,
+            have,
+        };
+        let phase = self.phase_info.phase;
+        let msg_id = self.msg_id();
+        let signed = if self.shared.cfg.mode.is_cicero() && self.shared.real_crypto() {
+            ctx.charge_cpu(self.shared.cfg.costs.event_sign);
+            let key = self.key.as_ref().expect("real mode has switch keys");
+            Signed::sign(labels::NACK, body, phase, msg_id, key)
+        } else {
+            Signed {
+                payload: body,
+                phase,
+                msg_id,
+                signature: self.shared.keys.dummy,
+            }
+        };
+        ctx.observe(Obs::NackSent {
+            switch: self.id,
+            update,
+            have,
+        });
+        let members: Vec<NodeId> = self
+            .shared
+            .dir
+            .initial_members
+            .get(&self.domain)
+            .map(|ms| {
+                self.shared
+                    .dir
+                    .controller_nodes(self.domain, ms.iter().copied())
+                    .collect()
+            })
+            .unwrap_or_default();
+        for node in members {
+            ctx.send(node, Net::UpdateNack(signed.clone()));
+        }
+    }
+
     /// Switch-side aggregation (paper Fig. 6b): buffer share-signed updates
     /// until a quorum of identical updates, aggregate, verify, apply.
     fn on_share_signed(
@@ -265,12 +518,33 @@ impl SwitchActor {
     ) {
         ctx.charge_cpu(self.shared.cfg.costs.switch_msg);
         if self.applied.contains(&msg.payload.id) {
+            let fresh = self
+                .applied_signers
+                .entry(msg.payload.id)
+                .or_default()
+                .insert(msg.partial.index);
+            if !fresh {
+                // Second share from the same signer after apply: that
+                // controller is retransmitting, so our ack was lost.
+                self.reack(ctx, msg.payload);
+            }
             return;
         }
         if msg.phase != self.phase_info.phase {
             return;
         }
         let key = (msg.payload.id, msg.phase);
+        if self.shared.cfg.reliability.enabled {
+            // Start the NACK clock the moment the first share arrives: if
+            // the bucket is still below quorum when it fires, ask the
+            // control plane to re-send the missing shares.
+            let due = ctx.now() + self.nack_policy.backoff(msg.payload.id, 1);
+            self.nacks.entry(msg.payload.id).or_insert(NackState {
+                attempts: 0,
+                next_due: due,
+            });
+            self.arm_retry(ctx);
+        }
         let buckets = self.buckets.entry(key).or_default();
         let bucket = match buckets.iter_mut().find(|b| b.update == msg.payload) {
             Some(b) => b,
@@ -340,7 +614,9 @@ impl SwitchActor {
 
         if valid {
             let update = bucket.update;
+            let signers: HashSet<u32> = bucket.partials.keys().copied().collect();
             self.buckets.remove(&key);
+            self.applied_signers.insert(update.id, signers);
             self.apply_update(ctx, update);
         } else {
             ctx.observe(Obs::UpdateRejected {
@@ -359,6 +635,7 @@ impl SwitchActor {
     ) {
         ctx.charge_cpu(self.shared.cfg.costs.switch_msg);
         if self.applied.contains(&msg.payload.id) {
+            self.reack(ctx, msg.payload);
             return;
         }
         ctx.charge_cpu(self.shared.cfg.costs.bls_verify);
@@ -430,6 +707,17 @@ impl SwitchActor {
 }
 
 impl Actor<Net, Obs> for SwitchActor {
+    fn on_timer(&mut self, ctx: &mut Context<'_, Net, Obs>, token: TimerToken) {
+        if token != RETRY {
+            return;
+        }
+        self.retry_armed = false;
+        let now = ctx.now();
+        self.sweep_pending_events(ctx, now);
+        self.sweep_nacks(ctx, now);
+        self.arm_retry(ctx);
+    }
+
     fn on_message(&mut self, ctx: &mut Context<'_, Net, Obs>, _from: NodeId, msg: Net) {
         match msg {
             Net::FlowArrival {
@@ -455,7 +743,11 @@ impl Actor<Net, Obs> for SwitchActor {
             Net::UpdateAggregated(m) => self.on_quorum_signed(ctx, m),
             Net::UpdatePlain { update, from: _ } => {
                 ctx.charge_cpu(self.shared.cfg.costs.switch_msg);
-                self.apply_update(ctx, update);
+                if self.applied.contains(&update.id) {
+                    self.reack(ctx, update);
+                } else {
+                    self.apply_update(ctx, update);
+                }
             }
             Net::LinkDown { a, b } => {
                 self.raise_event(ctx, EventKind::LinkFailure { a, b });

@@ -1,32 +1,138 @@
-//! Dependency-driven update release.
+//! Dependency-driven update release and reliable (re)transmission state.
 //!
 //! Controllers do not fire all updates at once: an update is *released*
 //! (sent to its switch) only when its dependency set has drained, and
 //! verified switch acknowledgements are what drain dependency sets (paper
 //! §4.1). Updates with disjoint dependency sets proceed in parallel
 //! (§3.3, intra-domain parallelism).
+//!
+//! Release is not delivery: the southbound channel may lose the update or
+//! its acknowledgement. Each released update therefore carries *send
+//! state* — attempt count and next-retry deadline under exponential
+//! backoff with deterministic jitter — and the tracker answers "what is
+//! due for retransmission now?" ([`PendingUpdates::due_retries`]). An
+//! update whose retry budget is exhausted is reported as **failed**
+//! (together with every update transitively depending on it) instead of
+//! silently stalling the dependency graph. Acknowledged updates are kept
+//! in an archive so re-sync requests (NACKs) from switches that missed
+//! them can be answered after a partition heals.
 
 use crate::scheduler::ScheduledUpdate;
+use simnet::time::{SimDuration, SimTime};
 use southbound::types::{NetworkUpdate, UpdateId};
 use std::collections::{BTreeMap, BTreeSet};
 
-/// Tracks scheduled updates until acknowledged.
+/// Retransmission policy: exponential backoff with deterministic jitter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Delay before the first retransmission.
+    pub base: SimDuration,
+    /// Backoff ceiling.
+    pub max_backoff: SimDuration,
+    /// Retransmissions allowed per update (not counting the first send);
+    /// once spent, the update is reported failed. `0` disables
+    /// retransmission entirely (updates stay in flight forever).
+    pub budget: u32,
+    /// Seed for the deterministic jitter (mix in a per-sender value so
+    /// replicas do not retransmit in lockstep).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base: SimDuration::from_millis(25),
+            max_backoff: SimDuration::from_secs(2),
+            budget: 16,
+            jitter_seed: 0,
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `attempt` (1-based) of `id`:
+    /// `base * 2^(attempt-1)` capped at `max_backoff`, plus up to +25%
+    /// jitter derived deterministically from the policy seed, the update
+    /// identity and the attempt — seed-stable, but uncorrelated across
+    /// senders and attempts.
+    pub fn backoff(&self, id: UpdateId, attempt: u32) -> SimDuration {
+        let exp = attempt.saturating_sub(1).min(20);
+        let raw = self.base.saturating_mul(1u64 << exp);
+        let capped = raw.min(self.max_backoff);
+        let h = splitmix64(
+            self.jitter_seed
+                ^ id.event.0.rotate_left(17)
+                ^ u64::from(id.seq) << 40
+                ^ u64::from(attempt),
+        );
+        let jitter_ns = if capped.as_nanos() == 0 {
+            0
+        } else {
+            h % (capped.as_nanos() / 4 + 1)
+        };
+        capped + SimDuration::from_nanos(jitter_ns)
+    }
+}
+
+/// Send state of a released-but-unacknowledged update.
+#[derive(Clone, Debug)]
+struct InFlight {
+    update: NetworkUpdate,
+    /// Retransmissions performed so far (the initial send is not counted).
+    attempts: u32,
+    next_due: SimTime,
+}
+
+/// The updates a retry sweep decided on.
+#[derive(Clone, Debug, Default)]
+pub struct RetryBatch {
+    /// Updates to retransmit now, paired with their retransmission number
+    /// (1-based; the initial send is number 0).
+    pub resend: Vec<(NetworkUpdate, u32)>,
+    /// Updates whose budget is exhausted — reported failed (includes
+    /// waiting updates transitively dependent on a failed one).
+    pub failed: Vec<UpdateId>,
+}
+
+/// Tracks scheduled updates until acknowledged, with per-update send state.
 #[derive(Clone, Debug, Default)]
 pub struct PendingUpdates {
+    policy: RetryPolicy,
     waiting: BTreeMap<UpdateId, ScheduledUpdate>,
-    sent: BTreeSet<UpdateId>,
+    sent: BTreeMap<UpdateId, InFlight>,
     acked: BTreeSet<UpdateId>,
+    /// Acknowledged updates kept for re-sync replies.
+    completed: BTreeMap<UpdateId, NetworkUpdate>,
+    failed: BTreeSet<UpdateId>,
 }
 
 impl PendingUpdates {
-    /// Empty tracker.
+    /// Empty tracker with the default retry policy.
     pub fn new() -> Self {
         PendingUpdates::default()
     }
 
+    /// Sets the retry policy (builder style).
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The active retry policy.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
     /// Admits a schedule; returns the updates that are immediately ready to
-    /// send (empty dependency sets).
-    pub fn admit(&mut self, schedule: Vec<ScheduledUpdate>) -> Vec<NetworkUpdate> {
+    /// send (empty dependency sets), recorded as in flight at `now`.
+    pub fn admit(&mut self, schedule: Vec<ScheduledUpdate>, now: SimTime) -> Vec<NetworkUpdate> {
         for s in schedule {
             // Dependencies already acknowledged (e.g. re-admission after a
             // membership change) are pre-drained.
@@ -34,21 +140,23 @@ impl PendingUpdates {
             s.deps.retain(|d| !self.acked.contains(d));
             self.waiting.insert(s.update.id, s);
         }
-        self.release_ready()
+        self.release_ready(now)
     }
 
     /// Records a verified acknowledgement; returns updates that became
-    /// ready.
-    pub fn ack(&mut self, id: UpdateId) -> Vec<NetworkUpdate> {
+    /// ready (recorded as in flight at `now`).
+    pub fn ack(&mut self, id: UpdateId, now: SimTime) -> Vec<NetworkUpdate> {
         self.acked.insert(id);
-        self.sent.remove(&id);
+        if let Some(inf) = self.sent.remove(&id) {
+            self.completed.insert(id, inf.update);
+        }
         for s in self.waiting.values_mut() {
             s.deps.remove(&id);
         }
-        self.release_ready()
+        self.release_ready(now)
     }
 
-    fn release_ready(&mut self) -> Vec<NetworkUpdate> {
+    fn release_ready(&mut self, now: SimTime) -> Vec<NetworkUpdate> {
         let ready_ids: Vec<UpdateId> = self
             .waiting
             .iter()
@@ -58,15 +166,101 @@ impl PendingUpdates {
         let mut out = Vec::with_capacity(ready_ids.len());
         for id in ready_ids {
             let s = self.waiting.remove(&id).expect("present");
-            self.sent.insert(id);
+            self.sent.insert(
+                id,
+                InFlight {
+                    update: s.update,
+                    attempts: 0,
+                    next_due: now + self.policy.backoff(id, 1),
+                },
+            );
             out.push(s.update);
         }
         out
     }
 
+    /// Sweeps the in-flight set at `now`: returns the updates due for
+    /// retransmission (their backoff is advanced) and the updates whose
+    /// retry budget is exhausted. Exhausted updates — and every waiting
+    /// update transitively depending on one — move to the failed set.
+    pub fn due_retries(&mut self, now: SimTime) -> RetryBatch {
+        let mut batch = RetryBatch::default();
+        if self.policy.budget == 0 {
+            return batch;
+        }
+        let due: Vec<UpdateId> = self
+            .sent
+            .iter()
+            .filter(|(_, inf)| inf.next_due <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in due {
+            let inf = self.sent.get_mut(&id).expect("present");
+            if inf.attempts >= self.policy.budget {
+                self.sent.remove(&id);
+                batch.failed.push(id);
+                continue;
+            }
+            inf.attempts += 1;
+            inf.next_due = now + self.policy.backoff(id, inf.attempts + 1);
+            batch.resend.push((inf.update, inf.attempts));
+        }
+        // Cascade: a waiting update whose dependency failed can never
+        // release; fail it too (transitively) so the graph drains into an
+        // explicit failure report instead of a silent stall.
+        let mut frontier: Vec<UpdateId> = batch.failed.clone();
+        while let Some(f) = frontier.pop() {
+            self.failed.insert(f);
+            let doomed: Vec<UpdateId> = self
+                .waiting
+                .iter()
+                .filter(|(_, s)| s.deps.contains(&f))
+                .map(|(&id, _)| id)
+                .collect();
+            for id in doomed {
+                self.waiting.remove(&id);
+                batch.failed.push(id);
+                frontier.push(id);
+            }
+        }
+        batch
+    }
+
+    /// Earliest retry deadline among in-flight updates, if any (for timer
+    /// arming). `None` when nothing is in flight or retransmission is
+    /// disabled.
+    pub fn next_due(&self) -> Option<SimTime> {
+        if self.policy.budget == 0 {
+            return None;
+        }
+        self.sent.values().map(|inf| inf.next_due).min()
+    }
+
+    /// Answers a re-sync request (NACK) for `id`: returns the signed-update
+    /// payload to retransmit if this controller still holds it — either in
+    /// flight (budget permitting; the retry clock is advanced so the NACK
+    /// response replaces the next scheduled retransmission) or in the
+    /// acknowledged archive (a healed-partition peer re-requesting state).
+    pub fn resync(&mut self, id: UpdateId, now: SimTime) -> Option<NetworkUpdate> {
+        if let Some(inf) = self.sent.get_mut(&id) {
+            if self.policy.budget == 0 || inf.attempts >= self.policy.budget {
+                return None;
+            }
+            inf.attempts += 1;
+            inf.next_due = now + self.policy.backoff(id, inf.attempts + 1);
+            return Some(inf.update);
+        }
+        self.completed.get(&id).copied()
+    }
+
     /// Updates sent but not yet acknowledged.
     pub fn in_flight(&self) -> impl Iterator<Item = &UpdateId> {
-        self.sent.iter()
+        self.sent.keys()
+    }
+
+    /// Number of updates in flight (sent, unacknowledged).
+    pub fn in_flight_count(&self) -> usize {
+        self.sent.len()
     }
 
     /// `true` iff nothing is waiting or in flight.
@@ -79,9 +273,20 @@ impl PendingUpdates {
         self.waiting.len()
     }
 
+    /// Number of updates that exhausted their retry budget (including
+    /// dependents abandoned by the cascade).
+    pub fn failed_count(&self) -> usize {
+        self.failed.len()
+    }
+
     /// `true` iff `id` has been acknowledged.
     pub fn is_acked(&self, id: UpdateId) -> bool {
         self.acked.contains(&id)
+    }
+
+    /// `true` iff `id` was reported failed.
+    pub fn is_failed(&self, id: UpdateId) -> bool {
+        self.failed.contains(&id)
     }
 }
 
@@ -92,6 +297,8 @@ mod tests {
     use southbound::types::{
         EventId, FlowAction, FlowMatch, FlowRule, HostId, NextHop, SwitchId, UpdateKind,
     };
+
+    const T0: SimTime = SimTime::ZERO;
 
     fn chain(n: u32, event: u64) -> Vec<ScheduledUpdate> {
         let updates: Vec<NetworkUpdate> = (0..n)
@@ -116,15 +323,15 @@ mod tests {
     #[test]
     fn releases_in_reverse_path_order() {
         let mut p = PendingUpdates::new();
-        let ready = p.admit(chain(3, 1));
+        let ready = p.admit(chain(3, 1), T0);
         assert_eq!(ready.len(), 1);
         assert_eq!(ready[0].switch, SwitchId(2), "last hop first");
-        let ready = p.ack(ready[0].id);
+        let ready = p.ack(ready[0].id, T0);
         assert_eq!(ready.len(), 1);
         assert_eq!(ready[0].switch, SwitchId(1));
-        let ready = p.ack(ready[0].id);
+        let ready = p.ack(ready[0].id, T0);
         assert_eq!(ready[0].switch, SwitchId(0));
-        let ready = p.ack(ready[0].id);
+        let ready = p.ack(ready[0].id, T0);
         assert!(ready.is_empty());
         assert!(p.is_drained());
     }
@@ -132,8 +339,8 @@ mod tests {
     #[test]
     fn disjoint_events_progress_in_parallel() {
         let mut p = PendingUpdates::new();
-        let mut ready = p.admit(chain(2, 1));
-        ready.extend(p.admit(chain(2, 2)));
+        let mut ready = p.admit(chain(2, 1), T0);
+        ready.extend(p.admit(chain(2, 2), T0));
         // One releasable update per event.
         assert_eq!(ready.len(), 2);
         let events: BTreeSet<u64> = ready.iter().map(|u| u.id.event.0).collect();
@@ -143,11 +350,11 @@ mod tests {
     #[test]
     fn duplicate_acks_are_idempotent() {
         let mut p = PendingUpdates::new();
-        let ready = p.admit(chain(2, 1));
+        let ready = p.admit(chain(2, 1), T0);
         let id = ready[0].id;
-        let r1 = p.ack(id);
+        let r1 = p.ack(id, T0);
         assert_eq!(r1.len(), 1);
-        let r2 = p.ack(id);
+        let r2 = p.ack(id, T0);
         assert!(r2.is_empty());
         assert!(p.is_acked(id));
     }
@@ -156,12 +363,128 @@ mod tests {
     fn admission_after_ack_pre_drains() {
         let mut p = PendingUpdates::new();
         let sched = chain(2, 1);
-        let first_ready = p.admit(sched.clone())[0];
-        p.ack(first_ready.id);
+        let first_ready = p.admit(sched.clone(), T0)[0];
+        p.ack(first_ready.id, T0);
         // Re-admitting the same schedule: the dep on the acked update is
         // already satisfied.
         let mut p2 = p.clone();
-        let ready = p2.admit(sched);
+        let ready = p2.admit(sched, T0);
         assert!(ready.iter().any(|u| u.id.seq == 0));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let policy = RetryPolicy {
+            base: SimDuration::from_millis(10),
+            max_backoff: SimDuration::from_millis(80),
+            budget: 8,
+            jitter_seed: 7,
+        };
+        let id = UpdateId {
+            event: EventId(9),
+            seq: 0,
+        };
+        let mut prev = SimDuration::ZERO;
+        for attempt in 1..=4 {
+            let b = policy.backoff(id, attempt);
+            // Within [pure, pure * 1.25].
+            let pure = SimDuration::from_millis(10).saturating_mul(1 << (attempt - 1));
+            assert!(b >= pure, "attempt {attempt}: {b} < {pure}");
+            assert!(b.as_nanos() <= pure.as_nanos() + pure.as_nanos() / 4 + 1);
+            assert!(b > prev);
+            prev = b;
+        }
+        // Capped (plus jitter headroom).
+        let b = policy.backoff(id, 12);
+        assert!(b.as_nanos() <= 80_000_000 + 80_000_000 / 4 + 1);
+        // Deterministic.
+        assert_eq!(policy.backoff(id, 3), policy.backoff(id, 3));
+    }
+
+    #[test]
+    fn due_retries_resends_then_exhausts() {
+        let policy = RetryPolicy {
+            base: SimDuration::from_millis(10),
+            max_backoff: SimDuration::from_millis(10),
+            budget: 2,
+            jitter_seed: 0,
+        };
+        let mut p = PendingUpdates::new().with_policy(policy);
+        let ready = p.admit(chain(1, 1), T0);
+        let id = ready[0].id;
+        // Not yet due.
+        assert!(p.due_retries(T0).resend.is_empty());
+        // First retry.
+        let mut now = p.next_due().unwrap();
+        let b = p.due_retries(now);
+        assert_eq!(b.resend.len(), 1);
+        assert!(b.failed.is_empty());
+        // Second retry.
+        now = p.next_due().unwrap();
+        let b = p.due_retries(now);
+        assert_eq!(b.resend.len(), 1);
+        // Budget exhausted: reported failed, removed from flight.
+        now = p.next_due().unwrap();
+        let b = p.due_retries(now);
+        assert!(b.resend.is_empty());
+        assert_eq!(b.failed, vec![id]);
+        assert!(p.is_failed(id));
+        assert_eq!(p.in_flight_count(), 0);
+        assert!(p.next_due().is_none());
+    }
+
+    #[test]
+    fn exhaustion_cascades_to_dependents() {
+        let policy = RetryPolicy {
+            base: SimDuration::from_millis(5),
+            max_backoff: SimDuration::from_millis(5),
+            budget: 1,
+            jitter_seed: 1,
+        };
+        let mut p = PendingUpdates::new().with_policy(policy);
+        let ready = p.admit(chain(3, 1), T0);
+        assert_eq!(ready.len(), 1);
+        // Exhaust the in-flight head of the chain.
+        let now = p.next_due().unwrap();
+        p.due_retries(now);
+        let now = p.next_due().unwrap();
+        let b = p.due_retries(now);
+        // The head failed and both (transitive) dependents were abandoned.
+        assert_eq!(b.failed.len(), 3);
+        assert_eq!(p.failed_count(), 3);
+        assert!(p.is_drained(), "failure drains the graph explicitly");
+    }
+
+    #[test]
+    fn resync_answers_from_flight_and_archive() {
+        let mut p = PendingUpdates::new();
+        let ready = p.admit(chain(2, 1), T0);
+        let first = ready[0].id;
+        // In flight: resync returns the payload.
+        assert_eq!(p.resync(first, T0).unwrap().id, first);
+        // After the ack, it moves to the archive and is still answerable.
+        p.ack(first, T0);
+        assert_eq!(p.resync(first, T0).unwrap().id, first);
+        // Unknown ids are not.
+        let unknown = UpdateId {
+            event: EventId(99),
+            seq: 9,
+        };
+        assert!(p.resync(unknown, T0).is_none());
+    }
+
+    #[test]
+    fn zero_budget_disables_retransmission() {
+        let policy = RetryPolicy {
+            budget: 0,
+            ..RetryPolicy::default()
+        };
+        let mut p = PendingUpdates::new().with_policy(policy);
+        p.admit(chain(1, 1), T0);
+        assert!(p.next_due().is_none());
+        let far = T0 + SimDuration::from_secs(3600);
+        let b = p.due_retries(far);
+        assert!(b.resend.is_empty() && b.failed.is_empty());
+        assert_eq!(p.in_flight_count(), 1, "stays in flight forever");
     }
 }

@@ -179,6 +179,21 @@ impl<M: Clone + 'static, O: 'static> Simulation<M, O> {
         self.now
     }
 
+    /// Timestamp of the earliest queued event, or `None` when the queue is
+    /// drained (no future progress is possible).
+    pub fn next_event_at(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(ev)| ev.at)
+    }
+
+    /// Number of queued message deliveries (excludes timers and crashes) —
+    /// a liveness-watchdog signal for "messages still in flight".
+    pub fn queued_deliveries(&self) -> usize {
+        self.queue
+            .iter()
+            .filter(|Reverse(ev)| matches!(ev.kind, EventKind::Deliver { .. }))
+            .count()
+    }
+
     /// All observations so far.
     pub fn observations(&self) -> &[Observation<O>] {
         &self.observations
@@ -344,8 +359,11 @@ impl<M: Clone + 'static, O: 'static> Simulation<M, O> {
                 } => {
                     // Self-addressed messages are intra-node (timers in
                     // disguise); they never traverse the faulty network.
+                    // Faults apply at departure time (`done`), so a message
+                    // sent while a link is severed is lost even if the link
+                    // would have healed before arrival.
                     let loopback = to == node;
-                    if !loopback && self.faults.should_drop(node, to, &mut self.rng) {
+                    if !loopback && self.faults.should_drop(node, to, done, &mut self.rng) {
                         continue;
                     }
                     let arrive = done + self.latency.latency(node, to) + extra_delay;

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Reliability soak: run the loss/partition test suite at scaled-up case
+# counts. The property harness reads CHECK_CASES to widen every seeded
+# sweep (drop rates up to 30%, random transient partitions) without code
+# changes; a failure prints the case seed and a CHECK_SEED replay command.
+#
+# Usage:
+#   scripts/soak.sh           # default soak (CHECK_CASES=64)
+#   scripts/soak.sh 256       # heavier sweep
+#   SOAK_QUICK=1 scripts/soak.sh   # one smoke pass (used by verify.sh)
+set -euo pipefail
+
+cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel 2>/dev/null || dirname "$0")/"
+[ -f Cargo.toml ] || cd "$(dirname "$0")/.."
+
+cases="${1:-64}"
+
+if [ "${SOAK_QUICK:-0}" = "1" ]; then
+    echo "== soak (quick): reliability suite at default case counts =="
+    cargo test -q --offline -p cicero-core --test reliability
+    exit 0
+fi
+
+echo "== soak: reliability suite, CHECK_CASES=$cases =="
+CHECK_CASES="$cases" cargo test -q --offline -p cicero-core --test reliability -- --nocapture
+
+echo "== soak: protocol properties under loss, CHECK_CASES=$cases =="
+CHECK_CASES="$cases" cargo test -q --offline -p cicero-core --test protocol_props
+
+echo "== soak: BFT consensus properties, CHECK_CASES=$cases =="
+CHECK_CASES="$cases" cargo test -q --offline -p bft
+
+echo "soak.sh: all sweeps passed (CHECK_CASES=$cases)"

@@ -44,4 +44,7 @@ cargo build --release --offline
 echo "== tier-1: cargo test -q --offline =="
 cargo test -q --offline
 
+echo "== reliability smoke (scripts/soak.sh quick) =="
+SOAK_QUICK=1 "$(dirname "$0")/soak.sh"
+
 echo "verify.sh: all checks passed"
