@@ -29,6 +29,12 @@ pub enum Obs {
         update: UpdateId,
         /// What it changed (lets auditors replay data-plane states).
         kind: southbound::types::UpdateKind,
+        /// Distinct signature shares backing the apply: the bucket size at
+        /// quorum (switch aggregation), the phase quorum proven by a
+        /// verified aggregate (controller aggregation), or 1 for the
+        /// unauthenticated baselines. Security auditors reconstruct the
+        /// quorum evidence from this without trusting the switch logic.
+        signers: u32,
     },
     /// A switch rejected an update (bad/missing quorum or signature) —
     /// the security property at work.

@@ -285,7 +285,14 @@ impl SwitchActor {
         }
     }
 
-    fn apply_update(&mut self, ctx: &mut Context<'_, Net, Obs>, update: NetworkUpdate) {
+    /// `signers` is the quorum evidence backing this apply, reported in the
+    /// observation stream for security auditing (see [`Obs::UpdateApplied`]).
+    fn apply_update(
+        &mut self,
+        ctx: &mut Context<'_, Net, Obs>,
+        update: NetworkUpdate,
+        signers: u32,
+    ) {
         if !self.applied.insert(update.id) {
             return;
         }
@@ -295,6 +302,7 @@ impl SwitchActor {
             switch: self.id,
             update: update.id,
             kind: update.kind,
+            signers,
         });
         // The update's effect cancels any event retransmission awaiting it.
         match update.kind {
@@ -615,9 +623,10 @@ impl SwitchActor {
         if valid {
             let update = bucket.update;
             let signers: HashSet<u32> = bucket.partials.keys().copied().collect();
+            let n_signers = signers.len() as u32;
             self.buckets.remove(&key);
             self.applied_signers.insert(update.id, signers);
-            self.apply_update(ctx, update);
+            self.apply_update(ctx, update, n_signers);
         } else {
             ctx.observe(Obs::UpdateRejected {
                 switch: self.id,
@@ -646,7 +655,10 @@ impl SwitchActor {
             true
         };
         if valid {
-            self.apply_update(ctx, msg.payload);
+            // A verified aggregate only exists if exactly `quorum` valid
+            // partials were combined with the right Lagrange weights.
+            let quorum = self.phase_info.quorum;
+            self.apply_update(ctx, msg.payload, quorum);
         } else {
             ctx.observe(Obs::UpdateRejected {
                 switch: self.id,
@@ -746,7 +758,8 @@ impl Actor<Net, Obs> for SwitchActor {
                 if self.applied.contains(&update.id) {
                     self.reack(ctx, update);
                 } else {
-                    self.apply_update(ctx, update);
+                    // Unauthenticated baseline: one controller's word.
+                    self.apply_update(ctx, update, 1);
                 }
             }
             Net::LinkDown { a, b } => {

@@ -1,0 +1,338 @@
+//! # simcheck — deterministic simulation fuzzing for the Cicero engine
+//!
+//! A FoundationDB-style simulation tester over the repo's discrete-event
+//! simulator: a seeded generator ([`scenario`]) samples whole deployments —
+//! topology, update domains, controller counts, workload, and a fault plan
+//! of message loss, partitions, crashes and Byzantine share injection — and
+//! every sampled scenario is run through [`cicero_core::engine::Engine`]
+//! and judged by a registry of invariant oracles ([`oracle`]):
+//!
+//! * **consistency** — the `audit.rs` hazard walks (transient loop, black
+//!   hole, policy violation, misdelivery) after every applied update;
+//! * **capacity** — no intermediate rule state over-provisions a link
+//!   ([`netmodel::linkload::LinkLoad`]);
+//! * **security** — no `UpdateApplied` without the Byzantine quorum of
+//!   signature shares the mode promises, and no injected rogue update is
+//!   ever applied;
+//! * **liveness** — a fault plan that leaves progress possible must end in
+//!   a drained, completed run (no stall, no abandoned updates);
+//! * **agreement** — event delivery sequences stay prefix-consistent
+//!   within every domain.
+//!
+//! A failing scenario is automatically [`shrink`]-ed — fewer flows, fewer
+//! faults, shorter partition windows, a smaller fabric — to a minimal
+//! reproducer, then serialized ([`artifact`]) to a JSON replay artifact the
+//! `simcheck` binary (in the bench crate) re-executes deterministically:
+//!
+//! ```text
+//! cargo run -q --offline -p bench --bin simcheck -- replay <artifact.json>
+//! ```
+//!
+//! Everything is deterministic: a scenario is a pure function of its seed,
+//! and a run is a pure function of its scenario, so every failure replays
+//! bit-identically — the property `substrate::check`'s `CHECK_SEED`
+//! contract relies on.
+
+pub mod artifact;
+pub mod harness;
+pub mod oracle;
+pub mod scenario;
+pub mod shrink;
+
+use cicero_core::prelude::*;
+
+pub use oracle::Violation;
+pub use scenario::{Fault, FlowPlan, ModeTag, Scenario, SchedTag};
+
+use controller::policy::DomainMap;
+use netmodel::topology::Topology;
+use southbound::types::ControllerId;
+use simnet::time::{SimDuration, SimTime};
+use workload::gen::FlowSpec;
+
+/// The result of executing one scenario: the engine's run report plus
+/// every invariant violation the oracle registry found.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// The engine's liveness/throughput report.
+    pub report: RunReport,
+    /// Oracle violations, in detection order (empty = scenario passed).
+    pub violations: Vec<Violation>,
+}
+
+impl RunOutcome {
+    /// `true` iff no oracle fired.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// A fuzzing failure: the originally sampled scenario, its shrunk minimal
+/// reproducer, and the violations the reproducer still exhibits.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// The scenario as sampled from the seed.
+    pub scenario: Scenario,
+    /// The greedy-shrunk minimal scenario (still failing).
+    pub shrunk: Scenario,
+    /// Violations of the shrunk scenario.
+    pub violations: Vec<Violation>,
+}
+
+/// Builds and executes one scenario, returning the report and all oracle
+/// violations. Fully deterministic: same scenario, same outcome.
+pub fn run_scenario(s: &Scenario) -> RunOutcome {
+    let topo = s.topology();
+    let dm = s.domain_map(&topo);
+    let mut cfg = EngineConfig::for_mode(s.mode.to_mode());
+    cfg.crypto = CryptoMode::Modeled;
+    cfg.seed = s.seed;
+    cfg.controllers_per_domain = s.controllers_per_domain;
+    cfg.trace_deliveries = true;
+    let mut engine = Engine::build(cfg, topo.clone(), dm, 0);
+
+    harness::set_schedulers(&mut engine, || s.scheduler.make());
+    for m in s.denied_matches(&topo) {
+        harness::deny_pair(&mut engine, m);
+    }
+
+    let plan = build_fault_plan(&engine, s, &topo);
+    engine.set_faults(plan);
+    inject_byzantine(&mut engine, s, &topo);
+
+    let flows = s.flow_specs(&topo);
+    engine.inject_flows(&flows);
+    let report = engine.run_reporting(at_ms(s.horizon_ms));
+
+    let violations = oracle::check_all(s, &topo, &flows, engine.observations(), &report);
+    RunOutcome { report, violations }
+}
+
+/// Samples the scenario for `seed`, runs it, and on failure shrinks it to
+/// a minimal reproducer. `None` means every oracle held.
+pub fn check_seed(seed: u64) -> Option<Failure> {
+    check_scenario(Scenario::generate(seed))
+}
+
+/// Runs `scenario`; on failure shrinks it and returns the reproducer.
+pub fn check_scenario(scenario: Scenario) -> Option<Failure> {
+    let out = run_scenario(&scenario);
+    if out.passed() {
+        return None;
+    }
+    let shrunk = shrink::shrink(&scenario);
+    let violations = run_scenario(&shrunk).violations;
+    Some(Failure {
+        scenario,
+        shrunk,
+        violations,
+    })
+}
+
+/// `SimTime::ZERO + ms` — scenario times are plain millisecond offsets.
+pub(crate) fn at_ms(ms: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(ms)
+}
+
+/// Resolves the scenario's abstract faults against the engine's node
+/// directory into a concrete [`simnet::fault::FaultPlan`].
+fn build_fault_plan(engine: &Engine, s: &Scenario, topo: &Topology) -> simnet::fault::FaultPlan {
+    let mut plan = simnet::fault::FaultPlan::none();
+    let domains = s.domain_ids(engine);
+    let n = s.controllers_per_domain;
+    let switches = topo.switches();
+    for f in &s.faults {
+        match *f {
+            Fault::Drop { permille } => {
+                plan = plan.with_drop_probability(permille as f64 / 1000.0);
+            }
+            Fault::Duplicate { permille } => {
+                plan = plan.with_duplicate_probability(permille as f64 / 1000.0);
+            }
+            Fault::CrashController {
+                domain,
+                controller,
+                at_ms: at,
+            } => {
+                if n < 2 {
+                    continue;
+                }
+                let d = domains[domain as usize % domains.len()];
+                // Never index 1: it may be the bootstrap consensus leader
+                // or the aggregator; crashing it is a liveness question
+                // the generator keeps out of the benign envelope.
+                let c = ControllerId(2 + controller % (n - 1));
+                plan = plan.with_crash(at_ms(at), engine.controller_node(d, c));
+            }
+            Fault::SeverControllers {
+                domain,
+                a,
+                b,
+                from_ms,
+                until_ms,
+            } => {
+                if n < 2 || until_ms <= from_ms {
+                    continue;
+                }
+                let d = domains[domain as usize % domains.len()];
+                let ca = a % n;
+                let mut cb = b % n;
+                if cb == ca {
+                    cb = (cb + 1) % n;
+                }
+                plan = plan.with_severed_window(
+                    engine.controller_node(d, ControllerId(1 + ca)),
+                    engine.controller_node(d, ControllerId(1 + cb)),
+                    at_ms(from_ms),
+                    at_ms(until_ms),
+                );
+            }
+            Fault::SeverUplink {
+                switch,
+                controller,
+                from_ms,
+                until_ms,
+            } => {
+                if until_ms <= from_ms {
+                    continue;
+                }
+                let sw = switches[switch as usize % switches.len()].id;
+                let d = engine.shared().dir.domain_of_switch[&sw];
+                let c = ControllerId(1 + controller % n);
+                plan = plan.with_severed_window(
+                    engine.switch_node(sw),
+                    engine.controller_node(d, c),
+                    at_ms(from_ms),
+                    at_ms(until_ms),
+                );
+            }
+            Fault::RogueShares { .. } => {} // handled by inject_byzantine
+        }
+    }
+    plan
+}
+
+/// Injects the Byzantine faults: a compromised controller sending
+/// share-signed rogue updates straight to a victim switch. A correct
+/// switch buckets the share, sees a single signer below quorum, and never
+/// applies it — the security oracle flags any run where one slips through.
+fn inject_byzantine(engine: &mut Engine, s: &Scenario, topo: &Topology) {
+    use blscrypto::bls::PartialSignature;
+    use blscrypto::curves::g1_generator;
+    use southbound::envelope::{MsgId, ShareSigned};
+    use southbound::types::*;
+
+    if !s.mode.to_mode().is_cicero() {
+        return;
+    }
+    let switches = topo.switches();
+    let n = s.controllers_per_domain;
+    for (k, f) in s.faults.iter().enumerate() {
+        let Fault::RogueShares {
+            controller,
+            victim,
+            at_ms: at,
+        } = *f
+        else {
+            continue;
+        };
+        let sw = switches[victim as usize % switches.len()].id;
+        let d = engine.shared().dir.domain_of_switch[&sw];
+        let c = ControllerId(1 + controller % n);
+        let update = NetworkUpdate {
+            id: scenario::rogue_update_id(k as u64),
+            switch: sw,
+            kind: UpdateKind::Install(FlowRule {
+                // A matcher no generated flow can collide with.
+                matcher: FlowMatch {
+                    src: HostId(u32::MAX),
+                    dst: HostId(u32::MAX - 1),
+                },
+                action: FlowAction::Deny,
+            }),
+        };
+        let from = engine.controller_node(d, c);
+        engine.inject_raw(
+            at_ms(at),
+            from,
+            engine.switch_node(sw),
+            Net::UpdateMsg(ShareSigned {
+                payload: update,
+                phase: southbound::types::Phase(0),
+                msg_id: MsgId {
+                    origin: c.0,
+                    seq: 0xBAD0_0000 + k as u64,
+                },
+                partial: PartialSignature {
+                    index: c.0,
+                    sig: g1_generator().to_affine(),
+                },
+            }),
+        );
+    }
+}
+
+// Re-exported for the scenario module (domain resolution shares the
+// engine's authoritative domain list).
+impl Scenario {
+    /// The engine's domain ids, in build order.
+    pub fn domain_ids(&self, engine: &Engine) -> Vec<southbound::types::DomainId> {
+        engine.shared().policy.domains().domains()
+    }
+
+    /// The domain map this scenario asks the engine to build.
+    pub fn domain_map(&self, topo: &Topology) -> DomainMap {
+        if self.domains <= 1 || self.mode == ModeTag::Centralized {
+            DomainMap::single(topo)
+        } else {
+            DomainMap::split_racks(topo, self.domains)
+        }
+    }
+
+    /// Concrete flow specs with host indices resolved against `topo`.
+    pub fn flow_specs(&self, topo: &Topology) -> Vec<FlowSpec> {
+        use southbound::types::FlowId;
+        let hosts = topo.hosts();
+        self.flows
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let (src, dst) = resolve_pair(hosts.len(), f.src, f.dst);
+                FlowSpec {
+                    id: FlowId(i as u64 + 1),
+                    src: hosts[src].id,
+                    dst: hosts[dst].id,
+                    bytes: f.bytes.max(64),
+                    start: at_ms(f.start_ms),
+                    locality: workload::spec::LocalityClass::IntraPod,
+                }
+            })
+            .collect()
+    }
+
+    /// The firewall matches to install, resolved against `topo`.
+    pub fn denied_matches(&self, topo: &Topology) -> Vec<southbound::types::FlowMatch> {
+        let hosts = topo.hosts();
+        self.denied
+            .iter()
+            .map(|&(a, b)| {
+                let (src, dst) = resolve_pair(hosts.len(), a, b);
+                southbound::types::FlowMatch {
+                    src: hosts[src].id,
+                    dst: hosts[dst].id,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Maps two abstract host indices onto distinct concrete indices, so the
+/// same scenario stays valid as the shrinker removes hosts.
+fn resolve_pair(n_hosts: usize, a: u32, b: u32) -> (usize, usize) {
+    let src = a as usize % n_hosts;
+    let mut dst = b as usize % n_hosts;
+    if dst == src {
+        dst = (dst + 1) % n_hosts;
+    }
+    (src, dst)
+}

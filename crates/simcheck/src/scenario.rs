@@ -1,0 +1,405 @@
+//! Scenario sampling: a whole deployment — fabric, domains, protocol mode,
+//! scheduler, workload, fault plan — as a pure function of a seed.
+//!
+//! Every cross-reference inside a scenario (flow endpoints, fault targets)
+//! is stored as an *abstract index* and resolved modulo the concrete
+//! collection at build time, so the shrinker can remove racks, hosts or
+//! controllers without ever producing a dangling reference.
+
+use cicero_core::prelude::*;
+use controller::scheduler::{
+    DependencyGraphScheduler, ReversePathScheduler, UnorderedScheduler, UpdateScheduler,
+};
+use netmodel::topology::Topology;
+use southbound::types::EventId;
+use substrate::check::Gen;
+
+/// Serializable stand-in for [`Mode`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ModeTag {
+    /// One unreplicated, unauthenticated controller.
+    Centralized,
+    /// Replicated ordering, unauthenticated updates.
+    CrashTolerant,
+    /// Full Cicero, switches aggregate signature shares.
+    Cicero,
+    /// Full Cicero, the aggregator controller combines shares.
+    CiceroAgg,
+}
+
+impl ModeTag {
+    /// The engine mode this tag selects.
+    pub fn to_mode(self) -> Mode {
+        match self {
+            ModeTag::Centralized => Mode::Centralized,
+            ModeTag::CrashTolerant => Mode::CrashTolerant,
+            ModeTag::Cicero => Mode::Cicero {
+                aggregation: Aggregation::Switch,
+            },
+            ModeTag::CiceroAgg => Mode::Cicero {
+                aggregation: Aggregation::Controller,
+            },
+        }
+    }
+
+    /// Stable wire name (replay artifacts).
+    pub fn name(self) -> &'static str {
+        match self {
+            ModeTag::Centralized => "centralized",
+            ModeTag::CrashTolerant => "crash_tolerant",
+            ModeTag::Cicero => "cicero",
+            ModeTag::CiceroAgg => "cicero_agg",
+        }
+    }
+
+    /// Parses [`ModeTag::name`] output.
+    pub fn parse(s: &str) -> Option<ModeTag> {
+        Some(match s {
+            "centralized" => ModeTag::Centralized,
+            "crash_tolerant" => ModeTag::CrashTolerant,
+            "cicero" => ModeTag::Cicero,
+            "cicero_agg" => ModeTag::CiceroAgg,
+            _ => return None,
+        })
+    }
+}
+
+/// Serializable stand-in for the update scheduler choice.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SchedTag {
+    /// Egress-to-ingress release order (paper §3.1).
+    ReversePath,
+    /// Dependency-graph parallel release.
+    DependencyGraph,
+    /// No ordering at all — the known-unsafe baseline. Generated scenarios
+    /// never use it; it exists so tests can *inject* the classic
+    /// dependency-order regression and watch the oracles catch it.
+    Unordered,
+}
+
+impl SchedTag {
+    /// Builds the scheduler this tag selects.
+    pub fn make(self) -> Box<dyn UpdateScheduler> {
+        match self {
+            SchedTag::ReversePath => Box::new(ReversePathScheduler),
+            SchedTag::DependencyGraph => Box::new(DependencyGraphScheduler::new()),
+            SchedTag::Unordered => Box::new(UnorderedScheduler),
+        }
+    }
+
+    /// Stable wire name (replay artifacts).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedTag::ReversePath => "reverse_path",
+            SchedTag::DependencyGraph => "dependency_graph",
+            SchedTag::Unordered => "unordered",
+        }
+    }
+
+    /// Parses [`SchedTag::name`] output.
+    pub fn parse(s: &str) -> Option<SchedTag> {
+        Some(match s {
+            "reverse_path" => SchedTag::ReversePath,
+            "dependency_graph" => SchedTag::DependencyGraph,
+            "unordered" => SchedTag::Unordered,
+            _ => return None,
+        })
+    }
+}
+
+/// One flow: abstract host indices plus size and arrival offset.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FlowPlan {
+    /// Abstract source host index (mod host count at build time).
+    pub src: u32,
+    /// Abstract destination host index (forced distinct from `src`).
+    pub dst: u32,
+    /// Flow size in bytes (clamped to ≥ 64).
+    pub bytes: u64,
+    /// Arrival offset in milliseconds.
+    pub start_ms: u64,
+}
+
+/// One abstract fault, resolved against the built engine's directory.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Fault {
+    /// Uniform message loss, in permille.
+    Drop {
+        /// Loss probability × 1000.
+        permille: u32,
+    },
+    /// Uniform message duplication, in permille.
+    Duplicate {
+        /// Duplication probability × 1000.
+        permille: u32,
+    },
+    /// Crash one controller (index kept off the leader/aggregator slot).
+    CrashController {
+        /// Abstract domain index.
+        domain: u16,
+        /// Abstract controller index (resolved into `2..=n`).
+        controller: u32,
+        /// Crash time in milliseconds.
+        at_ms: u64,
+    },
+    /// A healing partition between two controllers of one domain.
+    SeverControllers {
+        /// Abstract domain index.
+        domain: u16,
+        /// Abstract first controller index.
+        a: u32,
+        /// Abstract second controller index (forced distinct).
+        b: u32,
+        /// Window start, milliseconds.
+        from_ms: u64,
+        /// Window end (half-open), milliseconds.
+        until_ms: u64,
+    },
+    /// A healing partition between a switch and one of its controllers.
+    SeverUplink {
+        /// Abstract switch index.
+        switch: u32,
+        /// Abstract controller index.
+        controller: u32,
+        /// Window start, milliseconds.
+        from_ms: u64,
+        /// Window end (half-open), milliseconds.
+        until_ms: u64,
+    },
+    /// A Byzantine controller sends a forged share-signed update straight
+    /// to a victim switch (below quorum — must never be applied).
+    RogueShares {
+        /// Abstract compromised-controller index.
+        controller: u32,
+        /// Abstract victim-switch index.
+        victim: u32,
+        /// Injection time in milliseconds.
+        at_ms: u64,
+    },
+}
+
+impl Fault {
+    /// `true` for the crash variant.
+    pub fn is_crash(&self) -> bool {
+        matches!(self, Fault::CrashController { .. })
+    }
+}
+
+/// A complete sampled scenario. Running one is a pure function of this
+/// value (see [`crate::run_scenario`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Scenario {
+    /// The generator seed (also the engine's RNG seed).
+    pub seed: u64,
+    /// ToR switch count of the single-pod fabric (≥ 2).
+    pub racks: u16,
+    /// Edge/aggregation switch count (≥ 1).
+    pub edges: u16,
+    /// Hosts attached to each ToR (≥ 1).
+    pub hosts_per_rack: u16,
+    /// Update domains the fabric is split into (1 = single domain).
+    pub domains: u16,
+    /// Protocol mode.
+    pub mode: ModeTag,
+    /// Update scheduler installed on every controller.
+    pub scheduler: SchedTag,
+    /// Controllers per domain (≥ 4 for Cicero modes; 1 for centralized).
+    pub controllers_per_domain: u32,
+    /// The workload.
+    pub flows: Vec<FlowPlan>,
+    /// Firewall-denied host pairs, as abstract indices.
+    pub denied: Vec<(u32, u32)>,
+    /// The fault plan.
+    pub faults: Vec<Fault>,
+    /// Run horizon in milliseconds.
+    pub horizon_ms: u64,
+}
+
+/// The tag in the high bits of every rogue update's event id. Genuine
+/// event ids are `(switch_id << 32) | seq` with small switch ids, so the
+/// top 16 bits distinguish injected forgeries unambiguously.
+pub const ROGUE_TAG: u64 = 0xBAD0;
+
+/// The event+update id carried by the `k`-th injected rogue update.
+pub fn rogue_update_id(k: u64) -> southbound::types::UpdateId {
+    southbound::types::UpdateId {
+        event: EventId((ROGUE_TAG << 48) | k),
+        seq: 0,
+    }
+}
+
+/// `true` iff this event id belongs to an injected rogue update.
+pub fn is_rogue_event(e: EventId) -> bool {
+    e.0 >> 48 == ROGUE_TAG
+}
+
+impl Scenario {
+    /// Samples the scenario for `seed`. Deterministic.
+    pub fn generate(seed: u64) -> Scenario {
+        let mut g = Gen::from_seed(seed);
+        let racks = g.u32_in(2..5) as u16;
+        let edges = g.u32_in(1..3) as u16;
+        let hosts_per_rack = g.u32_in(1..4) as u16;
+        let mode = *g.choose(&[
+            ModeTag::Cicero,
+            ModeTag::Cicero,
+            ModeTag::CiceroAgg,
+            ModeTag::CrashTolerant,
+            ModeTag::Centralized,
+        ]);
+        let domains = if mode == ModeTag::Centralized {
+            1
+        } else {
+            g.u32_in(1..3) as u16
+        };
+        let controllers_per_domain = match mode {
+            ModeTag::Centralized => 1,
+            _ => g.u32_in(4..7),
+        };
+        let scheduler = if g.f64_unit() < 0.8 {
+            SchedTag::ReversePath
+        } else {
+            SchedTag::DependencyGraph
+        };
+
+        let n_flows = g.usize_in(1..9);
+        let flows: Vec<FlowPlan> = (0..n_flows)
+            .map(|_| FlowPlan {
+                src: g.u32(),
+                dst: g.u32(),
+                bytes: g.u64_in(64..50_000),
+                start_ms: g.u64_in(0..40),
+            })
+            .collect();
+
+        // Deny a pair ~30% of the time; half the time it shadows a real
+        // flow (so FlowDenied paths are exercised), half it is unrelated.
+        let mut denied = Vec::new();
+        if g.f64_unit() < 0.3 {
+            if g.bool() && !flows.is_empty() {
+                let f = flows[g.usize_in(0..flows.len())];
+                denied.push((f.src, f.dst));
+            } else {
+                denied.push((g.u32(), g.u32()));
+            }
+        }
+
+        let mut faults = Vec::new();
+        if g.f64_unit() < 0.4 {
+            faults.push(Fault::Drop {
+                permille: g.u32_in(5..150),
+            });
+        }
+        if g.f64_unit() < 0.25 {
+            faults.push(Fault::Duplicate {
+                permille: g.u32_in(5..100),
+            });
+        }
+        if controllers_per_domain >= 4 && g.f64_unit() < 0.25 {
+            faults.push(Fault::CrashController {
+                domain: g.u16(),
+                controller: g.u32(),
+                at_ms: g.u64_in(1..1500),
+            });
+        }
+        if controllers_per_domain >= 2 && g.f64_unit() < 0.3 {
+            let from_ms = g.u64_in(1..1500);
+            faults.push(Fault::SeverControllers {
+                domain: g.u16(),
+                a: g.u32(),
+                b: g.u32(),
+                from_ms,
+                until_ms: from_ms + g.u64_in(50..600),
+            });
+        }
+        if g.f64_unit() < 0.3 {
+            let from_ms = g.u64_in(1..1500);
+            faults.push(Fault::SeverUplink {
+                switch: g.u32(),
+                controller: g.u32(),
+                from_ms,
+                until_ms: from_ms + g.u64_in(50..600),
+            });
+        }
+        if matches!(mode, ModeTag::Cicero | ModeTag::CiceroAgg) && g.f64_unit() < 0.3 {
+            faults.push(Fault::RogueShares {
+                controller: g.u32(),
+                victim: g.u32(),
+                at_ms: g.u64_in(1..1000),
+            });
+        }
+
+        Scenario {
+            seed,
+            racks,
+            edges,
+            hosts_per_rack,
+            domains,
+            mode,
+            scheduler,
+            controllers_per_domain,
+            flows,
+            denied,
+            faults,
+            horizon_ms: 30_000,
+        }
+    }
+
+    /// The concrete fabric: a single pod of ToR + edge switches.
+    pub fn topology(&self) -> Topology {
+        Topology::single_pod(
+            self.racks.max(2),
+            self.edges.max(1),
+            self.hosts_per_rack.max(1),
+        )
+    }
+
+    /// `true` if the scenario contains a controller crash.
+    pub fn has_crash(&self) -> bool {
+        self.faults.iter().any(Fault::is_crash)
+    }
+
+    /// `true` iff the fault plan provably leaves progress possible, so the
+    /// liveness oracle may demand a completed run. The envelope is
+    /// deliberately conservative; scenarios outside it still run and are
+    /// still checked for safety, just not for liveness.
+    ///
+    /// * loss/duplication stay far below what the retry budgets absorb;
+    /// * at most `⌊(n−1)/3⌋` crashes per domain, never the index-1 slot
+    ///   (bootstrap leader / aggregator);
+    /// * partitions all heal at least 25 s before the horizon;
+    /// * rogue shares are harmless to a correct switch by construction.
+    pub fn benign(&self) -> bool {
+        let n = self.controllers_per_domain;
+        let tolerated = if n >= 4 { (n as usize - 1) / 3 } else { 0 };
+        let mut crashes = 0usize;
+        for f in &self.faults {
+            match *f {
+                Fault::Drop { permille } => {
+                    if permille > 200 {
+                        return false;
+                    }
+                }
+                Fault::Duplicate { permille } => {
+                    if permille > 150 {
+                        return false;
+                    }
+                }
+                Fault::CrashController { .. } => {
+                    crashes += 1;
+                    if crashes > tolerated {
+                        return false;
+                    }
+                }
+                Fault::SeverControllers { until_ms, .. }
+                | Fault::SeverUplink { until_ms, .. } => {
+                    if until_ms + 25_000 > self.horizon_ms {
+                        return false;
+                    }
+                }
+                Fault::RogueShares { .. } => {}
+            }
+        }
+        true
+    }
+}

@@ -1,0 +1,138 @@
+//! Greedy scenario shrinking: given a failing scenario, repeatedly try
+//! simpler variants — fewer flows, fewer faults, no firewall, shorter
+//! partition windows, a smaller control plane, a smaller fabric — and keep
+//! any variant that still fails *some* oracle, until a full pass produces
+//! no further reduction.
+//!
+//! Because every cross-reference in a [`Scenario`] is an abstract index
+//! resolved modulo the live collection, every candidate below is valid by
+//! construction; the shrinker never has to repair references.
+
+use crate::scenario::{Fault, Scenario};
+use crate::run_scenario;
+
+/// Upper bound on candidate executions per shrink (a run is cheap, but a
+/// pathological scenario should not turn one failure into minutes).
+const MAX_RUNS: usize = 200;
+
+/// Shrinks `failing` to a locally minimal scenario that still violates an
+/// oracle. If `failing` unexpectedly passes, it is returned unchanged.
+pub fn shrink(failing: &Scenario) -> Scenario {
+    let mut best = failing.clone();
+    let mut runs = 0usize;
+    loop {
+        let mut improved = false;
+        for cand in candidates(&best) {
+            if runs >= MAX_RUNS {
+                return best;
+            }
+            runs += 1;
+            if !run_scenario(&cand).passed() {
+                best = cand;
+                improved = true;
+                break; // restart candidate enumeration from the new best
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+/// Candidate simplifications of `s`, most aggressive first.
+fn candidates(s: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+
+    // Remove each flow (largest structural win first).
+    for i in 0..s.flows.len() {
+        // Keep at least one flow: an empty workload exercises nothing.
+        if s.flows.len() <= 1 {
+            break;
+        }
+        let mut c = s.clone();
+        c.flows.remove(i);
+        out.push(c);
+    }
+
+    // Remove each fault.
+    for i in 0..s.faults.len() {
+        let mut c = s.clone();
+        c.faults.remove(i);
+        out.push(c);
+    }
+
+    // Drop the firewall config.
+    if !s.denied.is_empty() {
+        let mut c = s.clone();
+        c.denied.clear();
+        out.push(c);
+    }
+
+    // Halve every partition window.
+    for i in 0..s.faults.len() {
+        let mut c = s.clone();
+        let halved = match c.faults[i] {
+            Fault::SeverControllers {
+                domain,
+                a,
+                b,
+                from_ms,
+                until_ms,
+            } if until_ms > from_ms + 2 => Fault::SeverControllers {
+                domain,
+                a,
+                b,
+                from_ms,
+                until_ms: from_ms + (until_ms - from_ms) / 2,
+            },
+            Fault::SeverUplink {
+                switch,
+                controller,
+                from_ms,
+                until_ms,
+            } if until_ms > from_ms + 2 => Fault::SeverUplink {
+                switch,
+                controller,
+                from_ms,
+                until_ms: from_ms + (until_ms - from_ms) / 2,
+            },
+            _ => continue,
+        };
+        c.faults[i] = halved;
+        out.push(c);
+    }
+
+    // Collapse to one domain.
+    if s.domains > 1 {
+        let mut c = s.clone();
+        c.domains = 1;
+        out.push(c);
+    }
+
+    // Shrink the control plane to the Cicero minimum.
+    if s.controllers_per_domain > 4 {
+        let mut c = s.clone();
+        c.controllers_per_domain = 4;
+        out.push(c);
+    }
+
+    // Shrink the fabric, keeping it routable (≥ 2 racks, ≥ 1 edge,
+    // ≥ 1 host per rack so at least two hosts exist).
+    if s.hosts_per_rack > 1 {
+        let mut c = s.clone();
+        c.hosts_per_rack -= 1;
+        out.push(c);
+    }
+    if s.edges > 1 {
+        let mut c = s.clone();
+        c.edges -= 1;
+        out.push(c);
+    }
+    if s.racks > 2 {
+        let mut c = s.clone();
+        c.racks -= 1;
+        out.push(c);
+    }
+
+    out
+}

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
-# Reliability soak: run the loss/partition test suite at scaled-up case
-# counts. The property harness reads CHECK_CASES to widen every seeded
-# sweep (drop rates up to 30%, random transient partitions) without code
-# changes; a failure prints the case seed and a CHECK_SEED replay command.
+# Reliability soak: run the loss/partition suites and the simulation fuzzer
+# at scaled-up case counts. The property harness reads CHECK_CASES to widen
+# every seeded sweep (drop rates up to 30%, random transient partitions)
+# without code changes; a failure prints the case seed and a CHECK_SEED
+# replay command.
 #
 # Usage:
-#   scripts/soak.sh           # default soak (CHECK_CASES=64)
-#   scripts/soak.sh 256       # heavier sweep
-#   SOAK_QUICK=1 scripts/soak.sh   # one smoke pass (used by verify.sh)
+#   scripts/soak.sh                      # default soak (CHECK_CASES=64)
+#   scripts/soak.sh 256                  # heavier sweep
+#   CHECK_SEED=0x1234 scripts/soak.sh    # replay one failing case only
+#   SOAK_QUICK=1 scripts/soak.sh         # one smoke pass (used by verify.sh)
 set -euo pipefail
 
 cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel 2>/dev/null || dirname "$0")/"
@@ -15,19 +17,46 @@ cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel 2>/dev/null || dirname 
 
 cases="${1:-64}"
 
+# CHECK_SEED pins the property harness to exactly one case; export it so
+# every child `cargo test` below replays that case instead of sweeping.
+if [ -n "${CHECK_SEED:-}" ]; then
+    export CHECK_SEED
+    echo "== soak: replaying single case CHECK_SEED=$CHECK_SEED =="
+fi
+
+# Runs one suite; on failure points at the CHECK_SEED replay line the
+# harness printed and re-raises, so CI logs end with the reproduction.
+run_suite() {
+    label="$1"
+    shift
+    echo "== soak: $label =="
+    if ! "$@"; then
+        echo "soak.sh: suite '$label' FAILED" >&2
+        echo "  the failing case seed is printed above; replay just it with:" >&2
+        echo "  CHECK_SEED=<seed> scripts/soak.sh" >&2
+        exit 1
+    fi
+}
+
 if [ "${SOAK_QUICK:-0}" = "1" ]; then
-    echo "== soak (quick): reliability suite at default case counts =="
-    cargo test -q --offline -p cicero-core --test reliability
+    run_suite "quick: reliability suite at default case counts" \
+        cargo test -q --offline -p cicero-core --test reliability
     exit 0
 fi
 
-echo "== soak: reliability suite, CHECK_CASES=$cases =="
-CHECK_CASES="$cases" cargo test -q --offline -p cicero-core --test reliability -- --nocapture
+run_suite "reliability suite, CHECK_CASES=$cases" \
+    env CHECK_CASES="$cases" cargo test -q --offline -p cicero-core --test reliability -- --nocapture
 
-echo "== soak: protocol properties under loss, CHECK_CASES=$cases =="
-CHECK_CASES="$cases" cargo test -q --offline -p cicero-core --test protocol_props
+run_suite "protocol properties under loss, CHECK_CASES=$cases" \
+    env CHECK_CASES="$cases" cargo test -q --offline -p cicero-core --test protocol_props
 
-echo "== soak: BFT consensus properties, CHECK_CASES=$cases =="
-CHECK_CASES="$cases" cargo test -q --offline -p bft
+run_suite "BFT consensus properties, CHECK_CASES=$cases" \
+    env CHECK_CASES="$cases" cargo test -q --offline -p bft
+
+run_suite "simulation fuzzer sweep, CHECK_CASES=$cases" \
+    env CHECK_CASES="$cases" cargo test -q --offline -p simcheck --test smoke
+
+run_suite "DKG/reshare churn properties, CHECK_CASES=$cases" \
+    env CHECK_CASES="$cases" cargo test -q --offline -p blscrypto --test churn
 
 echo "soak.sh: all sweeps passed (CHECK_CASES=$cases)"

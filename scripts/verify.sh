@@ -41,8 +41,26 @@ echo "  ok: all dependencies are in-workspace path crates"
 echo "== tier-1: cargo build --release --offline =="
 cargo build --release --offline
 
+# CHECK_SEED pins every property-harness test to one case; export it so
+# the child `cargo test` invocations below replay it (see scripts/soak.sh).
+if [ -n "${CHECK_SEED:-}" ]; then
+    export CHECK_SEED
+    echo "== replaying single property case CHECK_SEED=$CHECK_SEED =="
+fi
+
 echo "== tier-1: cargo test -q --offline =="
-cargo test -q --offline
+if ! cargo test -q --offline; then
+    echo "verify.sh: tier-1 tests FAILED" >&2
+    echo "  property failures print a case seed above; replay just it with:" >&2
+    echo "  CHECK_SEED=<seed> scripts/verify.sh" >&2
+    exit 1
+fi
+
+echo "== simulation fuzzer smoke (bounded seed sweep) =="
+# A bounded exploration of fresh seeds beyond the fixed forall! sweep the
+# test suite already ran; failures are shrunk and written as replayable
+# artifacts, and the run prints the exact replay command.
+cargo run -q --offline --release -p bench --bin simcheck -- run 64
 
 echo "== reliability smoke (scripts/soak.sh quick) =="
 SOAK_QUICK=1 "$(dirname "$0")/soak.sh"

@@ -3,7 +3,7 @@
 //! without ever changing the group public key switches hold.
 
 use cicero::prelude::*;
-use substrate::rng::{SeedableRng, StdRng};
+use simcheck::harness::{self, completed_count as completed, inject_poisson_flows as inject_some_flows};
 
 fn build(n_standby: u32) -> (Engine, Topology) {
     let mut cfg = EngineConfig::for_mode(Mode::Cicero {
@@ -12,28 +12,8 @@ fn build(n_standby: u32) -> (Engine, Topology) {
     cfg.crypto = CryptoMode::Real;
     cfg.controllers_per_domain = 5; // allows one removal (minimum is 4)
     let topo = Topology::single_pod(2, 2, 4);
-    let dm = DomainMap::single(&topo);
-    let engine = Engine::build(cfg, topo.clone(), dm, n_standby);
+    let engine = harness::build_engine_cfg(cfg, &topo, n_standby);
     (engine, topo)
-}
-
-fn completed(engine: &Engine) -> usize {
-    engine
-        .observations()
-        .iter()
-        .filter(|o| matches!(o.value, Obs::FlowCompleted { .. }))
-        .count()
-}
-
-fn inject_some_flows(engine: &mut Engine, topo: &Topology, seed: u64, n: usize) {
-    let mut spec = hadoop();
-    spec.flows = n;
-    let mut flows = generate(topo, &spec, &mut StdRng::seed_from_u64(seed));
-    let offset = engine.now() + SimDuration::from_millis(100);
-    for f in flows.iter_mut() {
-        f.start = offset + SimDuration::from_nanos(f.start.as_nanos());
-    }
-    engine.inject_flows(&flows);
 }
 
 #[test]

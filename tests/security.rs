@@ -5,27 +5,21 @@
 use blscrypto::bls::{PartialSignature, SecretKey};
 use blscrypto::curves::g1_generator;
 use cicero::prelude::*;
+use simcheck::harness::{self, applied_count as applied};
 use substrate::rng::{SeedableRng, StdRng};
 use simnet::sim::ENVIRONMENT;
 use southbound::envelope::{MsgId, QuorumSigned, ShareSigned, Signed};
 
 fn build() -> (Engine, Topology) {
-    let mut cfg = EngineConfig::for_mode(Mode::Cicero {
-        aggregation: Aggregation::Switch,
-    });
-    cfg.crypto = CryptoMode::Real;
     let topo = Topology::single_pod(2, 2, 2);
-    let dm = DomainMap::single(&topo);
-    let engine = Engine::build(cfg, topo.clone(), dm, 0);
+    let engine = harness::build_engine(
+        Mode::Cicero {
+            aggregation: Aggregation::Switch,
+        },
+        CryptoMode::Real,
+        &topo,
+    );
     (engine, topo)
-}
-
-fn applied(engine: &Engine) -> usize {
-    engine
-        .observations()
-        .iter()
-        .filter(|o| matches!(o.value, Obs::UpdateApplied { .. }))
-        .count()
 }
 
 fn rogue_update(victim: SwitchId) -> NetworkUpdate {
@@ -105,13 +99,14 @@ fn forged_quorum_fails_group_key_verification() {
 
 #[test]
 fn forged_aggregated_update_is_rejected_in_controller_agg_mode() {
-    let mut cfg = EngineConfig::for_mode(Mode::Cicero {
-        aggregation: Aggregation::Controller,
-    });
-    cfg.crypto = CryptoMode::Real;
     let topo = Topology::single_pod(2, 2, 2);
-    let dm = DomainMap::single(&topo);
-    let mut engine = Engine::build(cfg, topo.clone(), dm, 0);
+    let mut engine = harness::build_engine(
+        Mode::Cicero {
+            aggregation: Aggregation::Controller,
+        },
+        CryptoMode::Real,
+        &topo,
+    );
     let victim = topo.switches()[2].id;
     // A malicious "aggregator" fabricates an aggregated signature.
     let mut rng = StdRng::seed_from_u64(666);
@@ -209,6 +204,7 @@ fn forged_acks_cannot_accelerate_the_reverse_path_pipeline() {
         let r = route(&topo, src, dst).unwrap();
         assert_eq!(r.path.len(), 3);
         let start = SimTime::ZERO + SimDuration::from_millis(1);
+        harness::inject_flow(&mut engine, &topo, FlowId(1), src, dst, 500, start).unwrap();
         if with_forged_acks {
             let mut rng = StdRng::seed_from_u64(99);
             let attacker_key = SecretKey::generate(&mut rng);
@@ -241,19 +237,6 @@ fn forged_acks_cannot_accelerate_the_reverse_path_pipeline() {
                 }
             }
         }
-        engine.inject_raw(
-            start,
-            ENVIRONMENT,
-            engine.switch_node(r.path[0]),
-            Net::FlowArrival {
-                flow: FlowId(1),
-                src,
-                dst,
-                bytes: 500,
-                transit: r.latency,
-                start,
-            },
-        );
         engine.run(start + SimDuration::from_secs(10));
         let done = engine
             .observations()
