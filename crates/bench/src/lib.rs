@@ -8,6 +8,9 @@
 //! * `cargo bench -p bench --bench crypto|consensus|protocol` — Criterion
 //!   micro-benchmarks used to validate the simulator's cost model.
 
+#![forbid(unsafe_code)]
+
+
 use cicero_core::prelude::*;
 use std::fmt::Write as _;
 

@@ -27,6 +27,9 @@
 //! assert!(outputs.iter().any(|o| matches!(o, Output::Broadcast(BftMessage::PrePrepare { .. }))));
 //! ```
 
+#![forbid(unsafe_code)]
+
+
 pub mod message;
 pub mod replica;
 

@@ -17,7 +17,8 @@
 //! runs are finite (documented deviation from BFT-SMaRt).
 
 use crate::message::{BftMessage, BftPayload, Digest, Prepared, ReplicaId, Seq, Slot, View};
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use substrate::collections::{DetMap, DetSet};
 
 /// Consensus group parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -115,8 +116,8 @@ pub struct Replica<P> {
     /// Digest → sequence of proposals in the *current view* (cleared on
     /// view entry). Used both for dedup and to re-broadcast a pre-prepare
     /// when a backup re-forwards a request it missed the proposal for.
-    proposed_this_view: HashMap<Digest, Seq>,
-    delivered_digests: HashSet<Digest>,
+    proposed_this_view: DetMap<Digest, Seq>,
+    delivered_digests: DetSet<Digest>,
     ticks_waiting: u32,
     /// Consecutive view timeouts without delivery progress; exponent of
     /// the current timeout backoff.
@@ -142,8 +143,8 @@ impl<P: BftPayload> Replica<P> {
             entries: BTreeMap::new(),
             last_delivered: 0,
             pending: VecDeque::new(),
-            proposed_this_view: HashMap::new(),
-            delivered_digests: HashSet::new(),
+            proposed_this_view: DetMap::new(),
+            delivered_digests: DetSet::new(),
             ticks_waiting: 0,
             timeout_shift: 0,
             view_change_votes: BTreeMap::new(),

@@ -48,6 +48,9 @@
 //! try-and-increment: adequate for a research reproduction (the paper's PBC
 //! library made the same trade-offs), not for hostile production use.
 
+#![forbid(unsafe_code)]
+
+
 pub mod bigint;
 pub mod bls;
 pub mod curves;

@@ -26,7 +26,8 @@ use southbound::types::{
     ControllerId, DomainId, Event, EventId, EventKind, NetworkUpdate, Phase, SwitchId,
     UpdateId,
 };
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::BTreeMap;
+use substrate::collections::{DetMap, DetSet};
 use std::sync::Arc;
 
 const TICK: TimerToken = TimerToken(1);
@@ -67,13 +68,13 @@ pub struct ControllerActor {
     app: ShortestPathApp,
     scheduler: Box<dyn UpdateScheduler>,
     pending: PendingUpdates,
-    seen_events: HashSet<EventId>,
+    seen_events: DetSet<EventId>,
     unprocessed: BTreeMap<[u8; 32], OrderedOp>,
     queued_events: Vec<Event>,
     in_phase_change: bool,
     pending_reshare: Option<PendingReshare>,
     reshare_buf: BTreeMap<Phase, Vec<ReshareDealing>>,
-    agg_buckets: HashMap<(UpdateId, Phase), Vec<AggBucket>>,
+    agg_buckets: DetMap<(UpdateId, Phase), Vec<AggBucket>>,
     phase_partials: BTreeMap<Phase, BTreeMap<u32, PartialSignature>>,
     remote_members: BTreeMap<DomainId, Vec<ControllerId>>,
     detector: HeartbeatDetector,
@@ -133,13 +134,13 @@ impl ControllerActor {
             app: ShortestPathApp::new(),
             scheduler: Box::new(ReversePathScheduler),
             pending: PendingUpdates::new().with_policy(policy),
-            seen_events: HashSet::new(),
+            seen_events: DetSet::new(),
             unprocessed: BTreeMap::new(),
             queued_events: Vec::new(),
             in_phase_change: false,
             pending_reshare: None,
             reshare_buf: BTreeMap::new(),
-            agg_buckets: HashMap::new(),
+            agg_buckets: DetMap::new(),
             phase_partials: BTreeMap::new(),
             remote_members,
             detector,

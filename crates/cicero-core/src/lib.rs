@@ -33,6 +33,9 @@
 //! engine.run(SimTime::from_nanos(u64::MAX));
 //! ```
 
+#![forbid(unsafe_code)]
+
+
 pub mod audit;
 pub mod config;
 pub mod ctrl;

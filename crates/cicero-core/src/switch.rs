@@ -22,7 +22,8 @@ use southbound::types::{
     ControllerId, DomainId, Event, EventId, EventKind, FlowAction, FlowId, FlowMatch,
     HostId, NetworkUpdate, Phase, SwitchId, UpdateKind,
 };
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::BTreeMap;
+use substrate::collections::{DetMap, DetSet};
 use std::sync::Arc;
 
 const RETRY: TimerToken = TimerToken(1);
@@ -66,7 +67,7 @@ struct QuorumBucket {
     phase: Phase,
     partials: BTreeMap<u32, PartialSignature>,
     /// Signers whose partials failed individual verification (Byzantine).
-    blacklisted: HashSet<u32>,
+    blacklisted: DetSet<u32>,
 }
 
 /// The switch actor.
@@ -76,14 +77,14 @@ pub struct SwitchActor {
     domain: DomainId,
     key: Option<SecretKey>,
     table: FlowTable,
-    waiting: HashMap<FlowMatch, Vec<WaitingFlow>>,
-    outstanding: HashSet<FlowMatch>,
-    buckets: HashMap<(southbound::types::UpdateId, Phase), Vec<QuorumBucket>>,
-    applied: HashSet<southbound::types::UpdateId>,
+    waiting: DetMap<FlowMatch, Vec<WaitingFlow>>,
+    outstanding: DetSet<FlowMatch>,
+    buckets: DetMap<(southbound::types::UpdateId, Phase), Vec<QuorumBucket>>,
+    applied: DetSet<southbound::types::UpdateId>,
     /// Signer indices seen per applied update: shares from signers *not*
     /// in here are the tail of the original broadcast (quorum fired before
     /// every controller's share landed) and must not trigger re-acks.
-    applied_signers: HashMap<southbound::types::UpdateId, HashSet<u32>>,
+    applied_signers: DetMap<southbound::types::UpdateId, DetSet<u32>>,
     phase_info: PhaseInfo,
     event_seq: u64,
     msg_seq: u64,
@@ -122,11 +123,11 @@ impl SwitchActor {
             domain,
             key,
             table: FlowTable::new(),
-            waiting: HashMap::new(),
-            outstanding: HashSet::new(),
-            buckets: HashMap::new(),
-            applied: HashSet::new(),
-            applied_signers: HashMap::new(),
+            waiting: DetMap::new(),
+            outstanding: DetSet::new(),
+            buckets: DetMap::new(),
+            applied: DetSet::new(),
+            applied_signers: DetMap::new(),
             phase_info,
             event_seq: 0,
             msg_seq: 0,
@@ -561,7 +562,7 @@ impl SwitchActor {
                     update: msg.payload,
                     phase: msg.phase,
                     partials: BTreeMap::new(),
-                    blacklisted: HashSet::new(),
+                    blacklisted: DetSet::new(),
                 });
                 buckets.last_mut().expect("just pushed")
             }
@@ -622,7 +623,7 @@ impl SwitchActor {
 
         if valid {
             let update = bucket.update;
-            let signers: HashSet<u32> = bucket.partials.keys().copied().collect();
+            let signers: DetSet<u32> = bucket.partials.keys().copied().collect();
             let n_signers = signers.len() as u32;
             self.buckets.remove(&key);
             self.applied_signers.insert(update.id, signers);

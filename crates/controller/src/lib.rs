@@ -21,6 +21,9 @@
 //! lives in `cicero-core`; keeping this layer sans-io makes each policy
 //! decision unit-testable.
 
+#![forbid(unsafe_code)]
+
+
 pub mod app;
 pub mod failure;
 pub mod membership;

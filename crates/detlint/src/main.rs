@@ -1,0 +1,26 @@
+//! The `detlint` binary: lints the whole workspace and exits nonzero on any
+//! finding. Wired into `scripts/verify.sh`; the same check also runs as the
+//! facade test `tests/detlint.rs` so plain `cargo test` enforces it.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(|| {
+        // The crate lives at <workspace>/crates/detlint.
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+    });
+    let findings = detlint::lint_workspace(&root);
+    if findings.is_empty() {
+        println!("detlint: workspace clean ({} rules)", detlint::RULE_IDS.len());
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        eprintln!("{f}");
+    }
+    eprintln!(
+        "detlint: {} finding(s). Suppress only with `// detlint::allow(rule): reason`.",
+        findings.len()
+    );
+    ExitCode::FAILURE
+}

@@ -1,12 +1,12 @@
 //! The switch flow table: exact-match rules with hit/miss counters.
 
 use southbound::types::{FlowAction, FlowMatch, FlowRule, NetworkUpdate, UpdateKind};
-use std::collections::HashMap;
+use substrate::collections::DetMap;
 
 /// A switch's forwarding state.
 #[derive(Clone, Debug, Default)]
 pub struct FlowTable {
-    rules: HashMap<FlowMatch, FlowAction>,
+    rules: DetMap<FlowMatch, FlowAction>,
     hits: u64,
     misses: u64,
 }

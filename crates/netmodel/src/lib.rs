@@ -15,6 +15,9 @@
 //! assert_eq!(route.path.len(), 3); // ToR -> edge -> ToR
 //! ```
 
+#![forbid(unsafe_code)]
+
+
 pub mod flowtable;
 pub mod linkload;
 pub mod routing;

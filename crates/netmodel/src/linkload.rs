@@ -3,12 +3,12 @@
 
 use crate::topology::Topology;
 use southbound::types::SwitchId;
-use std::collections::HashMap;
+use substrate::collections::DetMap;
 
 /// Tracks reserved bandwidth per (undirected) link.
 #[derive(Clone, Debug, Default)]
 pub struct LinkLoad {
-    reserved: HashMap<(SwitchId, SwitchId), u64>,
+    reserved: DetMap<(SwitchId, SwitchId), u64>,
 }
 
 fn key(a: SwitchId, b: SwitchId) -> (SwitchId, SwitchId) {

@@ -8,7 +8,8 @@ use crate::topology::Topology;
 use simnet::time::SimDuration;
 use southbound::types::{HostId, SwitchId};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
+use substrate::collections::DetMap;
 
 /// A host-to-host route: the switch path, `path[0]` being the source ToR.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -45,8 +46,8 @@ fn dijkstra(
     topo: &Topology,
     src: SwitchId,
     avoid: &std::collections::BTreeSet<(SwitchId, SwitchId)>,
-) -> HashMap<SwitchId, (u64, Option<SwitchId>)> {
-    let mut best: HashMap<SwitchId, (u64, Option<SwitchId>)> = HashMap::new();
+) -> DetMap<SwitchId, (u64, Option<SwitchId>)> {
+    let mut best: DetMap<SwitchId, (u64, Option<SwitchId>)> = DetMap::new();
     let mut heap: BinaryHeap<Reverse<(u64, SwitchId, Option<SwitchId>)>> = BinaryHeap::new();
     heap.push(Reverse((0, src, None)));
     while let Some(Reverse((cost, node, pred))) = heap.pop() {

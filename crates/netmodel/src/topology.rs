@@ -9,7 +9,8 @@
 
 use simnet::time::SimDuration;
 use southbound::types::{HostId, SwitchId};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+use substrate::collections::DetMap;
 
 /// Physical placement of a switch or host.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -88,9 +89,9 @@ pub struct Topology {
     switches: Vec<SwitchInfo>,
     hosts: Vec<HostInfo>,
     links: Vec<Link>,
-    adjacency: HashMap<SwitchId, Vec<(SwitchId, SimDuration)>>,
-    host_index: HashMap<HostId, usize>,
-    switch_index: HashMap<SwitchId, usize>,
+    adjacency: DetMap<SwitchId, Vec<(SwitchId, SimDuration)>>,
+    host_index: DetMap<HostId, usize>,
+    switch_index: DetMap<SwitchId, usize>,
 }
 
 impl Topology {
@@ -296,9 +297,9 @@ pub struct TopologyBuilder {
     topo: Topology,
     next_switch: u32,
     next_host: u32,
-    edges_of_dc: HashMap<u16, Vec<SwitchId>>,
-    spines_of_dc: HashMap<u16, Vec<SwitchId>>,
-    gateway_of_dc: HashMap<u16, SwitchId>,
+    edges_of_dc: DetMap<u16, Vec<SwitchId>>,
+    spines_of_dc: DetMap<u16, Vec<SwitchId>>,
+    gateway_of_dc: DetMap<u16, SwitchId>,
 }
 
 impl Default for TopologyBuilder {
@@ -314,9 +315,9 @@ impl TopologyBuilder {
             topo: Topology::empty(),
             next_switch: 0,
             next_host: 0,
-            edges_of_dc: HashMap::new(),
-            spines_of_dc: HashMap::new(),
-            gateway_of_dc: HashMap::new(),
+            edges_of_dc: DetMap::new(),
+            spines_of_dc: DetMap::new(),
+            gateway_of_dc: DetMap::new(),
         }
     }
 

@@ -33,6 +33,9 @@
 //! bit-identically — the property `substrate::check`'s `CHECK_SEED`
 //! contract relies on.
 
+#![forbid(unsafe_code)]
+
+
 pub mod artifact;
 pub mod harness;
 pub mod oracle;
@@ -47,6 +50,7 @@ pub use scenario::{Fault, FlowPlan, ModeTag, Scenario, SchedTag};
 use controller::policy::DomainMap;
 use netmodel::topology::Topology;
 use southbound::types::ControllerId;
+use simnet::sim::Observation;
 use simnet::time::{SimDuration, SimTime};
 use workload::gen::FlowSpec;
 
@@ -82,6 +86,14 @@ pub struct Failure {
 /// Builds and executes one scenario, returning the report and all oracle
 /// violations. Fully deterministic: same scenario, same outcome.
 pub fn run_scenario(s: &Scenario) -> RunOutcome {
+    run_scenario_traced(s).0
+}
+
+/// Like [`run_scenario`], but also returns the engine's full observation
+/// trace. The determinism regression test runs the same seed twice and
+/// asserts the traces are identical event for event — the strongest
+/// in-process statement of the seed-replay contract.
+pub fn run_scenario_traced(s: &Scenario) -> (RunOutcome, Vec<Observation<Obs>>) {
     let topo = s.topology();
     let dm = s.domain_map(&topo);
     let mut cfg = EngineConfig::for_mode(s.mode.to_mode());
@@ -105,7 +117,8 @@ pub fn run_scenario(s: &Scenario) -> RunOutcome {
     let report = engine.run_reporting(at_ms(s.horizon_ms));
 
     let violations = oracle::check_all(s, &topo, &flows, engine.observations(), &report);
-    RunOutcome { report, violations }
+    let obs = engine.observations().to_vec();
+    (RunOutcome { report, violations }, obs)
 }
 
 /// Samples the scenario for `seed`, runs it, and on failure shrinks it to

@@ -1,0 +1,63 @@
+//! The seed-replay contract, asserted in-process: running the same sampled
+//! scenario twice must produce the exact same observation trace and the
+//! exact same outcome. This is the regression test behind the whole
+//! `CHECK_SEED` replay story (and behind `detlint`'s
+//! `no-random-order-collections` rule — a single `HashMap` iteration in a
+//! deterministic crate is precisely the kind of bug that makes this test
+//! flake across processes while passing within one).
+
+use simcheck::{run_scenario_traced, Scenario};
+
+/// FNV-1a over the Debug rendering: a stable, dependency-free digest that
+/// can be compared across runs and logged on failure.
+fn stable_hash(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn same_seed_same_trace() {
+    for seed in [1u64, 7, 42, 1337] {
+        let s = Scenario::generate(seed);
+        let (out_a, obs_a) = run_scenario_traced(&s);
+        let (out_b, obs_b) = run_scenario_traced(&s);
+
+        assert_eq!(
+            obs_a.len(),
+            obs_b.len(),
+            "seed {seed}: observation counts diverged"
+        );
+        for (i, (a, b)) in obs_a.iter().zip(obs_b.iter()).enumerate() {
+            assert_eq!(a, b, "seed {seed}: trace diverged at observation {i}");
+        }
+
+        let ha = stable_hash(&format!("{obs_a:?}"));
+        let hb = stable_hash(&format!("{obs_b:?}"));
+        assert_eq!(ha, hb, "seed {seed}: trace hashes diverged");
+
+        assert_eq!(
+            format!("{:?}", out_a.violations),
+            format!("{:?}", out_b.violations),
+            "seed {seed}: oracle verdicts diverged"
+        );
+        assert_eq!(
+            (out_a.report.completed, out_a.report.resolved_flows, out_a.report.end),
+            (out_b.report.completed, out_b.report.resolved_flows, out_b.report.end),
+            "seed {seed}: run reports diverged"
+        );
+    }
+}
+
+#[test]
+fn regenerating_the_scenario_is_also_stable() {
+    // Scenario sampling itself must be a pure function of the seed.
+    for seed in [3u64, 99] {
+        let a = format!("{:?}", Scenario::generate(seed));
+        let b = format!("{:?}", Scenario::generate(seed));
+        assert_eq!(a, b, "seed {seed}: scenario generation diverged");
+    }
+}

@@ -15,7 +15,7 @@ use crate::node::NodeId;
 use crate::time::SimTime;
 use substrate::rng::StdRng;
 use substrate::rng::Rng as _;
-use std::collections::{HashMap, HashSet};
+use substrate::collections::{DetMap, DetSet};
 
 /// A time-bounded partition of one directed link: messages departing in
 /// `[from, until)` are dropped.
@@ -44,13 +44,13 @@ pub struct FaultPlan {
     /// Nodes that crash at a given time.
     pub crashes: Vec<(SimTime, NodeId)>,
     /// Ordered pairs that can never communicate (permanent partition).
-    pub severed: HashSet<(NodeId, NodeId)>,
+    pub severed: DetSet<(NodeId, NodeId)>,
     /// Ordered pairs that cannot communicate during bounded windows
     /// (healing partitions).
-    pub severed_windows: HashMap<(NodeId, NodeId), Vec<SeverWindow>>,
+    pub severed_windows: DetMap<(NodeId, NodeId), Vec<SeverWindow>>,
     /// Per-directed-link drop probabilities, overriding the uniform
     /// [`FaultPlan::drop_probability`] for that link.
-    pub link_drop: HashMap<(NodeId, NodeId), f64>,
+    pub link_drop: DetMap<(NodeId, NodeId), f64>,
 }
 
 impl FaultPlan {

@@ -2,7 +2,7 @@
 
 use crate::node::NodeId;
 use crate::time::SimDuration;
-use std::collections::HashMap;
+use substrate::collections::DetMap;
 
 /// Determines the one-way latency of a message between two nodes.
 pub trait LatencyModel: Send {
@@ -29,7 +29,7 @@ impl LatencyModel for UniformLatency {
 #[derive(Clone, Debug, Default)]
 pub struct TableLatency {
     default: SimDuration,
-    pairs: HashMap<(NodeId, NodeId), SimDuration>,
+    pairs: DetMap<(NodeId, NodeId), SimDuration>,
 }
 
 impl TableLatency {
@@ -37,7 +37,7 @@ impl TableLatency {
     pub fn new(default: SimDuration) -> Self {
         TableLatency {
             default,
-            pairs: HashMap::new(),
+            pairs: DetMap::new(),
         }
     }
 

@@ -31,6 +31,9 @@
 //! assert_eq!(sim.observations().last().unwrap().value, 2);
 //! ```
 
+#![forbid(unsafe_code)]
+
+
 pub mod fault;
 pub mod latency;
 pub mod metrics;

@@ -35,6 +35,9 @@
 //! assert!(signed.verify("EVENT", &key.public_key()));
 //! ```
 
+#![forbid(unsafe_code)]
+
+
 pub mod codec;
 pub mod envelope;
 pub mod types;

@@ -1,0 +1,453 @@
+//! Deterministic, iteration-ordered collections: [`DetMap`] and [`DetSet`].
+//!
+//! `std::collections::HashMap`/`HashSet` seed their hasher from OS entropy
+//! (`RandomState`), so iteration order varies *across processes*. Any code
+//! path that iterates one — even to build a `Vec` that is later sorted — can
+//! leak that order into message schedules, RNG draw interleavings, or
+//! serialized artifacts, silently breaking the bit-for-bit seed-replay
+//! contract the whole simulation-testing story rests on (`CHECK_SEED`,
+//! simcheck reproducer artifacts).
+//!
+//! These types are B-tree-backed: iteration is always ascending key order,
+//! identical on every host and in every process, forever. The API mirrors
+//! the `HashMap`/`HashSet` surface the workspace actually uses, so migrating
+//! is a type swap (keys must be `Ord` instead of `Hash + Eq` — every id type
+//! in this workspace already is).
+//!
+//! The `detlint` static analyzer (rule `no-random-order-collections`)
+//! enforces that deterministic crates use these instead of the std hash
+//! collections.
+
+use std::borrow::Borrow;
+use std::collections::{btree_map, btree_set, BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A map with deterministic (ascending key) iteration order.
+///
+/// Drop-in replacement for the `HashMap` surface used across the workspace;
+/// requires `K: Ord`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct DetMap<K, V> {
+    inner: BTreeMap<K, V>,
+}
+
+impl<K, V> Default for DetMap<K, V> {
+    fn default() -> Self {
+        DetMap {
+            inner: BTreeMap::new(),
+        }
+    }
+}
+
+impl<K: fmt::Debug, V: fmt::Debug> fmt::Debug for DetMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<K: Ord, V> DetMap<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        DetMap::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` iff the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.inner.clear()
+    }
+
+    /// Inserts `value` at `key`, returning the previous value if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.inner.insert(key, value)
+    }
+
+    /// The value at `key`, if present.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.inner.get(key)
+    }
+
+    /// Mutable access to the value at `key`, if present.
+    pub fn get_mut<Q>(&mut self, key: &Q) -> Option<&mut V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.inner.get_mut(key)
+    }
+
+    /// Removes and returns the value at `key`, if present.
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.inner.remove(key)
+    }
+
+    /// `true` iff `key` is present.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.inner.contains_key(key)
+    }
+
+    /// In-place entry API (`or_default` / `or_insert` / `or_insert_with`).
+    pub fn entry(&mut self, key: K) -> Entry<'_, K, V> {
+        Entry(self.inner.entry(key))
+    }
+
+    /// Iterates entries in ascending key order.
+    pub fn iter(&self) -> btree_map::Iter<'_, K, V> {
+        self.inner.iter()
+    }
+
+    /// Iterates entries mutably in ascending key order.
+    pub fn iter_mut(&mut self) -> btree_map::IterMut<'_, K, V> {
+        self.inner.iter_mut()
+    }
+
+    /// Iterates keys in ascending order.
+    pub fn keys(&self) -> btree_map::Keys<'_, K, V> {
+        self.inner.keys()
+    }
+
+    /// Iterates values in ascending key order.
+    pub fn values(&self) -> btree_map::Values<'_, K, V> {
+        self.inner.values()
+    }
+
+    /// Iterates values mutably in ascending key order.
+    pub fn values_mut(&mut self) -> btree_map::ValuesMut<'_, K, V> {
+        self.inner.values_mut()
+    }
+
+    /// Keeps only the entries for which `f` returns `true`.
+    pub fn retain<F>(&mut self, f: F)
+    where
+        F: FnMut(&K, &mut V) -> bool,
+    {
+        self.inner.retain(f)
+    }
+}
+
+/// A view into a single [`DetMap`] entry.
+pub struct Entry<'a, K: Ord, V>(btree_map::Entry<'a, K, V>);
+
+impl<'a, K: Ord, V> Entry<'a, K, V> {
+    /// Inserts the default value if vacant; returns a mutable reference.
+    pub fn or_default(self) -> &'a mut V
+    where
+        V: Default,
+    {
+        self.0.or_default()
+    }
+
+    /// Inserts `default` if vacant; returns a mutable reference.
+    pub fn or_insert(self, default: V) -> &'a mut V {
+        self.0.or_insert(default)
+    }
+
+    /// Inserts `default()` if vacant; returns a mutable reference.
+    pub fn or_insert_with<F: FnOnce() -> V>(self, default: F) -> &'a mut V {
+        self.0.or_insert_with(default)
+    }
+
+    /// Mutates the value if present, then returns the entry.
+    pub fn and_modify<F: FnOnce(&mut V)>(self, f: F) -> Self {
+        Entry(self.0.and_modify(f))
+    }
+}
+
+impl<K: Ord, V, Q> std::ops::Index<&Q> for DetMap<K, V>
+where
+    K: Borrow<Q>,
+    Q: Ord + ?Sized,
+{
+    type Output = V;
+
+    fn index(&self, key: &Q) -> &V {
+        self.inner.get(key).expect("no entry for key in DetMap")
+    }
+}
+
+impl<K: Ord, V> FromIterator<(K, V)> for DetMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        DetMap {
+            inner: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<K: Ord, V> Extend<(K, V)> for DetMap<K, V> {
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        self.inner.extend(iter)
+    }
+}
+
+impl<K: Ord, V, const N: usize> From<[(K, V); N]> for DetMap<K, V> {
+    fn from(entries: [(K, V); N]) -> Self {
+        entries.into_iter().collect()
+    }
+}
+
+impl<K: Ord, V> IntoIterator for DetMap<K, V> {
+    type Item = (K, V);
+    type IntoIter = btree_map::IntoIter<K, V>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+impl<'a, K: Ord, V> IntoIterator for &'a DetMap<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = btree_map::Iter<'a, K, V>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+impl<'a, K: Ord, V> IntoIterator for &'a mut DetMap<K, V> {
+    type Item = (&'a K, &'a mut V);
+    type IntoIter = btree_map::IterMut<'a, K, V>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter_mut()
+    }
+}
+
+/// A set with deterministic (ascending) iteration order.
+///
+/// Drop-in replacement for the `HashSet` surface used across the workspace;
+/// requires `T: Ord`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct DetSet<T> {
+    inner: BTreeSet<T>,
+}
+
+impl<T> Default for DetSet<T> {
+    fn default() -> Self {
+        DetSet {
+            inner: BTreeSet::new(),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for DetSet<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: Ord> DetSet<T> {
+    /// An empty set.
+    pub fn new() -> Self {
+        DetSet::default()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` iff the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.inner.clear()
+    }
+
+    /// Inserts `value`; returns `true` if it was not already present.
+    pub fn insert(&mut self, value: T) -> bool {
+        self.inner.insert(value)
+    }
+
+    /// Removes `value`; returns `true` if it was present.
+    pub fn remove<Q>(&mut self, value: &Q) -> bool
+    where
+        T: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.inner.remove(value)
+    }
+
+    /// `true` iff `value` is present.
+    pub fn contains<Q>(&self, value: &Q) -> bool
+    where
+        T: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.inner.contains(value)
+    }
+
+    /// Iterates elements in ascending order.
+    pub fn iter(&self) -> btree_set::Iter<'_, T> {
+        self.inner.iter()
+    }
+
+    /// Keeps only the elements for which `f` returns `true`.
+    pub fn retain<F>(&mut self, f: F)
+    where
+        F: FnMut(&T) -> bool,
+    {
+        self.inner.retain(f)
+    }
+}
+
+impl<T: Ord> FromIterator<T> for DetSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        DetSet {
+            inner: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<T: Ord> Extend<T> for DetSet<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        self.inner.extend(iter)
+    }
+}
+
+impl<T: Ord, const N: usize> From<[T; N]> for DetSet<T> {
+    fn from(values: [T; N]) -> Self {
+        values.into_iter().collect()
+    }
+}
+
+impl<T: Ord> IntoIterator for DetSet<T> {
+    type Item = T;
+    type IntoIter = btree_set::IntoIter<T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+impl<'a, T: Ord> IntoIterator for &'a DetSet<T> {
+    type Item = &'a T;
+    type IntoIter = btree_set::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trip() {
+        let mut m: DetMap<u32, &str> = DetMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(2, "two"), None);
+        assert_eq!(m.insert(1, "one"), None);
+        assert_eq!(m.insert(2, "deux"), Some("two"));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(&2), Some(&"deux"));
+        assert!(m.contains_key(&1));
+        assert_eq!(m.remove(&1), Some("one"));
+        assert_eq!(m.remove(&1), None);
+    }
+
+    #[test]
+    fn map_iteration_is_key_ordered() {
+        // Insertion order deliberately scrambled: iteration must be sorted.
+        let mut m = DetMap::new();
+        for k in [5u32, 1, 9, 3, 7] {
+            m.insert(k, k * 10);
+        }
+        let keys: Vec<u32> = m.keys().copied().collect();
+        assert_eq!(keys, vec![1, 3, 5, 7, 9]);
+        let pairs: Vec<(u32, u32)> = (&m).into_iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(pairs, vec![(1, 10), (3, 30), (5, 50), (7, 70), (9, 90)]);
+    }
+
+    #[test]
+    fn map_iteration_is_insertion_order_independent() {
+        let mut a = DetMap::new();
+        let mut b = DetMap::new();
+        for k in 0u64..100 {
+            a.insert(k, k);
+        }
+        for k in (0u64..100).rev() {
+            b.insert(k, k);
+        }
+        let ka: Vec<u64> = a.keys().copied().collect();
+        let kb: Vec<u64> = b.keys().copied().collect();
+        assert_eq!(ka, kb, "same contents, same order, regardless of history");
+    }
+
+    #[test]
+    fn map_entry_api() {
+        let mut m: DetMap<&str, Vec<u32>> = DetMap::new();
+        m.entry("a").or_default().push(1);
+        m.entry("a").or_default().push(2);
+        m.entry("b").or_insert_with(Vec::new).push(3);
+        *m.entry("c").or_insert(vec![9]).first_mut().expect("non-empty") += 1;
+        m.entry("a").and_modify(|v| v.push(4)).or_default();
+        assert_eq!(m.get("a"), Some(&vec![1, 2, 4]));
+        assert_eq!(m.get("b"), Some(&vec![3]));
+        assert_eq!(m.get("c"), Some(&vec![10]));
+    }
+
+    #[test]
+    fn map_index_retain_extend() {
+        let mut m: DetMap<u32, u32> = [(1, 10), (2, 20), (3, 30)].into();
+        assert_eq!(m[&2], 20);
+        m.retain(|k, _| k % 2 == 1);
+        assert_eq!(m.len(), 2);
+        m.extend([(4, 40)]);
+        let collected: DetMap<u32, u32> = m.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(collected, m);
+    }
+
+    #[test]
+    #[should_panic(expected = "no entry for key")]
+    fn map_index_missing_panics() {
+        let m: DetMap<u32, u32> = DetMap::new();
+        let _ = m[&7];
+    }
+
+    #[test]
+    fn set_round_trip_and_order() {
+        let mut s = DetSet::new();
+        assert!(s.insert(3u32));
+        assert!(s.insert(1));
+        assert!(!s.insert(3), "duplicate insert reports absence");
+        assert!(s.contains(&1));
+        assert!(s.remove(&1));
+        assert!(!s.remove(&1));
+        s.extend([9, 2, 2]);
+        let got: Vec<u32> = s.iter().copied().collect();
+        assert_eq!(got, vec![2, 3, 9]);
+        assert_eq!(s, DetSet::from([2, 3, 9]));
+    }
+
+    #[test]
+    fn set_retain() {
+        let mut s: DetSet<u32> = (0..10).collect();
+        s.retain(|v| v % 3 == 0);
+        assert_eq!(s.iter().copied().collect::<Vec<_>>(), vec![0, 3, 6, 9]);
+    }
+}

@@ -5,6 +5,10 @@
 //!
 //! Modules:
 //!
+//! * [`collections`] — [`collections::DetMap`]/[`collections::DetSet`]:
+//!   iteration-ordered, process-independent replacements for the std hash
+//!   collections (whose `RandomState` seeding breaks seed replay); the
+//!   `detlint` analyzer forbids `HashMap`/`HashSet` in deterministic crates.
 //! * [`rng`] — splitmix64-seeded xoshiro256** generator behind a small
 //!   [`rng::Rng`] trait (`random`, `random_range`, `fill_bytes`, `shuffle`);
 //!   a drop-in for the previous `rand` usage.
@@ -26,8 +30,13 @@
 //! byte stream, the same property-test cases, and the same simulated
 //! schedules, on every host, forever.
 
+// No module here needs `unsafe` (sync wraps std primitives); if that ever
+// changes, the exception must be narrow, documented, and detlint-allowed.
+#![forbid(unsafe_code)]
+
 pub mod benchkit;
 pub mod buf;
+pub mod collections;
 pub mod check;
 pub mod rng;
 pub mod ser;

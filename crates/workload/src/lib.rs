@@ -22,6 +22,9 @@
 //! assert_eq!(flows.len(), 100);
 //! ```
 
+#![forbid(unsafe_code)]
+
+
 pub mod dist;
 pub mod gen;
 pub mod spec;

@@ -56,6 +56,13 @@ if ! cargo test -q --offline; then
     exit 1
 fi
 
+echo "== detlint: determinism & protocol-safety static analysis =="
+# Token-level lint over every .rs file: no HashMap/HashSet in deterministic
+# crates, no wall-clock or OS entropy outside the allowlist, no unsafe,
+# explicit-reason expect() in protocol hot paths. Exceptions need
+# `// detlint::allow(rule): reason` — reason mandatory.
+cargo run -q --offline --release -p detlint
+
 echo "== simulation fuzzer smoke (bounded seed sweep) =="
 # A bounded exploration of fresh seeds beyond the fixed forall! sweep the
 # test suite already ran; failures are shrunk and written as replayable

@@ -37,6 +37,9 @@
 //! See `examples/` for runnable scenarios and `crates/bench` for the
 //! experiment harness regenerating every figure of the paper's evaluation.
 
+#![forbid(unsafe_code)]
+
+
 pub use bft;
 pub use blscrypto;
 pub use cicero_core;

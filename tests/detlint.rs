@@ -1,0 +1,36 @@
+//! Tier-1 enforcement of the detlint rule set: `cargo test` fails if any
+//! workspace source violates a determinism or protocol-safety rule, exactly
+//! like the standalone `detlint` binary in `scripts/verify.sh`.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_detlint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = detlint::lint_workspace(root);
+    assert!(
+        findings.is_empty(),
+        "detlint found {} violation(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn a_planted_violation_would_be_caught() {
+    // Guards against the lint going vacuously green (bad scoping, broken
+    // lexer): the exact bug class the rule exists for must still trip it.
+    let planted = "use std::collections::HashMap;\n\
+                   pub struct Tbl { m: HashMap<u32, u32> }\n";
+    let findings = detlint::lint_source("crates/netmodel/src/planted.rs", planted);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "no-random-order-collections"),
+        "planted HashMap in a deterministic crate was not flagged: {findings:?}"
+    );
+}
