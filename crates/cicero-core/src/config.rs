@@ -217,6 +217,14 @@ pub struct EngineConfig {
     /// of any figure). When enabled, a controller silent for 4 periods is
     /// proposed for removal (paper §4.3/§5.1).
     pub heartbeat: Option<SimDuration>,
+    /// Cross-domain ordering handshake: when an event's schedule makes an
+    /// update depend on updates in *another* domain, the upstream domain
+    /// holds it until the downstream domain's quorum reports its whole
+    /// segment applied (`SegmentApplied`/`BoundaryRelease`, DESIGN.md §3).
+    /// `false` restores the historical per-domain-only ordering, under
+    /// which boundary-crossing flows can transiently black-hole at the
+    /// domain edge with zero faults (kept for regression/control runs).
+    pub cross_domain_handshake: bool,
     /// Reliable-delivery layer (retransmission, NACK/re-sync) knobs.
     pub reliability: ReliabilityConfig,
     /// PBFT progress timeout in consensus ticks before a view change
@@ -248,6 +256,7 @@ impl Default for EngineConfig {
             cpu_bucket: SimDuration::from_secs(1),
             trace_deliveries: false,
             heartbeat: None,
+            cross_domain_handshake: true,
             reliability: ReliabilityConfig::default(),
             view_timeout_ticks: 8,
             watchdog_slice: SimDuration::from_millis(250),

@@ -107,10 +107,12 @@ impl std::fmt::Display for RunReport {
         )?;
         write!(
             f,
-            "  recoveries: {} update rtx, {} ack rtx, {} event rtx, {} nacks, {} resyncs, {} updates / {} events exhausted",
+            "  recoveries: {} update rtx, {} ack rtx, {} event rtx, {} segment rtx, {} fwd rtx, {} nacks, {} resyncs, {} updates / {} events exhausted",
             self.stats.update_retransmits,
             self.stats.ack_retransmits,
             self.stats.event_retransmits,
+            self.stats.segment_retransmits,
+            self.stats.forward_retransmits,
             self.stats.nacks,
             self.stats.resyncs,
             self.stats.updates_exhausted,
@@ -462,10 +464,19 @@ impl Engine {
     }
 
     fn snapshot_outstanding(&mut self) -> Outstanding {
+        // Crashed nodes are excluded: a dead replica's local bookkeeping can
+        // never drain, but it is not outstanding protocol work either — its
+        // live peers carry the flow to completion.
         let mut out = Outstanding::default();
-        let controllers: Vec<(DomainId, ControllerId)> =
-            self.controller_nodes.keys().copied().collect();
-        for (d, c) in controllers {
+        let controllers: Vec<((DomainId, ControllerId), NodeId)> = self
+            .controller_nodes
+            .iter()
+            .map(|(&k, &n)| (k, n))
+            .collect();
+        for ((d, c), node) in controllers {
+            if self.sim.is_crashed(node) {
+                continue;
+            }
             let (unacked, waiting, failed) = self.with_controller(d, c, |ca| {
                 let p = ca.pending();
                 (p.in_flight_count(), p.waiting_count(), p.failed_count())
@@ -474,8 +485,12 @@ impl Engine {
             out.waiting += waiting;
             out.failed += failed;
         }
-        let switches: Vec<SwitchId> = self.switch_nodes.keys().copied().collect();
-        for s in switches {
+        let switches: Vec<(SwitchId, NodeId)> =
+            self.switch_nodes.iter().map(|(&s, &n)| (s, n)).collect();
+        for (s, node) in switches {
+            if self.sim.is_crashed(node) {
+                continue;
+            }
             out.events += self.with_switch(s, |sw| sw.outstanding_event_count());
         }
         out

@@ -52,10 +52,28 @@ pub fn run_flow_completion(
     rule_reuse: bool,
     seed: u64,
 ) -> FlowRun {
+    run_flow_completion_with(mode, topo, domain_map, spec, rule_reuse, seed, true)
+}
+
+/// [`run_flow_completion`] with the cross-domain ordering handshake knob
+/// exposed. `cross_domain_handshake = false` reproduces the paper's
+/// behavior, which installs each domain's path segment independently (and
+/// therefore admits transient cross-boundary black holes — see DESIGN.md
+/// §3); `true` is the default, consistency-preserving protocol.
+pub fn run_flow_completion_with(
+    mode: Mode,
+    topo: &Topology,
+    domain_map: DomainMap,
+    spec: &WorkloadSpec,
+    rule_reuse: bool,
+    seed: u64,
+    cross_domain_handshake: bool,
+) -> FlowRun {
     let mut cfg = EngineConfig::for_mode(mode);
     cfg.rule_reuse = rule_reuse;
     cfg.seed = seed;
     cfg.crypto = CryptoMode::Modeled;
+    cfg.cross_domain_handshake = cross_domain_handshake;
     let mut rng = StdRng::seed_from_u64(seed);
     let flows = workload::gen::generate(topo, spec, &mut rng);
     let mut engine = Engine::build(cfg, topo.clone(), domain_map, 0);
@@ -280,26 +298,42 @@ pub fn fig12c_runs(spec: &WorkloadSpec, seed: u64) -> Vec<(String, Cdf)> {
 
 /// Fig. 12d topology: several Deutsche-Telekom-sited data centers, four
 /// pods each, one domain per pod — centralized vs Cicero multi-domain.
+///
+/// Two Cicero MD series are produced: "Cicero MD unordered" reproduces the
+/// paper's measurement (domains install their path segments independently,
+/// which is what Fig. 12d actually benchmarked), and "Cicero MD" runs the
+/// default consistency-preserving protocol, whose cross-domain handshake
+/// serializes boundary-crossing installs destination-first (DESIGN.md §3)
+/// and therefore pays an ordering tax on multi-domain flows.
 pub fn fig12d_runs(spec: &WorkloadSpec, dcs: u16, seed: u64) -> Vec<(String, Cdf)> {
     let topo = Topology::multi_dc(dcs, 4, 6, 4, 2, 2, telekom::wan(dcs));
     let mut out = Vec::new();
-    for (label, mode) in [
-        ("Centralized", Mode::Centralized),
+    for (label, mode, handshake) in [
+        ("Centralized", Mode::Centralized, true),
         (
             "Cicero MD",
             Mode::Cicero {
                 aggregation: Aggregation::Switch,
             },
+            true,
+        ),
+        (
+            "Cicero MD unordered",
+            Mode::Cicero {
+                aggregation: Aggregation::Switch,
+            },
+            false,
         ),
         (
             "Cicero Agg MD",
             Mode::Cicero {
                 aggregation: Aggregation::Controller,
             },
+            true,
         ),
     ] {
         let dm = DomainMap::by_pod(&topo);
-        let run = run_flow_completion(mode, &topo, dm, spec, true, seed);
+        let run = run_flow_completion_with(mode, &topo, dm, spec, true, seed, handshake);
         let _ = &run.label;
         out.push((label.to_string(), run.cdf));
     }

@@ -9,7 +9,8 @@ use simnet::time::{SimDuration, SimTime};
 use southbound::codec::{DecodeError, Wire};
 use southbound::envelope::{QuorumSigned, ShareSigned, Signed};
 use southbound::types::{
-    ControllerId, Event, FlowId, HostId, NetworkUpdate, Phase, SwitchId, UpdateId,
+    ControllerId, DomainId, Event, EventId, FlowId, HostId, NetworkUpdate, Phase, SwitchId,
+    UpdateId,
 };
 
 /// An acknowledgement body: switch `switch` applied update `update`
@@ -61,6 +62,74 @@ impl Wire for NackBody {
             update: UpdateId::decode(buf)?,
             switch: SwitchId::decode(buf)?,
             have: u32::decode(buf)?,
+        })
+    }
+}
+
+/// A cross-domain handshake report: controller `controller` of domain
+/// `domain` has seen every update of its segment `segment` of event
+/// `event` acknowledged by the segment's switches. Upstream domains whose
+/// boundary updates depend on that segment collect these from a quorum of
+/// distinct downstream controllers before releasing (the handshake's
+/// "downstream applied" half; see DESIGN.md §3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SegmentBody {
+    /// The event whose update list the segment belongs to.
+    pub event: EventId,
+    /// The segment's index within the event's full update list.
+    pub segment: u32,
+    /// The reporting controller's domain (the segment owner).
+    pub domain: DomainId,
+    /// The reporting controller.
+    pub controller: ControllerId,
+}
+
+impl Wire for SegmentBody {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.event.encode(buf);
+        self.segment.encode(buf);
+        self.domain.encode(buf);
+        self.controller.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(SegmentBody {
+            event: EventId::decode(buf)?,
+            segment: u32::decode(buf)?,
+            domain: DomainId::decode(buf)?,
+            controller: ControllerId::decode(buf)?,
+        })
+    }
+}
+
+/// The handshake's receipt half: an upstream controller confirms it
+/// received a [`SegmentBody`] report, stopping the downstream domain's
+/// retransmission of it. Idempotent — sent for duplicates and for reports
+/// arriving before (or after) the upstream barrier exists.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ReleaseBody {
+    /// The event the receipt refers to.
+    pub event: EventId,
+    /// The confirmed segment index.
+    pub segment: u32,
+    /// The confirming controller's domain (the upstream domain).
+    pub domain: DomainId,
+    /// The confirming controller.
+    pub controller: ControllerId,
+}
+
+impl Wire for ReleaseBody {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.event.encode(buf);
+        self.segment.encode(buf);
+        self.domain.encode(buf);
+        self.controller.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(ReleaseBody {
+            event: EventId::decode(buf)?,
+            segment: u32::decode(buf)?,
+            domain: DomainId::decode(buf)?,
+            controller: ControllerId::decode(buf)?,
         })
     }
 }
@@ -232,6 +301,13 @@ pub enum Net {
         /// The other endpoint.
         b: SwitchId,
     },
+    /// Controller → upstream controllers: this domain's segment of an
+    /// event's update list is fully applied (cross-domain ordering
+    /// handshake; retransmitted with backoff until receipted).
+    SegmentApplied(Signed<SegmentBody>),
+    /// Upstream controller → downstream controller: receipt for a
+    /// [`Net::SegmentApplied`] report (stops its retransmission).
+    BoundaryRelease(Signed<ReleaseBody>),
     /// Harness → bootstrap controller: propose a membership change.
     MembershipCmd(OrderedOp),
     /// Bootstrap → newly added controller: the control-plane state a joiner
@@ -290,5 +366,27 @@ mod tests {
             switch: SwitchId(7),
         };
         assert_eq!(AckBody::from_wire(&a.to_wire()).unwrap(), a);
+    }
+
+    #[test]
+    fn segment_body_round_trip() {
+        let s = SegmentBody {
+            event: EventId((7 << 32) | 3),
+            segment: 2,
+            domain: DomainId(1),
+            controller: ControllerId(4),
+        };
+        assert_eq!(SegmentBody::from_wire(&s.to_wire()).unwrap(), s);
+    }
+
+    #[test]
+    fn release_body_round_trip() {
+        let r = ReleaseBody {
+            event: EventId(99),
+            segment: 0,
+            domain: DomainId(0),
+            controller: ControllerId(1),
+        };
+        assert_eq!(ReleaseBody::from_wire(&r.to_wire()).unwrap(), r);
     }
 }

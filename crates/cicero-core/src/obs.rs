@@ -140,6 +140,60 @@ pub enum Obs {
         /// The re-sent update.
         update: UpdateId,
     },
+    /// A downstream controller reported its domain's segment of an event
+    /// fully applied to the upstream domain(s) — the first send of the
+    /// cross-domain ordering handshake.
+    SegmentReported {
+        /// The reporting (downstream) domain.
+        domain: DomainId,
+        /// The reporting controller.
+        controller: u32,
+        /// The event.
+        event: EventId,
+        /// The applied segment's index in the event's full update list.
+        segment: u32,
+    },
+    /// A downstream controller retransmitted an un-receipted
+    /// `SegmentApplied` report (handshake loss recovery).
+    SegmentRetransmitted {
+        /// The retransmitting domain.
+        domain: DomainId,
+        /// The retransmitting controller.
+        controller: u32,
+        /// The event.
+        event: EventId,
+        /// The segment index.
+        segment: u32,
+        /// Which retransmission this is (1-based).
+        attempt: u32,
+    },
+    /// An upstream controller collected a downstream quorum of
+    /// `SegmentApplied` reports and released the updates held on the
+    /// boundary barrier.
+    BoundaryReleased {
+        /// The releasing (upstream) domain.
+        domain: DomainId,
+        /// The releasing controller.
+        controller: u32,
+        /// The event.
+        event: EventId,
+        /// The downstream segment whose quorum completed.
+        segment: u32,
+    },
+    /// An upstream controller re-forwarded a signed event to the remaining
+    /// members of a downstream domain whose segment report is overdue (the
+    /// initial single-target forward, or its processing, was evidently
+    /// lost).
+    ForwardRetransmitted {
+        /// The re-forwarding (upstream) domain.
+        domain: DomainId,
+        /// The re-forwarding controller.
+        controller: u32,
+        /// The re-forwarded event.
+        event: EventId,
+        /// Which re-forward this is (1-based).
+        attempt: u32,
+    },
 }
 
 /// Aggregate counters over the reliable-delivery observations of a run.
@@ -159,6 +213,10 @@ pub struct RetransmitStats {
     pub nacks: u64,
     /// NACKs answered by controllers with a re-sent update.
     pub resyncs: u64,
+    /// Cross-domain `SegmentApplied` retransmissions.
+    pub segment_retransmits: u64,
+    /// Cross-domain event re-forwards to overdue downstream domains.
+    pub forward_retransmits: u64,
 }
 
 impl RetransmitStats {
@@ -169,6 +227,8 @@ impl RetransmitStats {
             + self.event_retransmits
             + self.nacks
             + self.resyncs
+            + self.segment_retransmits
+            + self.forward_retransmits
     }
 }
 
@@ -184,6 +244,8 @@ pub fn retransmit_stats(obs: &[Observation<Obs>]) -> RetransmitStats {
             Obs::EventRetryExhausted { .. } => s.events_exhausted += 1,
             Obs::NackSent { .. } => s.nacks += 1,
             Obs::ResyncReplied { .. } => s.resyncs += 1,
+            Obs::SegmentRetransmitted { .. } => s.segment_retransmits += 1,
+            Obs::ForwardRetransmitted { .. } => s.forward_retransmits += 1,
             _ => {}
         }
     }

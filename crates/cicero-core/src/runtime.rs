@@ -30,6 +30,10 @@ pub mod labels {
     pub const NACK: &str = "CICERO_NACK_V1";
     /// Phase notices.
     pub const PHASE: &str = "CICERO_PHASE_V1";
+    /// Cross-domain segment-applied reports.
+    pub const SEGMENT: &str = "CICERO_SEGMENT_V1";
+    /// Cross-domain boundary-release receipts.
+    pub const RELEASE: &str = "CICERO_RELEASE_V1";
 }
 
 /// Who lives where in the simulation.

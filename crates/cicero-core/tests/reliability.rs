@@ -298,3 +298,95 @@ fn watchdog_reports_clean_completion() {
     assert_eq!(report.outstanding_events, 0);
     assert_eq!(report.stats.total_recoveries(), 0);
 }
+
+// ---------------------------------------------------------------------
+// Cross-domain handshake under faults (DESIGN.md §3).
+// ---------------------------------------------------------------------
+
+/// Two-domain engine: rack ToRs split across domains, the edge switch in
+/// domain 0. The flow `HostId(2) -> HostId(0)` crosses the boundary, with
+/// domain 0 (destination ToR + edge) downstream and domain 1 upstream.
+fn multi_domain_engine(seed: u64) -> (Engine, Topology) {
+    let mut cfg = EngineConfig::for_mode(Mode::Cicero {
+        aggregation: Aggregation::Switch,
+    });
+    cfg.crypto = CryptoMode::Modeled;
+    cfg.seed = seed;
+    let topo = Topology::single_pod(2, 1, 2);
+    let dm = DomainMap::split_racks(&topo, 2);
+    let engine = Engine::build(cfg, topo.clone(), dm, 0);
+    (engine, topo)
+}
+
+fn domain_controller_nodes(engine: &Engine, d: DomainId) -> Vec<simnet::node::NodeId> {
+    let n = engine.shared().cfg.controllers_per_domain;
+    (1..=n)
+        .map(|c| engine.controller_node(d, ControllerId(c)))
+        .collect()
+}
+
+/// The flow's end-to-end audit (replaying every applied update) finds no
+/// black hole, loop, or policy hazard.
+fn assert_audit_clean(engine: &Engine, topo: &Topology, src: HostId, dst: HostId) {
+    let ingress = topo.host(src).unwrap().attached;
+    let m = southbound::types::FlowMatch { src, dst };
+    let hazards = audit_flow(engine.observations(), ingress, m, false);
+    assert!(hazards.is_empty(), "audit found hazards: {hazards:?}");
+}
+
+/// `SegmentApplied` reports and `BoundaryRelease` receipts travel on the
+/// inter-domain controller links. Dropping 30% of that traffic forces the
+/// handshake through its retransmission path: the flow must still
+/// converge, in order, and the segment-report retransmit counter proves
+/// the recovery machinery carried it.
+#[test]
+fn handshake_survives_segment_ack_loss() {
+    let mut segment_rtx = 0u64;
+    substrate::forall!(cases = 6, |g| {
+        let seed = g.u64();
+        let (mut engine, topo) = multi_domain_engine(seed);
+        let mut plan = FaultPlan::none();
+        for a in domain_controller_nodes(&engine, DomainId(0)) {
+            for b in domain_controller_nodes(&engine, DomainId(1)) {
+                plan = plan.with_link_drop_probability(a, b, 0.30);
+            }
+        }
+        engine.set_faults(plan);
+        let (src, dst) = (HostId(2), HostId(0));
+        inject_one_flow(&mut engine, &topo, src, dst, 1);
+        let report = engine.run_reporting(SimTime::ZERO + SimDuration::from_secs(120));
+        assert!(report.completed, "seed={seed:#x}: {report}");
+        assert_eq!(report.resolved_flows, 1, "seed={seed:#x}");
+        assert_audit_clean(&engine, &topo, src, dst);
+        segment_rtx += report.stats.segment_retransmits + report.stats.forward_retransmits;
+    });
+    assert!(
+        segment_rtx > 0,
+        "30% inter-domain loss never exercised handshake retransmission"
+    );
+}
+
+/// The downstream domain's consensus primary crashes mid-handshake (while
+/// its segment is installing, before the upstream release). The remaining
+/// replicas change views, finish the segment, and report it applied; the
+/// upstream boundary update is released late but never early.
+#[test]
+fn downstream_primary_crash_mid_handshake_converges() {
+    substrate::forall!(cases = 6, |g| {
+        let seed = g.u64();
+        let crash_ms = g.u64_in(2..12);
+        let (mut engine, topo) = multi_domain_engine(seed);
+        let victim = engine.controller_node(DomainId(0), ControllerId(1));
+        let at = SimTime::ZERO + SimDuration::from_millis(crash_ms);
+        engine.set_faults(FaultPlan::none().with_crash(at, victim));
+        let (src, dst) = (HostId(2), HostId(0));
+        inject_one_flow(&mut engine, &topo, src, dst, 1);
+        let report = engine.run_reporting(SimTime::ZERO + SimDuration::from_secs(120));
+        assert!(
+            report.completed && !report.stalled,
+            "crash at {crash_ms}ms seed={seed:#x}: {report}"
+        );
+        assert_eq!(report.resolved_flows, 1, "seed={seed:#x}");
+        assert_audit_clean(&engine, &topo, src, dst);
+    });
+}

@@ -15,7 +15,7 @@
 //! * [`UnorderedScheduler`] — no constraints; used by tests and examples to
 //!   demonstrate the transient inconsistencies of Figs. 1–3.
 
-use southbound::types::{NetworkUpdate, UpdateId, UpdateKind};
+use southbound::types::{DomainId, NetworkUpdate, SwitchId, UpdateId, UpdateKind};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One scheduled update with its dependency set.
@@ -138,6 +138,49 @@ impl UpdateScheduler for DependencyGraphScheduler {
     }
 }
 
+/// A maximal run of consecutive same-domain updates within one event's
+/// update list (application/path order). Cross-domain ordering operates at
+/// segment granularity: a schedule dependency pointing into a *foreign*
+/// segment is satisfied by that segment's owning domain confirming the
+/// whole segment applied, not by the individual ack (which the upstream
+/// domain never sees).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DomainSegment {
+    /// Position of this segment in list order (0-based). Stable across
+    /// controllers because every controller computes the same full update
+    /// list for an event.
+    pub index: u32,
+    /// The domain owning every switch in the segment.
+    pub domain: DomainId,
+    /// The segment's update ids, in list order.
+    pub updates: Vec<UpdateId>,
+}
+
+/// Partitions one event's update list into maximal consecutive same-domain
+/// segments — the cross-domain dependency edges a schedule over the full
+/// list induces. Updates on switches `domain_of` cannot place are skipped
+/// (they can never be released anywhere).
+pub fn domain_segments(
+    updates: &[NetworkUpdate],
+    domain_of: impl Fn(SwitchId) -> Option<DomainId>,
+) -> Vec<DomainSegment> {
+    let mut out: Vec<DomainSegment> = Vec::new();
+    for u in updates {
+        let Some(d) = domain_of(u.switch) else {
+            continue;
+        };
+        match out.last_mut() {
+            Some(seg) if seg.domain == d => seg.updates.push(u.id),
+            _ => out.push(DomainSegment {
+                index: out.len() as u32,
+                domain: d,
+                updates: vec![u.id],
+            }),
+        }
+    }
+    out
+}
+
 /// Validates that a schedule is acyclic (a cyclic schedule would deadlock
 /// the pending-update release).
 pub fn is_acyclic(schedule: &[ScheduledUpdate]) -> bool {
@@ -254,6 +297,45 @@ mod tests {
             let sched = ReversePathScheduler.schedule(&updates(n));
             assert!(is_acyclic(&sched));
         });
+    }
+
+    #[test]
+    fn domain_segments_split_at_boundaries() {
+        let us = updates(5);
+        // Switches 0,1 -> domain 0; 2,3 -> domain 1; 4 -> domain 0 again
+        // (a path that re-enters its origin domain must yield a *new*
+        // segment, or a revisit would deadlock on its own earlier segment).
+        let domain_of = |s: SwitchId| {
+            Some(match s.0 {
+                0 | 1 | 4 => DomainId(0),
+                _ => DomainId(1),
+            })
+        };
+        let segs = domain_segments(&us, domain_of);
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0].domain, DomainId(0));
+        assert_eq!(segs[0].updates, vec![us[0].id, us[1].id]);
+        assert_eq!(segs[1].domain, DomainId(1));
+        assert_eq!(segs[1].updates, vec![us[2].id, us[3].id]);
+        assert_eq!(segs[2].domain, DomainId(0));
+        assert_eq!(segs[2].index, 2);
+    }
+
+    #[test]
+    fn domain_segments_single_domain_is_one_segment() {
+        let us = updates(4);
+        let segs = domain_segments(&us, |_| Some(DomainId(3)));
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].updates.len(), 4);
+    }
+
+    #[test]
+    fn domain_segments_skip_unmapped_switches() {
+        let us = updates(3);
+        let segs = domain_segments(&us, |s| (s.0 != 1).then_some(DomainId(0)));
+        // Both mapped updates join one domain-0 segment; the orphan is gone.
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].updates, vec![us[0].id, us[2].id]);
     }
 
     #[test]

@@ -94,6 +94,20 @@ pub fn run_scenario(s: &Scenario) -> RunOutcome {
 /// asserts the traces are identical event for event — the strongest
 /// in-process statement of the seed-replay contract.
 pub fn run_scenario_traced(s: &Scenario) -> (RunOutcome, Vec<Observation<Obs>>) {
+    run_inner(s, true)
+}
+
+/// [`run_scenario`] with the cross-domain ordering handshake switched off,
+/// reproducing the engine's historical per-domain-only scheduling. Kept so
+/// regression tests can demonstrate that the boundary black hole the
+/// handshake closes (a) actually existed and (b) is caught by the
+/// end-to-end consistency oracle — guarding both against a vacuous oracle
+/// and a silently disabled handshake.
+pub fn run_scenario_no_handshake(s: &Scenario) -> RunOutcome {
+    run_inner(s, false).0
+}
+
+fn run_inner(s: &Scenario, handshake: bool) -> (RunOutcome, Vec<Observation<Obs>>) {
     let topo = s.topology();
     let dm = s.domain_map(&topo);
     let mut cfg = EngineConfig::for_mode(s.mode.to_mode());
@@ -101,6 +115,7 @@ pub fn run_scenario_traced(s: &Scenario) -> (RunOutcome, Vec<Observation<Obs>>) 
     cfg.seed = s.seed;
     cfg.controllers_per_domain = s.controllers_per_domain;
     cfg.trace_deliveries = true;
+    cfg.cross_domain_handshake = handshake;
     let mut engine = Engine::build(cfg, topo.clone(), dm, 0);
 
     harness::set_schedulers(&mut engine, || s.scheduler.make());

@@ -53,12 +53,12 @@ pub fn check_all(
 /// each flow after each step — no transient loop, black hole, policy
 /// bypass or misdelivery may ever be live.
 ///
-/// Scope: a domain's scheduler orders *its own* switches' updates, so the
-/// guarantee is **per update domain** — for a flow whose route crosses a
-/// domain boundary, each domain's path segment is audited independently
-/// (walks stop at the boundary). The engine does not today order updates
-/// *across* domains; simcheck found that gap on its first sweep and the
-/// full-path audit of cross-domain flows is an open ROADMAP item.
+/// Scope: **end-to-end**. The cross-domain ordering handshake (DESIGN.md
+/// §3) extends the reverse-path guarantee across domain boundaries, so the
+/// audit walks each flow's full route even when it crosses domains — a
+/// transient black hole at a boundary is a real violation, not an accepted
+/// limitation. (Earlier revisions audited per-domain path segments only,
+/// which masked exactly that hazard.)
 fn consistency(
     s: &Scenario,
     topo: &Topology,
@@ -66,7 +66,6 @@ fn consistency(
     obs: &[Observation<Obs>],
     out: &mut Vec<Violation>,
 ) {
-    let dm = s.domain_map(topo);
     let denied = s.denied_matches(topo);
     let mut audited = std::collections::BTreeSet::new();
     for f in flows {
@@ -82,111 +81,15 @@ fn consistency(
             continue;
         }
         let is_denied = denied.contains(&m);
-        let one_domain = r
-            .path
-            .iter()
-            .all(|&sw| dm.domain_of(sw) == dm.domain_of(ingress));
-        if one_domain {
-            for h in audit_flow(obs, ingress, m, is_denied) {
-                violation(
-                    out,
-                    "consistency",
-                    format!(
-                        "flow {:?}->{:?} from {:?}: {:?} live after applied step {}",
-                        m.src, m.dst, ingress, h.outcome, h.step
-                    ),
-                );
-            }
-        } else {
-            // One audit per same-domain segment of the route.
-            let mut starts = vec![ingress];
-            for w in r.path.windows(2) {
-                if dm.domain_of(w[1]) != dm.domain_of(w[0]) {
-                    starts.push(w[1]);
-                }
-            }
-            for seg in starts {
-                segment_audit(&dm, obs, seg, m, is_denied, out);
-            }
-        }
-    }
-}
-
-/// [`audit_flow`] restricted to one update domain: the replay walk stops
-/// (successfully) when the next hop leaves the segment ingress's domain.
-fn segment_audit(
-    dm: &controller::policy::DomainMap,
-    obs: &[Observation<Obs>],
-    ingress: SwitchId,
-    m: FlowMatch,
-    denied: bool,
-    out: &mut Vec<Violation>,
-) {
-    let mut state = ReplayState::new();
-    for (step, o) in obs.iter().enumerate() {
-        let Obs::UpdateApplied { switch, kind, .. } = o.value else {
-            continue;
-        };
-        state.apply(switch, kind);
-        let Some(outcome) = walk_in_domain(&state, dm, ingress, m) else {
-            continue; // crossed the boundary: the next segment's audit takes over
-        };
-        let hazard = match outcome {
-            WalkOutcome::NotForwarded => None,
-            // An allowed flow transiently denied is buffered, not lost.
-            WalkOutcome::Denied => None,
-            WalkOutcome::Delivered(h) => {
-                (denied || h != m.dst).then_some(WalkOutcome::Delivered(h))
-            }
-            o @ (WalkOutcome::BlackHole(_) | WalkOutcome::Loop(_)) => Some(o),
-        };
-        if let Some(h) = hazard {
+        for h in audit_flow(obs, ingress, m, is_denied) {
             violation(
                 out,
                 "consistency",
                 format!(
-                    "flow {:?}->{:?} segment from {:?}: {:?} live after applied step {step}",
-                    m.src, m.dst, ingress, h
+                    "flow {:?}->{:?} from {:?}: {:?} live after applied step {}",
+                    m.src, m.dst, ingress, h.outcome, h.step
                 ),
             );
-        }
-    }
-}
-
-/// Walks `m` from `ingress` without leaving its domain. `None` means the
-/// walk reached a rule forwarding into another domain — from this
-/// segment's perspective, success.
-fn walk_in_domain(
-    state: &ReplayState,
-    dm: &controller::policy::DomainMap,
-    ingress: SwitchId,
-    m: FlowMatch,
-) -> Option<WalkOutcome> {
-    let home = dm.domain_of(ingress);
-    let mut visited = std::collections::BTreeSet::new();
-    let mut cur = ingress;
-    loop {
-        if !visited.insert(cur) {
-            return Some(WalkOutcome::Loop(cur));
-        }
-        match state.rule(cur, m) {
-            None => {
-                return Some(if cur == ingress {
-                    WalkOutcome::NotForwarded
-                } else {
-                    WalkOutcome::BlackHole(cur)
-                });
-            }
-            Some(FlowAction::Deny) => return Some(WalkOutcome::Denied),
-            Some(FlowAction::Forward(NextHop::Host(h))) => {
-                return Some(WalkOutcome::Delivered(h))
-            }
-            Some(FlowAction::Forward(NextHop::Switch(next))) => {
-                if dm.domain_of(next) != home {
-                    return None;
-                }
-                cur = next;
-            }
         }
     }
 }

@@ -329,7 +329,7 @@ impl Scenario {
             });
         }
 
-        Scenario {
+        let mut s = Scenario {
             seed,
             racks,
             edges,
@@ -342,7 +342,23 @@ impl Scenario {
             denied,
             faults,
             horizon_ms: 30_000,
+        };
+
+        // Bias a quarter of the sweep toward the cross-domain handshake:
+        // force a multi-domain fabric and make the first flow cross the
+        // rack-range boundary (src in the first rack, dst in the last), so
+        // bounded fuzz sweeps exercise boundary ordering every run rather
+        // than only when the dice land there.
+        if seed % 4 == 3 {
+            if s.mode == ModeTag::Centralized {
+                s.mode = ModeTag::Cicero;
+                s.controllers_per_domain = 4;
+            }
+            s.domains = s.domains.max(2);
+            s.flows[0].src = 0;
+            s.flows[0].dst = (s.racks as u32 - 1) * s.hosts_per_rack as u32;
         }
+        s
     }
 
     /// The concrete fabric: a single pod of ToR + edge switches.

@@ -5,11 +5,9 @@
 
 use cicero_core::audit::{audit_flow, ReplayState, WalkOutcome};
 use cicero_core::prelude::*;
-use controller::policy::DomainMap;
 use simnet::{NodeId, Observation};
 use southbound::types::{
-    DomainId, EventId, FlowAction, FlowMatch, FlowRule, HostId, NextHop, SwitchId, UpdateId,
-    UpdateKind,
+    EventId, FlowAction, FlowMatch, FlowRule, HostId, NextHop, SwitchId, UpdateId, UpdateKind,
 };
 
 fn m() -> FlowMatch {
@@ -141,58 +139,47 @@ fn delivery_to_the_wrong_host_is_a_hazard() {
 
 // ---- domain boundary crossings mid-update -----------------------------
 
-/// A flow whose route crosses an update-domain boundary, audited while the
-/// two domains install their segments independently. The *full-path* walk
-/// transiently black-holes (each domain orders only its own switches — the
-/// known cross-domain ordering gap simcheck's first sweep surfaced), but
-/// each domain's *segment* honours its ordering guarantee, which is what
-/// the fuzzer's consistency oracle checks.
+/// A flow whose route crosses an update-domain boundary, with the two
+/// domains installing their segments independently (the pre-handshake
+/// behavior). The full-path walk black-holes while the ingress forwards
+/// into a domain with no rule yet — and since the consistency oracle now
+/// audits end-to-end (DESIGN.md §5), those transients are enforced
+/// violations, not a tolerated "known gap". The handshake-ordered stream
+/// (downstream segment strictly first) audits clean.
 #[test]
-fn boundary_crossing_flow_is_consistent_per_domain_segment() {
+fn independent_per_domain_installation_black_holes_end_to_end() {
     // Path 1 → 2 → 3; switch 1 in domain 0, switches 2 and 3 in domain 1.
     // Domain 0 (just the ingress) installs immediately; domain 1 installs
     // its segment in reverse-path order afterwards.
-    let obs = vec![
+    let unordered = vec![
         applied(0, 1, install(FlowAction::Forward(NextHop::Switch(SwitchId(2))))),
         applied(1, 3, install(FlowAction::Forward(NextHop::Host(HostId(2))))),
         applied(2, 2, install(FlowAction::Forward(NextHop::Switch(SwitchId(3))))),
     ];
-
-    // Full-path audit: the ingress forwards into domain 1 before any rule
-    // exists there — transient black holes at steps 0 and 1.
-    let full = audit_flow(&obs, SwitchId(1), m(), false);
+    let full = audit_flow(&unordered, SwitchId(1), m(), false);
     assert_eq!(full.len(), 2, "full-path audit sees the cross-domain gap: {full:?}");
     assert!(full
         .iter()
         .all(|h| matches!(h.outcome, WalkOutcome::BlackHole(_))));
 
-    // Per-segment audit (what each domain actually promises): hazard-free.
-    // Domain 1's segment walk from switch 2 sees reverse-path order; the
-    // domain-0 segment's walk stops at the boundary.
-    let mut dm = DomainMap::default();
-    dm.assign(SwitchId(1), DomainId(0));
-    dm.assign(SwitchId(2), DomainId(1));
-    dm.assign(SwitchId(3), DomainId(1));
-    // Segment ingress of domain 1 is switch 2: replay and walk it.
-    let seg = audit_flow(&obs, SwitchId(2), m(), false);
-    assert!(seg.is_empty(), "domain 1's segment is reverse-path clean: {seg:?}");
-    // Domain 0's single-switch segment can never black-hole inside the
-    // domain: its only rule forwards straight across the boundary.
-    let mut state = ReplayState::new();
-    state.apply(SwitchId(1), install(FlowAction::Forward(NextHop::Switch(SwitchId(2)))));
-    assert_eq!(dm.domain_of(SwitchId(2)), Some(DomainId(1)));
-    assert_eq!(
-        state.rule(SwitchId(1), m()),
-        Some(FlowAction::Forward(NextHop::Switch(SwitchId(2))))
-    );
+    // The same installs in handshake order — domain 1's whole segment
+    // before domain 0's boundary update — are hazard-free end to end.
+    let ordered = vec![
+        applied(0, 3, install(FlowAction::Forward(NextHop::Host(HostId(2))))),
+        applied(1, 2, install(FlowAction::Forward(NextHop::Switch(SwitchId(3))))),
+        applied(2, 1, install(FlowAction::Forward(NextHop::Switch(SwitchId(2))))),
+    ];
+    assert!(audit_flow(&ordered, SwitchId(1), m(), false).is_empty());
 }
 
 /// End-to-end cross-domain scenario through the fuzzer's oracle registry:
 /// the scenario shape that exposed the cross-domain gap (two racks, two
-/// domains, one boundary-crossing flow, no faults) must pass under the
-/// per-segment consistency oracle — deterministically.
+/// domains, one boundary-crossing flow, no faults) must pass the
+/// end-to-end consistency oracle now that the handshake orders the
+/// boundary — deterministically. (The same scenario is committed as
+/// `fixtures/cross_domain_blackhole.json`.)
 #[test]
-fn cross_domain_scenario_passes_segmented_oracle() {
+fn cross_domain_scenario_passes_end_to_end_oracle() {
     use simcheck::{run_scenario, FlowPlan, ModeTag, Scenario, SchedTag};
     let s = Scenario {
         seed: 0x91d6_ac26_6138_7828,

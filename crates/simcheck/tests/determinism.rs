@@ -52,6 +52,53 @@ fn same_seed_same_trace() {
     }
 }
 
+/// The cross-domain handshake adds inter-domain control traffic (event
+/// forwards, segment reports, release receipts) with its own retry timers
+/// and jitter streams — all of which must stay on the deterministic
+/// substrate. A multi-domain boundary-crossing scenario run twice under
+/// the same seed must yield byte-identical traces.
+#[test]
+fn multi_domain_handshake_trace_is_deterministic() {
+    use simcheck::{FlowPlan, ModeTag, SchedTag};
+    let s = Scenario {
+        seed: 0x0D0_D15EED,
+        racks: 3,
+        edges: 1,
+        hosts_per_rack: 2,
+        domains: 3,
+        mode: ModeTag::Cicero,
+        scheduler: SchedTag::ReversePath,
+        controllers_per_domain: 4,
+        flows: vec![
+            // Boundary-crossing both directions plus an intra-rack control.
+            FlowPlan { src: 2, dst: 5, bytes: 12_000, start_ms: 3 },
+            FlowPlan { src: 4, dst: 0, bytes: 8_000, start_ms: 9 },
+            FlowPlan { src: 0, dst: 1, bytes: 4_000, start_ms: 15 },
+        ],
+        denied: vec![],
+        faults: vec![],
+        horizon_ms: 30_000,
+    };
+    let (out_a, obs_a) = run_scenario_traced(&s);
+    let (out_b, obs_b) = run_scenario_traced(&s);
+    assert!(out_a.passed(), "handshake scenario must pass: {:?}", out_a.violations);
+    assert!(
+        obs_a
+            .iter()
+            .any(|o| matches!(o.value, cicero_core::Obs::BoundaryReleased { .. })),
+        "scenario must actually exercise the handshake"
+    );
+    assert_eq!(obs_a.len(), obs_b.len(), "observation counts diverged");
+    let ha = stable_hash(&format!("{obs_a:?}"));
+    let hb = stable_hash(&format!("{obs_b:?}"));
+    assert_eq!(ha, hb, "handshake trace hashes diverged");
+    assert_eq!(
+        format!("{:?}", out_a.violations),
+        format!("{:?}", out_b.violations),
+        "oracle verdicts diverged"
+    );
+}
+
 #[test]
 fn regenerating_the_scenario_is_also_stable() {
     // Scenario sampling itself must be a pure function of the seed.

@@ -1,0 +1,56 @@
+//! Committed reproducer replay (regression fixtures).
+//!
+//! Each fixture under `fixtures/` is a replayable artifact in the format
+//! `simcheck::artifact` emits when a fuzz run finds a violation. Replaying
+//! them here keeps once-found bugs found: the scenario that exposed a bug
+//! is committed verbatim and must stay green forever after the fix.
+
+use std::path::{Path, PathBuf};
+
+use simcheck::{run_scenario, run_scenario_no_handshake};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name)
+}
+
+/// The cross-domain black-hole reproducer: a two-domain reverse-path
+/// scenario whose flow crosses the domain boundary. Before the
+/// cross-domain ordering handshake (DESIGN.md §3), the upstream domain
+/// installed its segment without waiting for the downstream one, leaving a
+/// window where the boundary switch forwarded into a switch with no rule.
+/// With the handshake the full end-to-end audit passes.
+#[test]
+fn cross_domain_blackhole_fixture_replays_green() {
+    let (scenario, violations) =
+        simcheck::artifact::read_artifact(&fixture("cross_domain_blackhole.json")).unwrap();
+    assert!(
+        violations.is_empty(),
+        "fixture was committed post-fix; it must carry no recorded violations"
+    );
+    let out = run_scenario(&scenario);
+    assert!(
+        out.passed(),
+        "fixture regressed: {:?}",
+        out.violations
+    );
+    assert!(out.report.completed, "fixture flow must converge");
+}
+
+/// Companion: the same scenario under the OLD per-domain-only schedule
+/// (handshake disabled) must still fail the end-to-end consistency audit
+/// with a black hole. This guards two things at once: that the oracle is
+/// not vacuous, and that the handshake is not silently disabled.
+#[test]
+fn cross_domain_blackhole_fixture_fails_without_handshake() {
+    let (scenario, _) =
+        simcheck::artifact::read_artifact(&fixture("cross_domain_blackhole.json")).unwrap();
+    let out = run_scenario_no_handshake(&scenario);
+    assert!(
+        out.violations
+            .iter()
+            .any(|v| v.oracle == "consistency" && v.detail.contains("BlackHole")),
+        "per-domain-only scheduling must black-hole this boundary-crossing \
+         flow; got {:?}",
+        out.violations
+    );
+}

@@ -104,7 +104,15 @@ fn fig11d_controller_aggregation_halves_switch_cpu() {
 fn fig12d_multi_domain_cicero_beats_centralized_across_dcs() {
     // The paper's crossover result: with data centers behind WAN latencies,
     // domain parallelism makes Cicero *faster* than a single centralized
-    // controller serving everything remotely.
+    // controller serving everything remotely. The paper's system installs
+    // each domain's path segment independently, so the crossover claim is
+    // asserted on the paper-faithful "unordered" series. The default
+    // consistency-preserving protocol additionally serializes
+    // boundary-crossing installs destination-first (the cross-domain
+    // handshake, DESIGN.md §3); that correctness guarantee costs latency on
+    // exactly the multi-domain flows the parallelism used to speed up, so
+    // for it we assert the ordering tax stays bounded rather than the
+    // crossover itself.
     let mut spec = workload::spec::web_server_multi_dc();
     spec.flows = 800;
     let runs = fig12d_runs(&spec, 3, 7);
@@ -115,10 +123,23 @@ fn fig12d_multi_domain_cicero_beats_centralized_across_dcs() {
             .unwrap()
     };
     let central = mean("Centralized");
+    let unordered = mean("Cicero MD unordered");
     let cicero_md = mean("Cicero MD");
     assert!(
-        cicero_md < central,
-        "Cicero MD ({cicero_md:.2} ms) must beat centralized ({central:.2} ms)"
+        unordered < central,
+        "paper Fig. 12d: Cicero MD without cross-domain ordering \
+         ({unordered:.2} ms) must beat centralized ({central:.2} ms)"
+    );
+    assert!(
+        cicero_md < central * 1.35,
+        "consistency-preserving Cicero MD ({cicero_md:.2} ms) must stay \
+         within 1.35x of centralized ({central:.2} ms)"
+    );
+    assert!(
+        cicero_md > unordered,
+        "the handshake serializes boundary-crossing installs, so the \
+         consistent series ({cicero_md:.2} ms) cannot be faster than the \
+         unordered one ({unordered:.2} ms)"
     );
 }
 
