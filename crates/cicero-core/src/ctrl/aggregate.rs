@@ -1,0 +1,100 @@
+//! The optional aggregator role (paper §4.2, controller aggregation):
+//! collects share-signed updates from the domain's replicas, aggregates a
+//! quorum into one threshold signature, and relays it to the switch.
+
+use super::ControllerActor;
+use crate::msg::Net;
+use crate::obs::Obs;
+use blscrypto::bls::PartialSignature;
+use simnet::node::Host;
+use southbound::envelope::{QuorumSigned, ShareSigned};
+use southbound::types::{NetworkUpdate, Phase};
+use std::collections::BTreeMap;
+
+/// An aggregation bucket at the aggregator controller.
+#[derive(Clone, Debug)]
+pub(super) struct AggBucket {
+    update: NetworkUpdate,
+    phase: Phase,
+    partials: BTreeMap<u32, PartialSignature>,
+    /// The relayed quorum signature, kept so a share retransmission after
+    /// the relay can trigger a re-send (the switch evidently lost it).
+    relayed: Option<QuorumSigned<NetworkUpdate>>,
+}
+
+impl ControllerActor {
+    pub(super) fn on_update_to_aggregator(
+        &mut self,
+        ctx: &mut dyn Host<Net, Obs>,
+        msg: ShareSigned<NetworkUpdate>,
+    ) {
+        if !self.is_lowest() || !self.active {
+            return;
+        }
+        ctx.charge_cpu(self.shared.cfg.costs.aggregator_msg);
+        if msg.phase != self.view.phase() {
+            return;
+        }
+        let key = (msg.payload.id, msg.phase);
+        let quorum = self.view.quorum();
+        let buckets = self.agg_buckets.entry(key).or_default();
+        let bucket = match buckets.iter_mut().find(|b| b.update == msg.payload) {
+            Some(b) => b,
+            None => {
+                buckets.push(AggBucket {
+                    update: msg.payload,
+                    phase: msg.phase,
+                    partials: BTreeMap::new(),
+                    relayed: None,
+                });
+                buckets.last_mut().expect("just pushed")
+            }
+        };
+        let fresh = bucket.partials.insert(msg.partial.index, msg.partial).is_none();
+        if let Some(out) = &bucket.relayed {
+            // Already relayed: a *retransmitted* share means the sending
+            // controller has not seen an ack, so the switch probably lost
+            // the aggregated update — relay it again.
+            if !fresh {
+                ctx.send_delayed(
+                    self.shared.dir.switch(bucket.update.switch),
+                    Net::UpdateAggregated(out.clone()),
+                    self.shared.cfg.costs.aggregator_delay,
+                );
+            }
+            return;
+        }
+        if bucket.partials.len() < quorum {
+            return;
+        }
+        let partials: Vec<PartialSignature> = bucket.partials.values().copied().collect();
+        let update = bucket.update;
+        let phase = bucket.phase;
+        let msg_id = self.msg_id();
+        let out = if self.shared.real_crypto() {
+            match QuorumSigned::aggregate(update, phase, msg_id, &partials, quorum - 1) {
+                Ok(q) => q,
+                Err(_) => return,
+            }
+        } else {
+            QuorumSigned {
+                payload: update,
+                phase,
+                msg_id,
+                signature: self.shared.keys.dummy,
+            }
+        };
+        if let Some(b) = self
+            .agg_buckets
+            .get_mut(&key)
+            .and_then(|bs| bs.iter_mut().find(|b| b.update == update))
+        {
+            b.relayed = Some(out.clone());
+        }
+        ctx.send_delayed(
+            self.shared.dir.switch(update.switch),
+            Net::UpdateAggregated(out),
+            self.shared.cfg.costs.aggregator_delay,
+        );
+    }
+}

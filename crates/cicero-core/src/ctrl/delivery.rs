@@ -1,0 +1,86 @@
+//! The controller side of the reliable-delivery layer: one self-re-arming
+//! retry timer drives update retransmission (with per-controller jittered
+//! backoff), handshake sweeps, and NACK-answering state re-sync.
+
+use super::{ControllerActor, RETRY};
+use crate::msg::{NackBody, Net};
+use crate::obs::Obs;
+use crate::runtime::labels;
+use simnet::node::Host;
+use simnet::time::SimDuration;
+use southbound::envelope::Signed;
+use southbound::types::SwitchId;
+
+impl ControllerActor {
+    /// Arms the retry timer for the earliest in-flight deadline. One timer
+    /// is outstanding at a time; it re-arms itself from `on_timer`.
+    pub(super) fn arm_retry(&mut self, ctx: &mut dyn Host<Net, Obs>) {
+        if self.retry_armed || !self.shared.cfg.reliability.enabled {
+            return;
+        }
+        let due = match (self.pending.next_due(), self.handshake_next_due()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let Some(due) = due else {
+            return;
+        };
+        ctx.set_timer(due.since(ctx.now()), RETRY);
+        self.retry_armed = true;
+    }
+
+    pub(super) fn on_retry_timer(&mut self, ctx: &mut dyn Host<Net, Obs>) {
+        self.retry_armed = false;
+        if !self.active {
+            return;
+        }
+        let batch = self.pending.due_retries(ctx.now());
+        for (u, attempt) in batch.resend {
+            ctx.observe(Obs::UpdateRetransmitted {
+                domain: self.domain,
+                controller: self.id.0,
+                update: u.id,
+                attempt,
+            });
+            self.send_update_delayed(ctx, u, SimDuration::ZERO);
+        }
+        for id in batch.failed {
+            ctx.observe(Obs::UpdateRetryExhausted {
+                domain: self.domain,
+                controller: self.id.0,
+                update: id,
+            });
+        }
+        self.sweep_handshake(ctx);
+        self.arm_retry(ctx);
+    }
+
+    /// Handles a switch NACK: re-send the signed update if we still hold it
+    /// (in flight, or acknowledged-by-quorum but missed by this switch).
+    pub(super) fn on_update_nack(&mut self, ctx: &mut dyn Host<Net, Obs>, m: Signed<NackBody>) {
+        if !self.active || !self.shared.cfg.reliability.enabled {
+            return;
+        }
+        ctx.charge_cpu(self.shared.cfg.costs.ctrl_msg);
+        if self.shared.cfg.mode.is_cicero() && self.shared.real_crypto() {
+            let pk = self.shared.keys.switch_pk.get(&SwitchId(m.msg_id.origin));
+            let valid = pk.map(|pk| m.verify(labels::NACK, pk)).unwrap_or(false);
+            if !valid {
+                return;
+            }
+        }
+        let body: NackBody = m.payload;
+        if body.switch != SwitchId(m.msg_id.origin) {
+            return;
+        }
+        if let Some(u) = self.pending.resync(body.update, ctx.now()) {
+            ctx.observe(Obs::ResyncReplied {
+                domain: self.domain,
+                controller: self.id.0,
+                update: u.id,
+            });
+            self.send_update_delayed(ctx, u, SimDuration::ZERO);
+            self.arm_retry(ctx);
+        }
+    }
+}

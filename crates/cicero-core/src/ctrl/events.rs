@@ -1,0 +1,269 @@
+//! Event processing: delivering totally-ordered events into the network
+//! application, projecting and releasing this domain's updates, forwarding
+//! events to other affected domains, and dispatching signed updates.
+
+use super::ControllerActor;
+use crate::config::{Aggregation, Mode};
+use crate::msg::Net;
+use crate::obs::Obs;
+use crate::runtime::labels;
+use blscrypto::bls::PartialSignature;
+use controller::app::NetworkApp;
+use simnet::node::Host;
+use simnet::time::SimDuration;
+use southbound::envelope::{ShareSigned, Signed};
+use southbound::types::{ControllerId, Event, EventKind, NetworkUpdate, SwitchId};
+
+impl ControllerActor {
+    pub(super) fn process_event(&mut self, ctx: &mut dyn Host<Net, Obs>, event: Event) {
+        if !self.seen_events.insert(event.id) {
+            return;
+        }
+        if self.shared.cfg.trace_deliveries {
+            ctx.observe(Obs::EventDelivered {
+                domain: self.domain,
+                controller: self.id.0,
+                event: event.id,
+            });
+        }
+        if self.is_lowest() {
+            ctx.observe(Obs::EventProcessed {
+                domain: self.domain,
+                event: event.id,
+            });
+        }
+        // Cross-domain bookkeeping events.
+        if let EventKind::MembershipChanged {
+            domain,
+            controller,
+            added,
+        } = event.kind
+        {
+            let members = self.remote_members.entry(domain).or_default();
+            if added {
+                if !members.contains(&controller) {
+                    members.push(controller);
+                    members.sort();
+                }
+            } else {
+                members.retain(|&c| c != controller);
+            }
+            return;
+        }
+        // Forward to other affected domains (paper §4.1). Normally already
+        // done at event receipt (so the domains' consensus rounds overlap);
+        // this is the fallback for events that reached consensus without
+        // passing through this controller's inbox — e.g. after the
+        // forwarding aggregator crashed before forwarding.
+        if !event.forwarded && self.is_lowest() {
+            self.forward_event(ctx, &event);
+        }
+        // Compute, schedule and release this domain's updates. The schedule
+        // is computed over the *full* update list so dependencies that cross
+        // domain boundaries survive the projection onto this domain; foreign
+        // dependencies become barrier ids released by the cross-domain
+        // handshake (DESIGN.md §3).
+        let all = self.app.handle_event(&event, &self.shared.topo);
+        let own: Vec<NetworkUpdate> = all
+            .iter()
+            .filter(|u| {
+                self.shared.dir.domain_of_switch.get(&u.switch) == Some(&self.domain)
+            })
+            .copied()
+            .collect();
+        if own.is_empty() {
+            return;
+        }
+        ctx.charge_cpu(self.shared.cfg.costs.event_process);
+        let schedule = if !self.shared.cfg.cross_domain_handshake || own.len() == all.len()
+        {
+            self.scheduler.schedule(&own)
+        } else {
+            self.cross_domain_schedule(ctx, &event, &all)
+        };
+        let ready = self.pending.admit(schedule, ctx.now());
+        let mut pipeline = self.shared.cfg.costs.event_pipeline;
+        if self.shared.cfg.mode.is_cicero() {
+            pipeline += self.shared.cfg.costs.bls_verify;
+        }
+        for u in ready {
+            self.send_update_delayed(ctx, u, pipeline);
+        }
+        self.arm_retry(ctx);
+    }
+
+    /// Forwards `event` to the first member of every other affected domain,
+    /// at most once per event (the lowest live controller forwards, to
+    /// avoid n copies).
+    pub(super) fn forward_event(&mut self, ctx: &mut dyn Host<Net, Obs>, event: &Event) {
+        if !self.forwarded_events.insert(event.id) {
+            return;
+        }
+        let affected = self
+            .shared
+            .policy
+            .affected_domains(event, &self.shared.topo);
+        for d in affected {
+            if d == self.domain {
+                continue;
+            }
+            let Some(target) = self
+                .remote_members
+                .get(&d)
+                .and_then(|ms| ms.first().copied())
+            else {
+                continue;
+            };
+            let fwd = Event {
+                forwarded: true,
+                ..*event
+            };
+            let signed = self.sign_forward(ctx, fwd);
+            ctx.send(
+                self.shared.dir.controller(d, target),
+                Net::ForwardedEvent(signed),
+            );
+        }
+    }
+
+    pub(super) fn sign_forward(
+        &mut self,
+        ctx: &mut dyn Host<Net, Obs>,
+        event: Event,
+    ) -> Signed<Event> {
+        let phase = self.view.phase();
+        let msg_id = self.msg_id();
+        if self.shared.cfg.mode.is_cicero() {
+            ctx.charge_cpu(self.shared.cfg.costs.event_sign);
+        }
+        if self.shared.real_crypto() && self.shared.cfg.mode.is_cicero() {
+            let key = self.identity.as_ref().expect("real mode identity");
+            Signed::sign(labels::FORWARD, event, phase, msg_id, key)
+        } else {
+            Signed {
+                payload: event,
+                phase,
+                msg_id,
+                signature: self.shared.keys.dummy,
+            }
+        }
+    }
+
+    pub(super) fn send_update_delayed(
+        &mut self,
+        ctx: &mut dyn Host<Net, Obs>,
+        update: NetworkUpdate,
+        extra: SimDuration,
+    ) {
+        let switch_node = self.shared.dir.switch(update.switch);
+        match self.shared.cfg.mode {
+            Mode::Centralized | Mode::CrashTolerant => {
+                ctx.send_delayed(
+                    switch_node,
+                    Net::UpdatePlain {
+                        update,
+                        from: self.id,
+                    },
+                    extra,
+                );
+            }
+            Mode::Cicero { aggregation } => {
+                let sign = self.shared.cfg.costs.update_sign;
+                ctx.charge_cpu(SimDuration::from_nanos(sign.as_nanos() / 3));
+                let extra = extra + sign;
+                let phase = self.view.phase();
+                let msg_id = self.msg_id();
+                let msg = if self.shared.real_crypto() {
+                    let share = self.share.as_ref().expect("real mode share");
+                    ShareSigned::sign(labels::UPDATE, update, phase, msg_id, share)
+                } else {
+                    ShareSigned {
+                        payload: update,
+                        phase,
+                        msg_id,
+                        partial: PartialSignature {
+                            index: self.id.0,
+                            sig: self.shared.keys.dummy.0,
+                        },
+                    }
+                };
+                match aggregation {
+                    Aggregation::Switch => {
+                        ctx.send_delayed(switch_node, Net::UpdateMsg(msg), extra)
+                    }
+                    Aggregation::Controller => {
+                        let agg = self.view.aggregator();
+                        ctx.send_delayed(
+                            self.node_of(agg),
+                            Net::UpdateToAggregator(msg),
+                            extra,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- inbound verification ------------------------------------------
+
+    fn verify_event(
+        &mut self,
+        ctx: &mut dyn Host<Net, Obs>,
+        msg: &Signed<Event>,
+        forwarded: bool,
+    ) -> bool {
+        if !self.shared.cfg.mode.is_cicero() {
+            return true;
+        }
+        // Verification cost is latency, not serialized CPU, on the paper's
+        // 12-core controllers: it is folded into the event pipeline delay.
+        let _ = &ctx;
+        if !self.shared.real_crypto() {
+            return true;
+        }
+        if forwarded {
+            let sender = (msg.payload.origin, ControllerId(msg.msg_id.origin));
+            match self.shared.keys.controller_pk.get(&sender) {
+                Some(pk) => msg.verify(labels::FORWARD, pk),
+                None => false,
+            }
+        } else {
+            match self.shared.keys.switch_pk.get(&SwitchId(msg.msg_id.origin)) {
+                Some(pk) => msg.verify(labels::EVENT, pk),
+                None => false,
+            }
+        }
+    }
+
+    pub(super) fn on_event_msg(
+        &mut self,
+        ctx: &mut dyn Host<Net, Obs>,
+        msg: Signed<Event>,
+        forwarded: bool,
+    ) {
+        if !self.active {
+            return;
+        }
+        ctx.charge_cpu(self.shared.cfg.costs.ctrl_msg);
+        if !self.verify_event(ctx, &msg, forwarded) {
+            return;
+        }
+        if self.seen_events.contains(&msg.payload.id) {
+            return;
+        }
+        // Forward to other affected domains at *receipt* rather than after
+        // local consensus: the domains' agreement rounds then run in
+        // parallel, which keeps the cross-domain ordering handshake's
+        // serial segment chain off the consensus critical path.
+        if !msg.payload.forwarded && self.is_lowest() {
+            self.forward_event(ctx, &msg.payload);
+        }
+        if self.in_phase_change {
+            self.queued_events.push(msg.payload);
+            return;
+        }
+        // Controller-aggregation mode: the aggregator is the switches' sole
+        // contact and relays events into the control plane (paper §4.2).
+        self.submit_op(ctx, crate::msg::OrderedOp::Event(msg.payload));
+    }
+}

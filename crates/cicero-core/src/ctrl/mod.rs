@@ -1,0 +1,392 @@
+//! The controller protocol runtime (paper Figs. 7–8 and §5.1).
+//!
+//! Each controller actor embeds: a PBFT replica (event agreement), the
+//! pluggable network application and update scheduler, the dependency-driven
+//! pending-update tracker, the membership view with phase-change/resharing
+//! logic, the optional aggregator role, and the heartbeat failure detector.
+//!
+//! The runtime is split into focused modules, all operating on the one
+//! [`ControllerActor`] state machine through the host-agnostic
+//! [`Host`](simnet::node::Host) API:
+//!
+//! * [`consensus`](self) — driving the PBFT replica and routing its outputs;
+//! * `events` — event processing, cross-domain forwarding, update dispatch;
+//! * `barriers` — the cross-domain ordering handshake (segment reports,
+//!   boundary releases, re-forwards);
+//! * `aggregate` — the optional aggregator role (controller aggregation);
+//! * `delivery` — the retransmission / NACK reliable-delivery layer;
+//! * `membership` — phase changes with public-key-preserving resharing.
+
+mod aggregate;
+mod barriers;
+mod consensus;
+mod delivery;
+mod events;
+mod membership;
+
+use crate::config::Mode;
+use crate::msg::{AckBody, Net, OrderedOp};
+use crate::obs::Obs;
+use crate::runtime::Shared;
+use barriers::{BarrierState, SegWatch};
+use bft::message::ReplicaId;
+use bft::replica::Replica;
+use blscrypto::bls::{KeyShare, PartialSignature, SecretKey};
+use blscrypto::dkg::GroupPublic;
+use blscrypto::reshare::ReshareDealing;
+use controller::app::ShortestPathApp;
+use controller::failure::HeartbeatDetector;
+use controller::membership::ControlPlaneView;
+use controller::pending::{PendingUpdates, RetryPolicy};
+use controller::scheduler::{ReversePathScheduler, UpdateScheduler};
+use membership::PendingReshare;
+use simnet::node::{Actor, Host, NodeId, TimerToken};
+use simnet::time::SimDuration;
+use southbound::envelope::MsgId;
+use southbound::types::{
+    ControllerId, DomainId, Event, EventId, Phase, SwitchId, UpdateId,
+};
+use std::collections::BTreeMap;
+use substrate::collections::{DetMap, DetSet};
+use std::sync::Arc;
+
+use aggregate::AggBucket;
+
+const TICK: TimerToken = TimerToken(1);
+const HEARTBEAT: TimerToken = TimerToken(2);
+const RETRY: TimerToken = TimerToken(3);
+const TICK_PERIOD: SimDuration = SimDuration::from_millis(5);
+
+/// The controller actor.
+pub struct ControllerActor {
+    shared: Arc<Shared>,
+    domain: DomainId,
+    id: ControllerId,
+    identity: Option<SecretKey>,
+    share: Option<KeyShare>,
+    group: GroupPublic,
+    view: ControlPlaneView,
+    active: bool,
+    replica: Option<Replica<OrderedOp>>,
+    app: ShortestPathApp,
+    scheduler: Box<dyn UpdateScheduler>,
+    pending: PendingUpdates,
+    seen_events: DetSet<EventId>,
+    forwarded_events: DetSet<EventId>,
+    unprocessed: BTreeMap<[u8; 32], OrderedOp>,
+    queued_events: Vec<Event>,
+    in_phase_change: bool,
+    pending_reshare: Option<PendingReshare>,
+    reshare_buf: BTreeMap<Phase, Vec<ReshareDealing>>,
+    agg_buckets: DetMap<(UpdateId, Phase), Vec<AggBucket>>,
+    phase_partials: BTreeMap<Phase, BTreeMap<u32, PartialSignature>>,
+    remote_members: BTreeMap<DomainId, Vec<ControllerId>>,
+    detector: HeartbeatDetector,
+    barriers: DetMap<(EventId, u32), BarrierState>,
+    seg_watch: DetMap<(EventId, u32), SegWatch>,
+    msg_seq: u64,
+    retry_armed: bool,
+}
+
+impl ControllerActor {
+    /// Builds a controller.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        shared: Arc<Shared>,
+        domain: DomainId,
+        id: ControllerId,
+        identity: Option<SecretKey>,
+        share: Option<KeyShare>,
+        view: ControlPlaneView,
+        active: bool,
+    ) -> Self {
+        let group = shared.keys.domains[&domain].group.clone();
+        let replica =
+            active.then(|| Self::build_replica(&view, id, shared.cfg.view_timeout_ticks));
+        let rel = &shared.cfg.reliability;
+        let policy = RetryPolicy {
+            base: rel.retry_base,
+            max_backoff: rel.retry_max_backoff,
+            budget: if rel.enabled { rel.retry_budget } else { 0 },
+            // Per-controller jitter stream: replicas must not retransmit in
+            // lockstep or every retry wave collides at the switch.
+            jitter_seed: shared.cfg.seed
+                ^ (u64::from(domain.0) << 32)
+                ^ u64::from(id.0).rotate_left(13),
+        };
+        let remote_members = shared
+            .dir
+            .initial_members
+            .iter()
+            .map(|(d, ms)| (*d, ms.clone()))
+            .collect();
+        let detector = HeartbeatDetector::new(
+            shared
+                .cfg
+                .heartbeat
+                .map(|p| p.saturating_mul(4))
+                .unwrap_or(SimDuration::from_millis(500)),
+        );
+        ControllerActor {
+            shared,
+            domain,
+            id,
+            identity,
+            share,
+            group,
+            view,
+            active,
+            replica,
+            app: ShortestPathApp::new(),
+            scheduler: Box::new(ReversePathScheduler),
+            pending: PendingUpdates::new().with_policy(policy),
+            seen_events: DetSet::new(),
+            forwarded_events: DetSet::new(),
+            unprocessed: BTreeMap::new(),
+            queued_events: Vec::new(),
+            in_phase_change: false,
+            pending_reshare: None,
+            reshare_buf: BTreeMap::new(),
+            agg_buckets: DetMap::new(),
+            phase_partials: BTreeMap::new(),
+            remote_members,
+            detector,
+            barriers: DetMap::new(),
+            seg_watch: DetMap::new(),
+            msg_seq: 0,
+            retry_armed: false,
+        }
+    }
+
+    /// Replaces the update scheduler (pluggability seam, paper §3.1).
+    pub fn set_scheduler(&mut self, s: Box<dyn UpdateScheduler>) {
+        self.scheduler = s;
+    }
+
+    /// Mutable access to the controller application (e.g. firewall policy).
+    pub fn app_mut(&mut self) -> &mut ShortestPathApp {
+        &mut self.app
+    }
+
+    /// The current membership view (tests).
+    pub fn view(&self) -> &ControlPlaneView {
+        &self.view
+    }
+
+    /// The current group public data (tests: pk invariance).
+    pub fn group(&self) -> &GroupPublic {
+        &self.group
+    }
+
+    /// `true` while this controller participates in the control plane.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// The pending-update tracker (watchdog / tests: drain checks).
+    pub fn pending(&self) -> &PendingUpdates {
+        &self.pending
+    }
+
+    /// Consensus liveness snapshot: `(view, delivered slots, undelivered
+    /// submissions)`. `None` when the mode runs without consensus.
+    pub fn consensus_status(&self) -> Option<(u64, u64, usize)> {
+        self.replica
+            .as_ref()
+            .map(|r| (r.view(), r.delivered_count(), r.pending_len()))
+    }
+
+    fn build_replica(
+        view: &ControlPlaneView,
+        id: ControllerId,
+        view_timeout_ticks: u32,
+    ) -> Replica<OrderedOp> {
+        let members: Vec<ControllerId> = view.members().collect();
+        let pos = members
+            .iter()
+            .position(|&m| m == id)
+            .expect("active controller is a member") as u32;
+        Replica::new(
+            ReplicaId(pos),
+            bft::replica::BftConfig::new(members.len() as u32)
+                .with_view_timeout(view_timeout_ticks),
+        )
+    }
+
+    fn msg_id(&mut self) -> MsgId {
+        self.msg_seq += 1;
+        MsgId {
+            origin: self.id.0,
+            seq: self.msg_seq,
+        }
+    }
+
+    fn members(&self) -> Vec<ControllerId> {
+        self.view.members().collect()
+    }
+
+    fn is_lowest(&self) -> bool {
+        self.view.aggregator() == self.id
+    }
+
+    fn uses_consensus(&self) -> bool {
+        !matches!(self.shared.cfg.mode, Mode::Centralized)
+    }
+
+    fn node_of(&self, c: ControllerId) -> NodeId {
+        self.shared.dir.controller(self.domain, c)
+    }
+}
+
+impl Actor<Net, Obs> for ControllerActor {
+    fn on_start(&mut self, ctx: &mut dyn Host<Net, Obs>) {
+        if self.uses_consensus() {
+            ctx.set_timer(TICK_PERIOD, TICK);
+        }
+        if let Some(hb) = self.shared.cfg.heartbeat {
+            if self.active {
+                ctx.set_timer(hb, HEARTBEAT);
+            }
+        }
+        let now = ctx.now();
+        for m in self.members() {
+            if m != self.id {
+                self.detector.track(m, now);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn Host<Net, Obs>, token: TimerToken) {
+        if token == TICK {
+            if self.active && !self.in_phase_change {
+                if let Some(replica) = self.replica.as_mut() {
+                    let outs = replica.on_tick();
+                    self.route_outputs(ctx, outs);
+                }
+            }
+            ctx.set_timer(TICK_PERIOD, TICK);
+        } else if token == HEARTBEAT {
+            if let Some(hb) = self.shared.cfg.heartbeat {
+                if self.active {
+                    let phase = self.view.phase();
+                    for m in self.members() {
+                        if m != self.id {
+                            ctx.send(
+                                self.node_of(m),
+                                Net::Heartbeat {
+                                    from: self.id,
+                                    phase,
+                                },
+                            );
+                        }
+                    }
+                    if !self.in_phase_change {
+                        // Paper §4.3: removal is "proposed by a member that
+                        // detects that the member should be removed".
+                        let suspects = self.detector.suspects(ctx.now());
+                        for s in suspects {
+                            if s != self.id && self.view.contains(s) && self.view.len() > 4 {
+                                self.submit_op(ctx, OrderedOp::RemoveController(s));
+                            }
+                        }
+                    }
+                }
+                ctx.set_timer(hb, HEARTBEAT);
+            }
+        } else if token == RETRY {
+            self.on_retry_timer(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn Host<Net, Obs>, _from: NodeId, msg: Net) {
+        match msg {
+            Net::EventMsg(m) => self.on_event_msg(ctx, m, false),
+            Net::ForwardedEvent(m) => self.on_event_msg(ctx, m, true),
+            Net::Consensus { phase, from, msg } => {
+                if !self.active || phase != self.view.phase() || self.in_phase_change {
+                    return;
+                }
+                ctx.charge_cpu(self.shared.cfg.costs.consensus_msg);
+                let members = self.members();
+                let Some(pos) = members.iter().position(|&m| m == from) else {
+                    return;
+                };
+                let Some(replica) = self.replica.as_mut() else {
+                    return;
+                };
+                let outs = replica.handle(ReplicaId(pos as u32), *msg);
+                self.route_outputs(ctx, outs);
+            }
+            Net::AckMsg(m) => {
+                if !self.active {
+                    return;
+                }
+                ctx.charge_cpu(self.shared.cfg.costs.ctrl_msg);
+                let mut extra = SimDuration::ZERO;
+                if self.shared.cfg.mode.is_cicero() {
+                    // Verification latency rides on the released updates
+                    // (parallelizable on the controller's cores).
+                    extra = self.shared.cfg.costs.bls_verify;
+                    if self.shared.real_crypto() {
+                        let pk = self
+                            .shared
+                            .keys
+                            .switch_pk
+                            .get(&SwitchId(m.msg_id.origin));
+                        let valid = pk
+                            .map(|pk| m.verify(crate::runtime::labels::ACK, pk))
+                            .unwrap_or(false);
+                        if !valid {
+                            return;
+                        }
+                    }
+                }
+                let body: AckBody = m.payload;
+                let ready = self.pending.ack(body.update, ctx.now());
+                for u in ready {
+                    self.send_update_delayed(ctx, u, extra);
+                }
+                // The ack may drain a watched own segment: report upstream.
+                let mut drained: Vec<(EventId, u32)> = Vec::new();
+                for (key, w) in self.seg_watch.iter_mut() {
+                    if key.0 == body.update.event
+                        && !w.sending
+                        && w.remaining.remove(&body.update)
+                        && w.remaining.is_empty()
+                    {
+                        drained.push(*key);
+                    }
+                }
+                for key in drained {
+                    self.start_segment_report(ctx, key);
+                }
+                self.arm_retry(ctx);
+            }
+            Net::UpdateNack(m) => self.on_update_nack(ctx, m),
+            Net::SegmentApplied(m) => self.on_segment_applied(ctx, m),
+            Net::BoundaryRelease(m) => self.on_boundary_release(ctx, m),
+            Net::UpdateToAggregator(m) => self.on_update_to_aggregator(ctx, m),
+            Net::PhasePartial(m) => self.on_phase_partial(ctx, m),
+            Net::Heartbeat { from, .. } => {
+                self.detector.heartbeat(from, ctx.now());
+            }
+            Net::Reshare { phase, dealing } => {
+                self.reshare_buf.entry(phase).or_default().push(dealing);
+                self.try_finalize_reshare(ctx);
+            }
+            Net::StateSync { view } => self.on_state_sync(ctx, view),
+            Net::MembershipCmd(op) => {
+                let allowed = match op {
+                    OrderedOp::AddController(_) => self.id == self.view.bootstrap(),
+                    OrderedOp::RemoveController(_) => true,
+                    OrderedOp::Event(_) => false,
+                };
+                if allowed {
+                    self.submit_op(ctx, op);
+                }
+            }
+            // Switch-directed traffic is ignored defensively.
+            _ => {}
+        }
+    }
+}

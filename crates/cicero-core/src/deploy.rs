@@ -1,0 +1,240 @@
+//! Deployment planning shared by every executor: node-id assignment, the
+//! directory, the key ceremony, and actor construction.
+//!
+//! Both the discrete-event engine ([`crate::engine::Engine`]) and the
+//! threaded runtime (`cicero-node`) consume a [`Deployment`]; the plan is a
+//! pure function of `(cfg, topo, domain_map, standby_controllers)`, so the
+//! two executors stand up byte-identical protocol state and differ only in
+//! how they schedule it.
+
+use crate::config::{EngineConfig, Mode};
+use crate::ctrl::ControllerActor;
+use crate::runtime::{bootstrap_keys, Directory, Shared};
+use crate::switch::{initial_phase_info, SwitchActor};
+use blscrypto::bls::KeyShare;
+use controller::membership::ControlPlaneView;
+use controller::policy::{DomainMap, GlobalDomainPolicy};
+use netmodel::topology::Topology;
+use simnet::node::NodeId;
+use southbound::types::{ControllerId, DomainId, SwitchId};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One planned node: its id plus the constructed protocol actor.
+pub struct PlannedNode {
+    /// The node id the executor must assign to this actor.
+    pub node: NodeId,
+    /// Which actor lives at this node.
+    pub role: NodeRole,
+}
+
+/// The actor occupying a planned node.
+pub enum NodeRole {
+    /// A domain controller (member or standby).
+    Controller {
+        /// Domain the controller belongs to.
+        domain: DomainId,
+        /// Controller id within the domain.
+        id: ControllerId,
+        /// The constructed actor.
+        actor: Box<ControllerActor>,
+    },
+    /// A switch.
+    Switch {
+        /// Switch id.
+        id: SwitchId,
+        /// The constructed actor.
+        actor: Box<SwitchActor>,
+    },
+}
+
+/// A fully planned deployment: shared runtime context plus every actor in
+/// node-id order, ready for an executor to schedule.
+pub struct Deployment {
+    /// Shared immutable runtime context (config, topology, directory, keys).
+    pub shared: Arc<Shared>,
+    /// `(dc, pod)` location per node id, for latency models.
+    pub locations: Vec<(u16, u16)>,
+    /// All actors, sorted by node id (controllers first, then switches).
+    pub nodes: Vec<PlannedNode>,
+    /// The bootstrap controller's node in each domain (membership commands
+    /// are injected here).
+    pub bootstrap_nodes: BTreeMap<DomainId, NodeId>,
+}
+
+/// Plans a deployment: assigns node ids (controllers domain-asc/id-asc with
+/// standbys after members, then switches id-asc), runs the key ceremony and
+/// constructs every actor.
+///
+/// `standby_controllers` extra controller actors per domain are created
+/// inactive, ready to be admitted by membership commands.
+///
+/// # Panics
+///
+/// Panics on structurally impossible configurations (e.g. Cicero with fewer
+/// than 4 controllers per domain).
+pub fn plan(
+    cfg: EngineConfig,
+    topo: Topology,
+    domain_map: DomainMap,
+    standby_controllers: u32,
+) -> Deployment {
+    let domain_map = if cfg.mode == Mode::Centralized {
+        DomainMap::single(&topo)
+    } else {
+        domain_map
+    };
+    let controllers_per_domain = match cfg.mode {
+        Mode::Centralized => 1,
+        _ => cfg.controllers_per_domain,
+    };
+    if cfg.mode.is_cicero() {
+        assert!(
+            controllers_per_domain >= 4,
+            "Cicero requires at least 4 controllers per domain (paper §3.2)"
+        );
+    }
+    let topo = Arc::new(topo);
+    let domains: Vec<DomainId> = domain_map.domains();
+
+    // ---- plan node ids deterministically -----------------------------
+    let mut next_node = 0u32;
+    let mut dir = Directory::default();
+    let mut members_per_domain: BTreeMap<DomainId, Vec<ControllerId>> = BTreeMap::new();
+    for &d in &domains {
+        let members: Vec<ControllerId> =
+            (1..=controllers_per_domain).map(ControllerId).collect();
+        for &c in &members {
+            dir.controller_node.insert((d, c), NodeId(next_node));
+            next_node += 1;
+        }
+        for extra in 0..standby_controllers {
+            let c = ControllerId(controllers_per_domain + 1 + extra);
+            dir.controller_node.insert((d, c), NodeId(next_node));
+            next_node += 1;
+        }
+        members_per_domain.insert(d, members.clone());
+        dir.initial_members.insert(d, members);
+    }
+    for s in topo.switches() {
+        dir.switch_node.insert(s.id, NodeId(next_node));
+        next_node += 1;
+        let d = domain_map
+            .domain_of(s.id)
+            .expect("every switch is assigned a domain");
+        dir.domain_of_switch.insert(s.id, d);
+    }
+
+    // ---- key ceremony ------------------------------------------------
+    let switch_ids: Vec<SwitchId> = topo.switches().iter().map(|s| s.id).collect();
+    let (keys, mut secrets) =
+        bootstrap_keys(cfg.crypto, &switch_ids, &members_per_domain, cfg.seed);
+
+    // ---- locations (controllers sit with their domain) ---------------
+    let mut locations: Vec<(u16, u16)> = vec![(0, 0); next_node as usize];
+    for (&(d, _), &node) in &dir.controller_node {
+        let first_switch = domain_map.switches_of(d).first().copied();
+        let l = first_switch
+            .and_then(|s| topo.switch(s))
+            .map(|s| (s.loc.dc, s.loc.pod))
+            .unwrap_or((0, 0));
+        locations[node.0 as usize] = l;
+    }
+    for s in topo.switches() {
+        let node = dir.switch_node[&s.id];
+        locations[node.0 as usize] = (s.loc.dc, s.loc.pod);
+    }
+
+    let policy = Arc::new(GlobalDomainPolicy::new(domain_map));
+    let shared = Arc::new(Shared {
+        cfg: cfg.clone(),
+        topo: Arc::clone(&topo),
+        policy,
+        dir,
+        keys,
+    });
+
+    // ---- construct actors in node-id order ---------------------------
+    let mut nodes = Vec::with_capacity(next_node as usize);
+    let mut bootstrap_nodes = BTreeMap::new();
+    for &d in &domains {
+        let n_members = members_per_domain[&d].len() as u32;
+        let view = ControlPlaneView::initial(n_members);
+        for &c in &members_per_domain[&d] {
+            let identity = secrets.controller_sk.remove(&(d, c));
+            let share: Option<KeyShare> = secrets
+                .domain_dkg
+                .get(&d)
+                .map(|dkg| dkg.participants[(c.0 - 1) as usize].share.clone());
+            let actor = ControllerActor::new(
+                Arc::clone(&shared),
+                d,
+                c,
+                identity,
+                share,
+                view.clone(),
+                true,
+            );
+            let node = shared.dir.controller(d, c);
+            if c == view.bootstrap() {
+                bootstrap_nodes.insert(d, node);
+            }
+            nodes.push(PlannedNode {
+                node,
+                role: NodeRole::Controller {
+                    domain: d,
+                    id: c,
+                    actor: Box::new(actor),
+                },
+            });
+        }
+        for extra in 0..standby_controllers {
+            let c = ControllerId(n_members + 1 + extra);
+            let actor = ControllerActor::new(
+                Arc::clone(&shared),
+                d,
+                c,
+                None,
+                None,
+                view.clone(),
+                false,
+            );
+            nodes.push(PlannedNode {
+                node: shared.dir.controller(d, c),
+                role: NodeRole::Controller {
+                    domain: d,
+                    id: c,
+                    actor: Box::new(actor),
+                },
+            });
+        }
+    }
+    for s in topo.switches() {
+        let d = shared.dir.domain_of_switch[&s.id];
+        let n_members = members_per_domain[&d].len() as u32;
+        let view = ControlPlaneView::initial(n_members);
+        let key = secrets.switch_sk.remove(&s.id);
+        let actor = SwitchActor::new(
+            Arc::clone(&shared),
+            s.id,
+            d,
+            key,
+            initial_phase_info(&view),
+        );
+        nodes.push(PlannedNode {
+            node: shared.dir.switch(s.id),
+            role: NodeRole::Switch {
+                id: s.id,
+                actor: Box::new(actor),
+            },
+        });
+    }
+    nodes.sort_by_key(|n| n.node.0);
+
+    Deployment {
+        shared,
+        locations,
+        nodes,
+        bootstrap_nodes,
+    }
+}

@@ -4,13 +4,12 @@
 
 use crate::config::{CryptoMode, EngineConfig, Mode};
 use crate::ctrl::ControllerActor;
+use crate::deploy::{self, NodeRole};
 use crate::msg::Net;
 use crate::obs::{retransmit_stats, Obs, RetransmitStats};
-use crate::runtime::{bootstrap_keys, Directory, Shared};
-use crate::switch::{initial_phase_info, SwitchActor};
-use blscrypto::bls::KeyShare;
-use controller::membership::ControlPlaneView;
-use controller::policy::{DomainMap, GlobalDomainPolicy};
+use crate::runtime::Shared;
+use crate::switch::SwitchActor;
+use controller::policy::DomainMap;
 use netmodel::routing::route;
 use netmodel::telekom;
 use netmodel::topology::Topology;
@@ -155,156 +154,37 @@ impl Engine {
         domain_map: DomainMap,
         standby_controllers: u32,
     ) -> Engine {
-        let domain_map = if cfg.mode == Mode::Centralized {
-            DomainMap::single(&topo)
-        } else {
-            domain_map
-        };
-        let controllers_per_domain = match cfg.mode {
-            Mode::Centralized => 1,
-            _ => cfg.controllers_per_domain,
-        };
-        if cfg.mode.is_cicero() {
-            assert!(
-                controllers_per_domain >= 4,
-                "Cicero requires at least 4 controllers per domain (paper §3.2)"
-            );
-        }
-        let topo = Arc::new(topo);
-        let domains: Vec<DomainId> = domain_map.domains();
-
-        // ---- plan node ids deterministically -------------------------
-        // Controllers first (domain asc, id asc, standbys after members),
-        // then switches (id asc).
-        let mut next_node = 0u32;
-        let mut dir = Directory::default();
-        let mut members_per_domain: BTreeMap<DomainId, Vec<ControllerId>> = BTreeMap::new();
-        for &d in &domains {
-            let members: Vec<ControllerId> =
-                (1..=controllers_per_domain).map(ControllerId).collect();
-            for &c in &members {
-                dir.controller_node.insert((d, c), NodeId(next_node));
-                next_node += 1;
-            }
-            for extra in 0..standby_controllers {
-                let c = ControllerId(controllers_per_domain + 1 + extra);
-                dir.controller_node.insert((d, c), NodeId(next_node));
-                next_node += 1;
-            }
-            members_per_domain.insert(d, members.clone());
-            dir.initial_members.insert(d, members);
-        }
-        for s in topo.switches() {
-            dir.switch_node.insert(s.id, NodeId(next_node));
-            next_node += 1;
-            let d = domain_map
-                .domain_of(s.id)
-                .expect("every switch is assigned a domain");
-            dir.domain_of_switch.insert(s.id, d);
-        }
-
-        // ---- key ceremony --------------------------------------------
-        let switch_ids: Vec<SwitchId> = topo.switches().iter().map(|s| s.id).collect();
-        let (keys, mut secrets) =
-            bootstrap_keys(cfg.crypto, &switch_ids, &members_per_domain, cfg.seed);
-
-        // ---- latency model --------------------------------------------
-        // Controllers sit with their domain (first switch's location).
-        let mut loc: Vec<(u16, u16)> = vec![(0, 0); next_node as usize];
-        for (&(d, _), &node) in &dir.controller_node {
-            let first_switch = domain_map.switches_of(d).first().copied();
-            let l = first_switch
-                .and_then(|s| topo.switch(s))
-                .map(|s| (s.loc.dc, s.loc.pod))
-                .unwrap_or((0, 0));
-            loc[node.0 as usize] = l;
-        }
-        for s in topo.switches() {
-            let node = dir.switch_node[&s.id];
-            loc[node.0 as usize] = (s.loc.dc, s.loc.pod);
-        }
-
-        let policy = Arc::new(GlobalDomainPolicy::new(domain_map));
-        let shared = Arc::new(Shared {
-            cfg: cfg.clone(),
-            topo: Arc::clone(&topo),
-            policy,
-            dir,
-            keys,
-        });
-
-        // ---- spawn actors ---------------------------------------------
+        let dep = deploy::plan(cfg, topo, domain_map, standby_controllers);
+        let seed = dep.shared.cfg.seed;
         let mut sim: Simulation<Net, Obs> =
-            Simulation::new(cfg.seed, ControlLatency { loc });
-        sim.set_cpu_bucket(cfg.cpu_bucket);
+            Simulation::new(seed, ControlLatency { loc: dep.locations });
+        sim.set_cpu_bucket(dep.shared.cfg.cpu_bucket);
 
         let mut controller_nodes = BTreeMap::new();
-        let mut bootstrap_nodes = BTreeMap::new();
-        for &d in &domains {
-            let n_members = members_per_domain[&d].len() as u32;
-            let view = ControlPlaneView::initial(n_members);
-            for &c in &members_per_domain[&d] {
-                let identity = secrets.controller_sk.remove(&(d, c));
-                let share: Option<KeyShare> = secrets.domain_dkg.get(&d).map(|dkg| {
-                    dkg.participants[(c.0 - 1) as usize].share.clone()
-                });
-                let actor = ControllerActor::new(
-                    Arc::clone(&shared),
-                    d,
-                    c,
-                    identity,
-                    share,
-                    view.clone(),
-                    true,
-                );
-                let node = sim.add_node(actor);
-                assert_eq!(node, shared.dir.controller(d, c), "node plan mismatch");
-                controller_nodes.insert((d, c), node);
-                if c == view.bootstrap() {
-                    bootstrap_nodes.insert(d, node);
-                }
-            }
-            for extra in 0..standby_controllers {
-                let c = ControllerId(n_members + 1 + extra);
-                let actor = ControllerActor::new(
-                    Arc::clone(&shared),
-                    d,
-                    c,
-                    None,
-                    None,
-                    view.clone(),
-                    false,
-                );
-                let node = sim.add_node(actor);
-                assert_eq!(node, shared.dir.controller(d, c), "node plan mismatch");
-                controller_nodes.insert((d, c), node);
-            }
-        }
         let mut switch_nodes = BTreeMap::new();
-        for s in topo.switches() {
-            let d = shared.dir.domain_of_switch[&s.id];
-            let n_members = members_per_domain[&d].len() as u32;
-            let view = ControlPlaneView::initial(n_members);
-            let key = secrets.switch_sk.remove(&s.id);
-            let actor = SwitchActor::new(
-                Arc::clone(&shared),
-                s.id,
-                d,
-                key,
-                initial_phase_info(&view),
-            );
-            let node = sim.add_node(actor);
-            assert_eq!(node, shared.dir.switch(s.id), "node plan mismatch");
-            switch_nodes.insert(s.id, node);
+        for planned in dep.nodes {
+            let node = match planned.role {
+                NodeRole::Controller { domain, id, actor } => {
+                    let node = sim.add_node(*actor);
+                    controller_nodes.insert((domain, id), node);
+                    node
+                }
+                NodeRole::Switch { id, actor } => {
+                    let node = sim.add_node(*actor);
+                    switch_nodes.insert(id, node);
+                    node
+                }
+            };
+            assert_eq!(node, planned.node, "node plan mismatch");
         }
 
         sim.start();
         Engine {
             sim,
-            shared,
+            shared: dep.shared,
             switch_nodes,
             controller_nodes,
-            bootstrap_nodes,
+            bootstrap_nodes: dep.bootstrap_nodes,
             injected_flows: 0,
         }
     }
@@ -379,7 +259,7 @@ impl Engine {
 
     /// Runs until the event queue drains (bounded by `horizon`).
     pub fn run(&mut self, horizon: SimTime) {
-        self.sim.run_until(horizon);
+        let _ = self.drive(horizon, false);
     }
 
     /// Runs with the liveness watchdog: advances in
@@ -390,6 +270,15 @@ impl Engine {
     /// outstanding. Either way it returns a [`RunReport`] instead of
     /// silently handing back a half-done simulation.
     pub fn run_reporting(&mut self, horizon: SimTime) -> RunReport {
+        self.drive(horizon, true)
+    }
+
+    /// The single run loop behind [`Engine::run`] and
+    /// [`Engine::run_reporting`]. Without the watchdog it simply advances
+    /// the simulation to `horizon` (no early exit — membership-only runs
+    /// with zero flows must still reach the horizon); with it, slices the
+    /// run and checks completion/stall between slices.
+    fn drive(&mut self, horizon: SimTime, watchdog: bool) -> RunReport {
         let slice = self.shared.cfg.watchdog_slice;
         let stall_slices = self.shared.cfg.watchdog_stall_slices.max(1);
         let mut last_obs = self.sim.observations().len();
@@ -398,15 +287,17 @@ impl Engine {
         let mut stalled = false;
         let mut cursor = self.sim.now();
         loop {
-            let out = self.snapshot_outstanding();
-            let resolved = self.resolved_flows();
-            if resolved >= self.injected_flows
-                && out.unacked == 0
-                && out.waiting == 0
-                && out.events == 0
-            {
-                completed = true;
-                break;
+            if watchdog {
+                let out = self.snapshot_outstanding();
+                let resolved = self.resolved_flows();
+                if resolved >= self.injected_flows
+                    && out.unacked == 0
+                    && out.waiting == 0
+                    && out.events == 0
+                {
+                    completed = true;
+                    break;
+                }
             }
             if cursor >= horizon {
                 break;
@@ -415,24 +306,30 @@ impl Engine {
                 // Drained queue with outstanding work: nothing will ever
                 // make progress again.
                 None => {
-                    stalled = true;
+                    stalled = watchdog;
                     break;
                 }
                 Some(at) if at > horizon => break,
                 Some(_) => {}
             }
-            cursor = std::cmp::min(cursor + slice, horizon);
-            self.sim.run_until(cursor);
-            let n = self.sim.observations().len();
-            if n == last_obs {
-                quiet += 1;
-                if quiet >= stall_slices {
-                    stalled = true;
-                    break;
-                }
+            cursor = if watchdog {
+                std::cmp::min(cursor + slice, horizon)
             } else {
-                last_obs = n;
-                quiet = 0;
+                horizon
+            };
+            self.sim.run_until(cursor);
+            if watchdog {
+                let n = self.sim.observations().len();
+                if n == last_obs {
+                    quiet += 1;
+                    if quiet >= stall_slices {
+                        stalled = true;
+                        break;
+                    }
+                } else {
+                    last_obs = n;
+                    quiet = 0;
+                }
             }
         }
         let out = self.snapshot_outstanding();

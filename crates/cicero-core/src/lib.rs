@@ -39,6 +39,7 @@
 pub mod audit;
 pub mod config;
 pub mod ctrl;
+pub mod deploy;
 pub mod engine;
 pub mod experiment;
 pub mod msg;
@@ -53,6 +54,7 @@ pub mod prelude {
         Aggregation, CostModel, CryptoMode, EngineConfig, Mode, ReliabilityConfig,
     };
     pub use crate::ctrl::ControllerActor;
+    pub use crate::deploy::{Deployment, NodeRole, PlannedNode};
     pub use crate::engine::{default_pod_engine, Engine, RunReport};
     pub use crate::experiment::{
         fig11_flow_completion, fig11d_switch_cpu, fig12a_update_time, fig12b_event_locality,

@@ -55,9 +55,16 @@ impl Directory {
     /// # Panics
     ///
     /// Panics for unknown controllers (directory is complete by
-    /// construction).
+    /// construction), naming the domain and controller id it was asked for.
     pub fn controller(&self, domain: DomainId, id: ControllerId) -> NodeId {
-        self.controller_node[&(domain, id)]
+        match self.controller_node.get(&(domain, id)) {
+            Some(&node) => node,
+            None => panic!(
+                "directory has no controller {id:?} in domain {domain:?} \
+                 ({} controllers known)",
+                self.controller_node.len()
+            ),
+        }
     }
 
     /// The node of a switch.
@@ -236,6 +243,15 @@ pub fn bootstrap_keys(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    #[should_panic(expected = "no controller ControllerId(7) in domain DomainId(3)")]
+    fn directory_controller_panic_names_the_lookup() {
+        let mut dir = Directory::default();
+        dir.controller_node
+            .insert((DomainId(0), ControllerId(1)), NodeId(0));
+        dir.controller(DomainId(3), ControllerId(7));
+    }
 
     #[test]
     fn modeled_bootstrap_is_cheap_and_complete() {

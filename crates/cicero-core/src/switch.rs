@@ -15,7 +15,7 @@ use blscrypto::bls::{self, PartialSignature, SecretKey};
 use controller::membership::ControlPlaneView;
 use controller::pending::RetryPolicy;
 use netmodel::flowtable::{FlowTable, Lookup};
-use simnet::node::{Actor, Context, NodeId, TimerToken};
+use simnet::node::{Actor, Host, NodeId, TimerToken};
 use simnet::time::{SimDuration, SimTime};
 use southbound::envelope::{signing_digest, MsgId, QuorumSigned, Signed};
 use southbound::types::{
@@ -174,7 +174,7 @@ impl SwitchActor {
 
     /// Where events go: the aggregator (controller aggregation) or the whole
     /// domain control plane.
-    fn event_targets(&self, ctx: &mut Context<'_, Net, Obs>) -> Vec<NodeId> {
+    fn event_targets(&self, ctx: &mut dyn Host<Net, Obs>) -> Vec<NodeId> {
         let _ = ctx;
         let dir = &self.shared.dir;
         match self.shared.cfg.mode {
@@ -189,7 +189,7 @@ impl SwitchActor {
         }
     }
 
-    fn sign_event(&mut self, ctx: &mut Context<'_, Net, Obs>, event: Event) -> Signed<Event> {
+    fn sign_event(&mut self, ctx: &mut dyn Host<Net, Obs>, event: Event) -> Signed<Event> {
         let phase = self.phase_info.phase;
         let msg_id = self.msg_id();
         if self.shared.cfg.mode.is_cicero() {
@@ -208,7 +208,7 @@ impl SwitchActor {
         }
     }
 
-    fn raise_event(&mut self, ctx: &mut Context<'_, Net, Obs>, kind: EventKind) {
+    fn raise_event(&mut self, ctx: &mut dyn Host<Net, Obs>, kind: EventKind) {
         let event = Event {
             id: self.fresh_event_id(),
             kind,
@@ -253,7 +253,7 @@ impl SwitchActor {
         )
     }
 
-    fn complete_waiters(&mut self, ctx: &mut Context<'_, Net, Obs>, m: FlowMatch) {
+    fn complete_waiters(&mut self, ctx: &mut dyn Host<Net, Obs>, m: FlowMatch) {
         let Some(waiters) = self.waiting.remove(&m) else {
             return;
         };
@@ -290,7 +290,7 @@ impl SwitchActor {
     /// observation stream for security auditing (see [`Obs::UpdateApplied`]).
     fn apply_update(
         &mut self,
-        ctx: &mut Context<'_, Net, Obs>,
+        ctx: &mut dyn Host<Net, Obs>,
         update: NetworkUpdate,
         signers: u32,
     ) {
@@ -321,7 +321,7 @@ impl SwitchActor {
         self.send_ack(ctx, update);
     }
 
-    fn send_ack(&mut self, ctx: &mut Context<'_, Net, Obs>, update: NetworkUpdate) {
+    fn send_ack(&mut self, ctx: &mut dyn Host<Net, Obs>, update: NetworkUpdate) {
         let body = AckBody {
             update: update.id,
             switch: self.id,
@@ -368,7 +368,7 @@ impl SwitchActor {
 
     /// A duplicate of an already-applied update means some controller has
     /// not seen our acknowledgement — re-send it (ack-loss recovery).
-    fn reack(&mut self, ctx: &mut Context<'_, Net, Obs>, update: NetworkUpdate) {
+    fn reack(&mut self, ctx: &mut dyn Host<Net, Obs>, update: NetworkUpdate) {
         if !self.shared.cfg.reliability.enabled {
             return;
         }
@@ -383,7 +383,7 @@ impl SwitchActor {
 
     /// Arms the retry timer for the earliest pending deadline. One timer is
     /// outstanding at a time; it re-arms itself from `on_timer`.
-    fn arm_retry(&mut self, ctx: &mut Context<'_, Net, Obs>) {
+    fn arm_retry(&mut self, ctx: &mut dyn Host<Net, Obs>) {
         if self.retry_armed || !self.shared.cfg.reliability.enabled {
             return;
         }
@@ -400,7 +400,7 @@ impl SwitchActor {
         self.retry_armed = true;
     }
 
-    fn sweep_pending_events(&mut self, ctx: &mut Context<'_, Net, Obs>, now: SimTime) {
+    fn sweep_pending_events(&mut self, ctx: &mut dyn Host<Net, Obs>, now: SimTime) {
         let budget = self.shared.cfg.reliability.event_retry_budget;
         let due: Vec<EventId> = self
             .pending_events
@@ -437,7 +437,7 @@ impl SwitchActor {
         }
     }
 
-    fn sweep_nacks(&mut self, ctx: &mut Context<'_, Net, Obs>, now: SimTime) {
+    fn sweep_nacks(&mut self, ctx: &mut dyn Host<Net, Obs>, now: SimTime) {
         let budget = self.shared.cfg.reliability.nack_budget;
         let due: Vec<southbound::types::UpdateId> = self
             .nacks
@@ -473,7 +473,7 @@ impl SwitchActor {
 
     fn send_nack(
         &mut self,
-        ctx: &mut Context<'_, Net, Obs>,
+        ctx: &mut dyn Host<Net, Obs>,
         update: southbound::types::UpdateId,
         have: u32,
     ) {
@@ -522,7 +522,7 @@ impl SwitchActor {
     /// until a quorum of identical updates, aggregate, verify, apply.
     fn on_share_signed(
         &mut self,
-        ctx: &mut Context<'_, Net, Obs>,
+        ctx: &mut dyn Host<Net, Obs>,
         msg: southbound::envelope::ShareSigned<NetworkUpdate>,
     ) {
         ctx.charge_cpu(self.shared.cfg.costs.switch_msg);
@@ -576,7 +576,7 @@ impl SwitchActor {
 
     fn try_quorum(
         &mut self,
-        ctx: &mut Context<'_, Net, Obs>,
+        ctx: &mut dyn Host<Net, Obs>,
         key: (southbound::types::UpdateId, Phase),
     ) {
         let quorum = self.quorum();
@@ -640,7 +640,7 @@ impl SwitchActor {
     /// pre-aggregated signature.
     fn on_quorum_signed(
         &mut self,
-        ctx: &mut Context<'_, Net, Obs>,
+        ctx: &mut dyn Host<Net, Obs>,
         msg: QuorumSigned<NetworkUpdate>,
     ) {
         ctx.charge_cpu(self.shared.cfg.costs.switch_msg);
@@ -670,7 +670,7 @@ impl SwitchActor {
 
     fn on_flow_arrival(
         &mut self,
-        ctx: &mut Context<'_, Net, Obs>,
+        ctx: &mut dyn Host<Net, Obs>,
         flow: FlowId,
         src: HostId,
         dst: HostId,
@@ -720,7 +720,7 @@ impl SwitchActor {
 }
 
 impl Actor<Net, Obs> for SwitchActor {
-    fn on_timer(&mut self, ctx: &mut Context<'_, Net, Obs>, token: TimerToken) {
+    fn on_timer(&mut self, ctx: &mut dyn Host<Net, Obs>, token: TimerToken) {
         if token != RETRY {
             return;
         }
@@ -731,7 +731,7 @@ impl Actor<Net, Obs> for SwitchActor {
         self.arm_retry(ctx);
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_, Net, Obs>, _from: NodeId, msg: Net) {
+    fn on_message(&mut self, ctx: &mut dyn Host<Net, Obs>, _from: NodeId, msg: Net) {
         match msg {
             Net::FlowArrival {
                 flow,

@@ -1,0 +1,268 @@
+//! Deployment specification for the threaded runtime, parsed from a JSON
+//! config file (see `examples/node_two_domains.json`).
+//!
+//! The spec is deliberately small: a pod-partitioned topology (one domain
+//! per pod), a protocol mode, a seed, and a synthetic cross-pod workload.
+//! Everything else comes from [`EngineConfig`] defaults so a threaded
+//! deployment and a simulated one are configured identically.
+
+use cicero_core::config::{Aggregation, CryptoMode, EngineConfig, Mode};
+use controller::policy::DomainMap;
+use netmodel::topology::Topology;
+use simnet::time::{SimDuration, SimTime};
+use southbound::types::{FlowId, HostId};
+use std::collections::BTreeMap;
+use substrate::ser::JsonValue;
+use workload::gen::FlowSpec;
+use workload::spec::LocalityClass;
+
+/// A parsed deployment spec.
+#[derive(Clone, Debug)]
+pub struct NodeSpec {
+    /// Protocol mode (`"centralized"`, `"crash-tolerant"`, `"cicero"`,
+    /// `"cicero-agg"`).
+    pub mode: Mode,
+    /// Crypto execution (`"modeled"` or `"real"`).
+    pub crypto: CryptoMode,
+    /// Pods; one protocol domain each.
+    pub pods: u16,
+    /// Racks (ToR switches) per pod.
+    pub racks_per_pod: u16,
+    /// Edge/aggregation switches per pod.
+    pub edges_per_pod: u16,
+    /// Hosts per rack.
+    pub hosts_per_rack: u16,
+    /// Spine switches joining the pods.
+    pub spines: u16,
+    /// Controllers per domain (Cicero needs ≥ 4).
+    pub controllers_per_domain: u32,
+    /// Engine seed (actor construction, per-node RNG streams).
+    pub seed: u64,
+    /// Cross-pod flows to inject.
+    pub flows: usize,
+    /// Bytes per flow.
+    pub flow_bytes: u64,
+    /// Wall-clock convergence budget in milliseconds.
+    pub budget_ms: u64,
+}
+
+impl Default for NodeSpec {
+    fn default() -> Self {
+        NodeSpec {
+            mode: Mode::Cicero {
+                aggregation: Aggregation::Switch,
+            },
+            crypto: CryptoMode::Modeled,
+            pods: 2,
+            racks_per_pod: 2,
+            edges_per_pod: 2,
+            hosts_per_rack: 2,
+            spines: 2,
+            controllers_per_domain: 4,
+            seed: 1,
+            flows: 8,
+            flow_bytes: 40_000,
+            budget_ms: 8_000,
+        }
+    }
+}
+
+fn get_u64(doc: &JsonValue, key: &str, default: u64) -> Result<u64, String> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .filter(|f| *f >= 0.0 && f.fract() == 0.0)
+            .map(|f| f as u64)
+            .ok_or_else(|| format!("`{key}` must be a non-negative integer")),
+    }
+}
+
+impl NodeSpec {
+    /// Parses a spec from JSON text. Unknown keys are rejected so a typo'd
+    /// config fails loudly instead of silently running defaults.
+    pub fn from_json(text: &str) -> Result<NodeSpec, String> {
+        let doc = JsonValue::parse(text).map_err(|e| format!("config parse error: {e:?}"))?;
+        const KNOWN: &[&str] = &[
+            "mode",
+            "crypto",
+            "pods",
+            "racks_per_pod",
+            "edges_per_pod",
+            "hosts_per_rack",
+            "spines",
+            "controllers_per_domain",
+            "seed",
+            "flows",
+            "flow_bytes",
+            "budget_ms",
+        ];
+        if let JsonValue::Object(pairs) = &doc {
+            for (k, _) in pairs {
+                if !KNOWN.contains(&k.as_str()) {
+                    return Err(format!("unknown config key `{k}`"));
+                }
+            }
+        } else {
+            return Err("config must be a JSON object".to_string());
+        }
+        let d = NodeSpec::default();
+        let mode = match doc.get("mode").and_then(|v| v.as_str()) {
+            None => d.mode,
+            Some("centralized") => Mode::Centralized,
+            Some("crash-tolerant") => Mode::CrashTolerant,
+            Some("cicero") => Mode::Cicero {
+                aggregation: Aggregation::Switch,
+            },
+            Some("cicero-agg") => Mode::Cicero {
+                aggregation: Aggregation::Controller,
+            },
+            Some(other) => return Err(format!("unknown mode `{other}`")),
+        };
+        let crypto = match doc.get("crypto").and_then(|v| v.as_str()) {
+            None => d.crypto,
+            Some("modeled") => CryptoMode::Modeled,
+            Some("real") => CryptoMode::Real,
+            Some(other) => return Err(format!("unknown crypto mode `{other}`")),
+        };
+        let spec = NodeSpec {
+            mode,
+            crypto,
+            pods: get_u64(&doc, "pods", d.pods as u64)? as u16,
+            racks_per_pod: get_u64(&doc, "racks_per_pod", d.racks_per_pod as u64)? as u16,
+            edges_per_pod: get_u64(&doc, "edges_per_pod", d.edges_per_pod as u64)? as u16,
+            hosts_per_rack: get_u64(&doc, "hosts_per_rack", d.hosts_per_rack as u64)? as u16,
+            spines: get_u64(&doc, "spines", d.spines as u64)? as u16,
+            controllers_per_domain: get_u64(
+                &doc,
+                "controllers_per_domain",
+                d.controllers_per_domain as u64,
+            )? as u32,
+            seed: get_u64(&doc, "seed", d.seed)?,
+            flows: get_u64(&doc, "flows", d.flows as u64)? as usize,
+            flow_bytes: get_u64(&doc, "flow_bytes", d.flow_bytes)?,
+            budget_ms: get_u64(&doc, "budget_ms", d.budget_ms)?,
+        };
+        if spec.pods == 0 || spec.racks_per_pod == 0 || spec.hosts_per_rack == 0 {
+            return Err("pods, racks_per_pod and hosts_per_rack must be ≥ 1".to_string());
+        }
+        Ok(spec)
+    }
+
+    /// The engine configuration for this spec.
+    pub fn engine_config(&self) -> EngineConfig {
+        let mut cfg = EngineConfig::for_mode(self.mode);
+        cfg.crypto = self.crypto;
+        cfg.seed = self.seed;
+        if self.mode != Mode::Centralized {
+            cfg.controllers_per_domain = self.controllers_per_domain;
+        }
+        cfg
+    }
+
+    /// The topology: `pods` pods joined by `spines` spine switches.
+    pub fn topology(&self) -> Topology {
+        Topology::multi_pod(
+            self.pods,
+            self.racks_per_pod,
+            self.edges_per_pod,
+            self.hosts_per_rack,
+            self.spines,
+        )
+    }
+
+    /// One domain per pod.
+    pub fn domain_map(&self, topo: &Topology) -> DomainMap {
+        DomainMap::by_pod(topo)
+    }
+
+    /// The wall-clock convergence budget.
+    pub fn budget(&self) -> SimDuration {
+        SimDuration::from_millis(self.budget_ms)
+    }
+
+    /// A deterministic cross-pod workload: every flow has a unique
+    /// `(src, dst)` pair with source and destination in different pods, so
+    /// each flow raises exactly one distinct `PacketIn` per ingress switch
+    /// under rule reuse — the property the sim-vs-threads equivalence check
+    /// relies on. Starts are staggered 2 ms apart (simulated runs honor the
+    /// stagger; a threaded deployment injects at wall-clock arrival).
+    pub fn workload(&self, topo: &Topology) -> Vec<FlowSpec> {
+        let mut by_pod: BTreeMap<u16, Vec<HostId>> = BTreeMap::new();
+        for h in topo.hosts() {
+            by_pod.entry(h.loc.pod).or_default().push(h.id);
+        }
+        let pods: Vec<Vec<HostId>> = by_pod.into_values().collect();
+        let p = pods.len();
+        let per_pod = pods.iter().map(Vec::len).min().unwrap_or(0);
+        let mut flows = Vec::new();
+        if p < 2 || per_pod == 0 {
+            return flows;
+        }
+        'outer: for shift in 0..per_pod {
+            for i in 0..per_pod {
+                for src_pod in 0..p {
+                    if flows.len() >= self.flows {
+                        break 'outer;
+                    }
+                    let dst_pod = (src_pod + 1) % p;
+                    let n = flows.len();
+                    flows.push(FlowSpec {
+                        id: FlowId(n as u64 + 1),
+                        src: pods[src_pod][i],
+                        dst: pods[dst_pod][(i + shift) % per_pod],
+                        bytes: self.flow_bytes,
+                        start: SimTime::ZERO + SimDuration::from_millis(2).saturating_mul(n as u64),
+                        locality: LocalityClass::IntraDc,
+                    });
+                }
+            }
+        }
+        flows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_round_trip_and_workload_pairs_are_unique() {
+        let spec = NodeSpec::from_json("{}").expect("empty object is all defaults");
+        assert_eq!(spec.pods, 2);
+        let topo = spec.topology();
+        let flows = spec.workload(&topo);
+        assert_eq!(flows.len(), spec.flows);
+        let mut pairs: Vec<(HostId, HostId)> = flows.iter().map(|f| (f.src, f.dst)).collect();
+        pairs.sort();
+        pairs.dedup();
+        assert_eq!(pairs.len(), flows.len(), "all (src,dst) pairs unique");
+        for f in &flows {
+            let sp = topo.host(f.src).expect("known host").loc.pod;
+            let dp = topo.host(f.dst).expect("known host").loc.pod;
+            assert_ne!(sp, dp, "every flow crosses pods");
+        }
+    }
+
+    #[test]
+    fn unknown_keys_and_bad_values_are_rejected() {
+        assert!(NodeSpec::from_json(r#"{"podz": 2}"#).is_err());
+        assert!(NodeSpec::from_json(r#"{"mode": "quantum"}"#).is_err());
+        assert!(NodeSpec::from_json(r#"{"seed": -1}"#).is_err());
+        assert!(NodeSpec::from_json(r#"{"pods": 0}"#).is_err());
+        assert!(NodeSpec::from_json("[]").is_err());
+    }
+
+    #[test]
+    fn mode_strings_parse() {
+        let c = NodeSpec::from_json(r#"{"mode": "cicero-agg", "crypto": "real"}"#)
+            .expect("valid spec");
+        assert_eq!(
+            c.mode,
+            Mode::Cicero {
+                aggregation: Aggregation::Controller
+            }
+        );
+        assert_eq!(c.crypto, CryptoMode::Real);
+    }
+}

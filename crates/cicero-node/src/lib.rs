@@ -1,0 +1,24 @@
+//! # cicero-node — the threaded runtime
+//!
+//! Runs the exact protocol actors from `cicero-core` on real OS threads at
+//! wall-clock speed: one thread per node, bounded in-process mailboxes for
+//! links, wall-clock timers. The actors compile against `dyn Host`
+//! (`simnet::node::Host`), so the code executing here is byte-for-byte the
+//! code the discrete-event simulator schedules — which is what makes the
+//! sim-vs-threads equivalence test (`tests/equivalence.rs`) meaningful.
+//!
+//! * [`clock`] — the single wall-clock boundary (maps an `Instant` epoch
+//!   onto `SimTime`);
+//! * [`exec`] — the executor: node threads, mailboxes, timer heaps, the
+//!   convergence watchdog;
+//! * [`config`] — the JSON deployment spec consumed by the `cicero-node`
+//!   binary (see `examples/node_two_domains.json`).
+
+#![forbid(unsafe_code)]
+
+pub mod clock;
+pub mod config;
+pub mod exec;
+
+pub use config::NodeSpec;
+pub use exec::{ThreadedDeployment, ThreadedReport};

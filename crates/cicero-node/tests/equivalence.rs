@@ -1,0 +1,120 @@
+//! Executor equivalence: the same scenario (config, topology, workload,
+//! seed) run under the discrete-event simulator and under the threaded
+//! executor must apply the *same set* of updates at the same switches and
+//! pass the end-to-end consistency audit under both.
+//!
+//! Order and timing legitimately differ — the simulator is deterministic
+//! virtual time, the threads run on a real scheduler — but the protocol's
+//! outcome (which rules exist where, and that no flow ever saw a black
+//! hole, loop, or policy violation on the way) must not depend on the
+//! executor.
+
+use cicero_core::audit::audit_flow;
+use cicero_core::obs::Obs;
+use cicero_core::prelude::Engine;
+use cicero_node::exec::ThreadedDeployment;
+use cicero_node::NodeSpec;
+use simnet::sim::Observation;
+use simnet::time::{SimDuration, SimTime};
+use southbound::types::{FlowMatch, SwitchId, UpdateId};
+use std::collections::BTreeSet;
+
+fn spec() -> NodeSpec {
+    NodeSpec::from_json(
+        r#"{
+            "mode": "cicero",
+            "crypto": "modeled",
+            "pods": 2,
+            "racks_per_pod": 2,
+            "edges_per_pod": 2,
+            "hosts_per_rack": 2,
+            "spines": 2,
+            "controllers_per_domain": 4,
+            "seed": 11,
+            "flows": 6,
+            "flow_bytes": 20000,
+            "budget_ms": 20000
+        }"#,
+    )
+    .expect("valid spec")
+}
+
+/// The executor-independent outcome: which updates were applied where.
+fn applied_set(obs: &[Observation<Obs>]) -> BTreeSet<(SwitchId, UpdateId)> {
+    obs.iter()
+        .filter_map(|o| match o.value {
+            Obs::UpdateApplied { switch, update, .. } => Some((switch, update)),
+            _ => None,
+        })
+        .collect()
+}
+
+fn audit_hazards(obs: &[Observation<Obs>], spec: &NodeSpec) -> usize {
+    let topo = spec.topology();
+    let mut hazards = 0;
+    for f in spec.workload(&topo) {
+        let ingress = topo.host(f.src).expect("workload host exists").attached;
+        let m = FlowMatch {
+            src: f.src,
+            dst: f.dst,
+        };
+        hazards += audit_flow(obs, ingress, m, false).len();
+    }
+    hazards
+}
+
+#[test]
+fn sim_and_threads_apply_the_same_updates() {
+    let spec = spec();
+
+    // ---- simulated run -----------------------------------------------
+    let topo = spec.topology();
+    let flows = spec.workload(&topo);
+    let mut engine = Engine::build(
+        spec.engine_config(),
+        spec.topology(),
+        spec.domain_map(&topo),
+        0,
+    );
+    engine.inject_flows(&flows);
+    let sim_report = engine.run_reporting(SimTime::from_nanos(60_000_000_000));
+    assert!(
+        sim_report.completed,
+        "simulated run must complete: {sim_report}"
+    );
+    let sim_applied = applied_set(engine.observations());
+    assert!(
+        !sim_applied.is_empty(),
+        "flows across pods must install rules"
+    );
+    assert_eq!(
+        audit_hazards(engine.observations(), &spec),
+        0,
+        "simulated run must audit clean"
+    );
+
+    // ---- threaded run ------------------------------------------------
+    let dep = cicero_core::deploy::plan(
+        spec.engine_config(),
+        spec.topology(),
+        spec.domain_map(&topo),
+        0,
+    );
+    let mut threaded = ThreadedDeployment::launch(dep);
+    threaded.inject_flows(&flows);
+    let report = threaded.run_to_convergence(SimDuration::from_secs(20));
+    let obs = threaded.shutdown();
+    assert!(report.completed, "threaded run must converge: {report}");
+    let thr_applied = applied_set(&obs);
+    assert_eq!(
+        audit_hazards(&obs, &spec),
+        0,
+        "threaded run must audit clean"
+    );
+
+    // ---- equivalence --------------------------------------------------
+    assert_eq!(
+        sim_applied, thr_applied,
+        "the applied-update set must not depend on the executor"
+    );
+}

@@ -17,7 +17,7 @@
 //!
 //! struct Counter(u32);
 //! impl Actor<(), u32> for Counter {
-//!     fn on_message(&mut self, ctx: &mut Context<'_, (), u32>, _from: NodeId, _msg: ()) {
+//!     fn on_message(&mut self, ctx: &mut dyn Host<(), u32>, _from: NodeId, _msg: ()) {
 //!         self.0 += 1;
 //!         ctx.observe(self.0);
 //!     }
@@ -45,7 +45,7 @@ pub mod time;
 pub mod prelude {
     pub use crate::fault::FaultPlan;
     pub use crate::latency::{FnLatency, LatencyModel, TableLatency, UniformLatency};
-    pub use crate::node::{Actor, Context, NodeId, TimerToken};
+    pub use crate::node::{Actor, Context, Host, HostExt, NodeId, TimerToken};
     pub use crate::sim::{Observation, Simulation, ENVIRONMENT};
     pub use crate::time::{SimDuration, SimTime};
 }

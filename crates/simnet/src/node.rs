@@ -1,4 +1,13 @@
-//! Node identities and the actor trait.
+//! Node identities, the host abstraction, and the actor trait.
+//!
+//! The split here is the repo's core/runtime boundary: [`Actor`]s hold the
+//! protocol logic and talk to the world exclusively through the [`Host`]
+//! trait (send/broadcast/set_timer/charge_cpu/observe/rng/now/crash).
+//! [`Context`] is the discrete-event simulator's implementation; the
+//! `cicero-node` crate provides a second one backed by OS threads and
+//! wall-clock timers. Protocol code that compiles against `dyn Host` cannot
+//! tell which runtime is underneath — that is what makes the sim-vs-threads
+//! equivalence check meaningful.
 
 use crate::time::{SimDuration, SimTime};
 use substrate::rng::StdRng;
@@ -19,22 +28,81 @@ impl std::fmt::Display for NodeId {
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub struct TimerToken(pub u64);
 
-/// A simulated process. `M` is the message type exchanged on the network;
+/// The handler-side API an actor runs against: send messages, set timers,
+/// charge CPU time, emit observations — without knowing whether the runtime
+/// underneath is the discrete-event simulator or a real-threads executor.
+///
+/// The trait is object-safe on purpose: actors receive `&mut dyn Host` so
+/// the same compiled protocol code runs under every executor. Time is
+/// expressed in [`SimTime`] under both runtimes; a threaded host maps it
+/// onto a wall-clock epoch behind its own boundary module.
+pub trait Host<M, O = ()> {
+    /// Current time (simulated or wall-clock-since-epoch).
+    fn now(&self) -> SimTime;
+
+    /// This node's id.
+    fn id(&self) -> NodeId;
+
+    /// Deterministic RNG (per-simulation in the simulator, per-node under a
+    /// threaded host — both seeded from the engine seed).
+    fn rng(&mut self) -> &mut StdRng;
+
+    /// Sends `msg` to `to`; it arrives after the link latency (plus any CPU
+    /// time charged by this handler, modeling that transmission happens when
+    /// processing finishes).
+    fn send(&mut self, to: NodeId, msg: M);
+
+    /// Sends with an extra artificial delay on top of link latency.
+    fn send_delayed(&mut self, to: NodeId, msg: M, extra_delay: SimDuration);
+
+    /// Schedules `on_timer(token)` after `delay`.
+    fn set_timer(&mut self, delay: SimDuration, token: TimerToken);
+
+    /// Charges `d` of CPU time to this node: the node stays busy (deferring
+    /// later deliveries) and the busy time is recorded for utilization
+    /// metrics. A wall-clock host may treat this as a no-op (real CPU time
+    /// is spent, not modeled).
+    fn charge_cpu(&mut self, d: SimDuration);
+
+    /// Emits an observation to the experiment harness.
+    fn observe(&mut self, obs: O);
+
+    /// Crashes this node at the end of the handler: all future deliveries
+    /// and timers are dropped.
+    fn crash(&mut self);
+}
+
+/// Broadcast sugar over any [`Host`]: generic iterators are not
+/// object-safe, so `broadcast` lives in an extension trait blanket-implemented
+/// for every host (including `dyn Host`) instead of in the trait itself.
+pub trait HostExt<M: Clone, O>: Host<M, O> {
+    /// Sends a clone of `msg` to every node in `to`.
+    fn broadcast<I: IntoIterator<Item = NodeId>>(&mut self, to: I, msg: M) {
+        for node in to {
+            self.send(node, msg.clone());
+        }
+    }
+}
+
+impl<M: Clone, O, H: Host<M, O> + ?Sized> HostExt<M, O> for H {}
+
+/// A protocol process. `M` is the message type exchanged on the network;
 /// `O` is the observation type emitted to the experiment harness.
 ///
-/// Handlers run to completion at a single simulated instant; real processing
-/// cost is modeled explicitly with [`Context::charge_cpu`], which serializes
-/// subsequent deliveries to this node (single-core node model, matching the
-/// OVS switch threads measured in the paper's Fig. 11d).
+/// Handlers run to completion and speak to their runtime only through the
+/// [`Host`] they are handed. Real processing cost is modeled explicitly with
+/// [`Host::charge_cpu`], which (under the simulator) serializes subsequent
+/// deliveries to this node (single-core node model, matching the OVS switch
+/// threads measured in the paper's Fig. 11d).
 pub trait Actor<M, O = ()>: std::any::Any {
-    /// Invoked once when the simulation starts.
-    fn on_start(&mut self, _ctx: &mut Context<'_, M, O>) {}
+    /// Invoked once when the runtime starts.
+    fn on_start(&mut self, _ctx: &mut dyn Host<M, O>) {}
 
     /// Invoked for every delivered message.
-    fn on_message(&mut self, ctx: &mut Context<'_, M, O>, from: NodeId, msg: M);
+    fn on_message(&mut self, ctx: &mut dyn Host<M, O>, from: NodeId, msg: M);
 
-    /// Invoked when a timer set with [`Context::set_timer`] fires.
-    fn on_timer(&mut self, _ctx: &mut Context<'_, M, O>, _token: TimerToken) {}
+    /// Invoked when a timer set with [`Host::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut dyn Host<M, O>, _token: TimerToken) {}
 }
 
 pub(crate) enum Effect<M, O> {
@@ -51,8 +119,9 @@ pub(crate) enum Effect<M, O> {
     Crash,
 }
 
-/// The handler-side API: send messages, set timers, charge CPU time, emit
-/// observations.
+/// The discrete-event simulator's [`Host`]: effects are collected during the
+/// handler and applied by the scheduler when it returns (sends depart at
+/// CPU-completion time, faults are applied, observations are timestamped).
 pub struct Context<'a, M, O = ()> {
     pub(crate) now: SimTime,
     pub(crate) self_id: NodeId,
@@ -61,26 +130,20 @@ pub struct Context<'a, M, O = ()> {
     pub(crate) cpu_charge: SimDuration,
 }
 
-impl<'a, M, O> Context<'a, M, O> {
-    /// Current simulated time.
-    pub fn now(&self) -> SimTime {
+impl<'a, M, O> Host<M, O> for Context<'a, M, O> {
+    fn now(&self) -> SimTime {
         self.now
     }
 
-    /// This node's id.
-    pub fn id(&self) -> NodeId {
+    fn id(&self) -> NodeId {
         self.self_id
     }
 
-    /// Deterministic per-simulation RNG.
-    pub fn rng(&mut self) -> &mut StdRng {
+    fn rng(&mut self) -> &mut StdRng {
         self.rng
     }
 
-    /// Sends `msg` to `to`; it arrives after the link latency (plus any CPU
-    /// time charged by this handler, modeling that transmission happens when
-    /// processing finishes).
-    pub fn send(&mut self, to: NodeId, msg: M) {
+    fn send(&mut self, to: NodeId, msg: M) {
         self.effects.push(Effect::Send {
             to,
             msg,
@@ -88,8 +151,7 @@ impl<'a, M, O> Context<'a, M, O> {
         });
     }
 
-    /// Sends with an extra artificial delay on top of link latency.
-    pub fn send_delayed(&mut self, to: NodeId, msg: M, extra_delay: SimDuration) {
+    fn send_delayed(&mut self, to: NodeId, msg: M, extra_delay: SimDuration) {
         self.effects.push(Effect::Send {
             to,
             msg,
@@ -97,36 +159,19 @@ impl<'a, M, O> Context<'a, M, O> {
         });
     }
 
-    /// Sends a clone of `msg` to every node in `to`.
-    pub fn broadcast<I: IntoIterator<Item = NodeId>>(&mut self, to: I, msg: M)
-    where
-        M: Clone,
-    {
-        for node in to {
-            self.send(node, msg.clone());
-        }
-    }
-
-    /// Schedules `on_timer(token)` after `delay`.
-    pub fn set_timer(&mut self, delay: SimDuration, token: TimerToken) {
+    fn set_timer(&mut self, delay: SimDuration, token: TimerToken) {
         self.effects.push(Effect::Timer { delay, token });
     }
 
-    /// Charges `d` of CPU time to this node: the node stays busy (deferring
-    /// later deliveries) and the busy time is recorded for utilization
-    /// metrics.
-    pub fn charge_cpu(&mut self, d: SimDuration) {
+    fn charge_cpu(&mut self, d: SimDuration) {
         self.cpu_charge += d;
     }
 
-    /// Emits an observation to the experiment harness.
-    pub fn observe(&mut self, obs: O) {
+    fn observe(&mut self, obs: O) {
         self.effects.push(Effect::Observe(obs));
     }
 
-    /// Crashes this node at the end of the handler: all future deliveries
-    /// and timers are dropped.
-    pub fn crash(&mut self) {
+    fn crash(&mut self) {
         self.effects.push(Effect::Crash);
     }
 }

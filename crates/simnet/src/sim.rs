@@ -7,7 +7,7 @@
 use crate::fault::FaultPlan;
 use crate::latency::LatencyModel;
 use crate::metrics::CpuMeter;
-use crate::node::{Actor, Context, Effect, NodeId, TimerToken};
+use crate::node::{Actor, Context, Effect, Host, NodeId, TimerToken};
 use crate::time::{SimDuration, SimTime};
 use substrate::rng::StdRng;
 use substrate::rng::SeedableRng;
@@ -75,7 +75,7 @@ pub struct Observation<O> {
 ///
 /// struct Echo;
 /// impl Actor<u32, u32> for Echo {
-///     fn on_message(&mut self, ctx: &mut Context<'_, u32, u32>, from: NodeId, msg: u32) {
+///     fn on_message(&mut self, ctx: &mut dyn Host<u32, u32>, from: NodeId, msg: u32) {
 ///         ctx.observe(msg + 1);
 ///         let _ = from;
 ///     }
@@ -214,7 +214,7 @@ impl<M: Clone + 'static, O: 'static> Simulation<M, O> {
         self.nodes[node.0 as usize].cpu.total_busy()
     }
 
-    /// `true` iff the node crashed (by fault plan or [`Context::crash`]).
+    /// `true` iff the node crashed (by fault plan or [`Host::crash`]).
     pub fn is_crashed(&self, node: NodeId) -> bool {
         self.nodes[node.0 as usize].crashed
     }
@@ -317,7 +317,7 @@ impl<M: Clone + 'static, O: 'static> Simulation<M, O> {
     fn dispatch_with(
         &mut self,
         node: NodeId,
-        f: impl FnOnce(&mut dyn Actor<M, O>, &mut Context<'_, M, O>),
+        f: impl FnOnce(&mut dyn Actor<M, O>, &mut dyn Host<M, O>),
     ) {
         let idx = node.0 as usize;
         if self.nodes[idx].crashed {
@@ -434,7 +434,7 @@ mod tests {
         rounds: u32,
     }
     impl Actor<Msg, (NodeId, Msg)> for Pinger {
-        fn on_message(&mut self, ctx: &mut Context<'_, Msg, (NodeId, Msg)>, from: NodeId, msg: Msg) {
+        fn on_message(&mut self, ctx: &mut dyn Host<Msg, (NodeId, Msg)>, from: NodeId, msg: Msg) {
             ctx.observe((from, msg.clone()));
             match msg {
                 Msg::Ping(n) => ctx.send(from, Msg::Pong(n)),
@@ -471,7 +471,7 @@ mod tests {
 
     struct Worker;
     impl Actor<Msg, u64> for Worker {
-        fn on_message(&mut self, ctx: &mut Context<'_, Msg, u64>, _from: NodeId, _msg: Msg) {
+        fn on_message(&mut self, ctx: &mut dyn Host<Msg, u64>, _from: NodeId, _msg: Msg) {
             ctx.observe(ctx.now().as_micros());
             ctx.charge_cpu(SimDuration::from_micros(500));
         }
@@ -494,7 +494,7 @@ mod tests {
 
     struct CrashOnPing;
     impl Actor<Msg> for CrashOnPing {
-        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, _msg: Msg) {
+        fn on_message(&mut self, ctx: &mut dyn Host<Msg>, _from: NodeId, _msg: Msg) {
             ctx.crash();
         }
     }

@@ -83,6 +83,24 @@ pub fn bounded<T>(cap: usize) -> (std::sync::mpsc::SyncSender<T>, Receiver<T>) {
     std::sync::mpsc::sync_channel(cap)
 }
 
+/// Spawns a named OS thread. The workspace's thread-creation point: real
+/// threads (like real clocks) live behind this module so the deterministic
+/// crates stay free of them.
+///
+/// # Panics
+///
+/// Panics if the OS refuses to spawn a thread.
+pub fn spawn<F, T>(name: &str, f: F) -> std::thread::JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(name.to_string())
+        .spawn(f)
+        .expect("spawn thread")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

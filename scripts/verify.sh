@@ -75,4 +75,11 @@ cargo run -q --offline --release -p bench --bin simcheck -- run 64
 echo "== reliability smoke (scripts/soak.sh quick) =="
 SOAK_QUICK=1 "$(dirname "$0")/soak.sh"
 
+echo "== threaded runtime smoke (cicero-node, real threads) =="
+# The same protocol actors on OS threads: a 2-domain deployment from the
+# example config must converge with a clean consistency audit inside a few
+# seconds of wall clock (the config's budget_ms bounds the run).
+cargo build -q --release --offline -p cicero-node
+cargo run -q --release --offline -p cicero-node -- examples/node_two_domains.json
+
 echo "verify.sh: all checks passed"

@@ -34,3 +34,37 @@ fn a_planted_violation_would_be_caught() {
         "planted HashMap in a deterministic crate was not flagged: {findings:?}"
     );
 }
+
+#[test]
+fn wall_clock_allowance_is_scoped_to_the_clock_boundary() {
+    // The threaded runtime's wall-clock allowance covers exactly one
+    // module. An `Instant` planted anywhere else in cicero-node — the
+    // executor included — must still fail the lint...
+    let planted = "use std::time::Instant;\n\
+                   pub fn sneak() -> Instant { Instant::now() }\n";
+    let findings = detlint::lint_source("crates/cicero-node/src/exec.rs", planted);
+    assert!(
+        findings.iter().any(|f| f.rule == "no-wall-clock"),
+        "planted Instant outside the clock boundary was not flagged: {findings:?}"
+    );
+
+    // ...while the boundary module itself is allowed to read the clock.
+    let findings = detlint::lint_source("crates/cicero-node/src/clock.rs", planted);
+    assert!(
+        findings.is_empty(),
+        "the clock boundary module must be wall-clock-allowed: {findings:?}"
+    );
+}
+
+#[test]
+fn controller_module_split_stays_on_the_hot_path() {
+    // The ctrl/ directory inherited ctrl.rs's panic-policy scope when the
+    // controller was split into modules; a bare unwrap in any of them must
+    // still be flagged.
+    let planted = "pub fn hot(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let findings = detlint::lint_source("crates/cicero-core/src/ctrl/barriers.rs", planted);
+    assert!(
+        findings.iter().any(|f| f.rule == "panic-policy"),
+        "planted unwrap in a ctrl/ module was not flagged: {findings:?}"
+    );
+}
