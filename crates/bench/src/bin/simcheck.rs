@@ -1,8 +1,11 @@
 //! The simulation-fuzzer driver.
 //!
 //! Usage:
-//!   simcheck replay <artifact.json>     # re-execute a shrunk reproducer
-//!   simcheck run [count] [--start N]    # explore `count` seeds from N
+//!   simcheck replay <artifact.json>      # re-execute a shrunk reproducer
+//!   simcheck run [count] [--start N]     # explore `count` seeds from N
+//!   simcheck recover [count] [--start N] # crash-recovery sweep: every
+//!                                        # seed crashes and restarts one
+//!                                        # controller mid-run
 //!
 //! `replay` exits non-zero iff the scenario still violates an oracle, and
 //! is deterministic: two replays of one artifact print identical output.
@@ -14,9 +17,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("replay") => replay(args.get(1).map(String::as_str)),
-        Some("run") => run(&args[1..]),
+        Some("run") => run(&args[1..], Scenario::generate, "seeds"),
+        Some("recover") => run(&args[1..], Scenario::generate_recovery, "recovery seeds"),
         _ => {
-            eprintln!("usage: simcheck replay <artifact.json> | simcheck run [count] [--start N]");
+            eprintln!(
+                "usage: simcheck replay <artifact.json> | simcheck run [count] [--start N] \
+                 | simcheck recover [count] [--start N]"
+            );
             2
         }
     };
@@ -58,7 +65,7 @@ fn replay(path: Option<&str>) -> i32 {
     }
 }
 
-fn run(args: &[String]) -> i32 {
+fn run(args: &[String], generate: fn(u64) -> Scenario, what: &str) -> i32 {
     let mut count = 256usize;
     let mut start = 0u64;
     let mut it = args.iter();
@@ -75,7 +82,7 @@ fn run(args: &[String]) -> i32 {
     let mut failures = 0usize;
     for i in 0..count {
         let seed = start + i as u64;
-        if let Some(failure) = simcheck::check_seed(seed) {
+        if let Some(failure) = simcheck::check_scenario(generate(seed)) {
             failures += 1;
             let path = std::env::temp_dir().join(format!("simcheck-{seed:#x}.json"));
             if write_artifact(&path, &failure.shrunk, &failure.violations).is_ok() {
@@ -86,11 +93,11 @@ fn run(args: &[String]) -> i32 {
                 eprintln!("  {}", replay_command(&path));
             }
         } else if (i + 1) % 64 == 0 {
-            summary(seed, &Scenario::generate(seed));
-            eprintln!("  ... {}/{count} seeds explored, {failures} failures", i + 1);
+            summary(seed, &generate(seed));
+            eprintln!("  ... {}/{count} {what} explored, {failures} failures", i + 1);
         }
     }
-    println!("explored {count} seeds from {start}: {failures} failure(s)");
+    println!("explored {count} {what} from {start}: {failures} failure(s)");
     if failures > 0 {
         1
     } else {

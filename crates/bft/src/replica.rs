@@ -75,6 +75,36 @@ pub enum Output<P> {
     Deliver(Seq, P),
 }
 
+/// A durable consensus fact, appended to [`Replica::take_journal`] at the
+/// instant the replica's voting state advances. The embedding writes these
+/// to its WAL *before* releasing the corresponding protocol messages, so a
+/// restarted replica can be restored to a state from which it cannot
+/// contradict any vote it already cast (no cross-restart equivocation).
+#[derive(Clone, Debug, PartialEq)]
+pub enum JournalRecord<P> {
+    /// Entered `view` (all later votes are cast in it).
+    View(View),
+    /// Bound `(view, seq)` to `slot` and cast the prepare vote.
+    Accepted {
+        /// View of the binding.
+        view: View,
+        /// Sequence number.
+        seq: Seq,
+        /// The bound slot content.
+        slot: Slot<P>,
+    },
+    /// Collected a prepare quorum for `(view, seq, digest)` and cast the
+    /// commit vote.
+    Prepared {
+        /// View of the certificate.
+        view: View,
+        /// Sequence number.
+        seq: Seq,
+        /// Slot digest.
+        digest: Digest,
+    },
+}
+
 #[derive(Clone, Debug)]
 struct Entry<P> {
     view: View,
@@ -123,6 +153,8 @@ pub struct Replica<P> {
     /// the current timeout backoff.
     timeout_shift: u32,
     view_change_votes: BTreeMap<View, BTreeMap<ReplicaId, (Seq, Vec<Prepared<P>>)>>,
+    /// Durable facts since the last [`Replica::take_journal`] drain.
+    journal: Vec<JournalRecord<P>>,
 }
 
 impl<P: BftPayload> Replica<P> {
@@ -148,7 +180,115 @@ impl<P: BftPayload> Replica<P> {
             ticks_waiting: 0,
             timeout_shift: 0,
             view_change_votes: BTreeMap::new(),
+            journal: Vec::new(),
         }
+    }
+
+    /// Drains the durable facts accumulated since the last drain. The
+    /// embedding must persist them before releasing the protocol messages
+    /// produced by the same call (write-ahead discipline).
+    pub fn take_journal(&mut self) -> Vec<JournalRecord<P>> {
+        std::mem::take(&mut self.journal)
+    }
+
+    /// Restores the view number from a journal (`View` records replay
+    /// through here; the highest wins).
+    pub fn restore_view(&mut self, view: View) {
+        if view > self.view {
+            self.view = view;
+            self.target_view = self.target_view.max(view);
+        }
+    }
+
+    /// Restores a pre-crash slot binding (an `Accepted` journal record).
+    /// The entry keeps the binding so [`Replica::handle`] refuses a
+    /// conflicting pre-prepare for the same `(view, seq)` after restart —
+    /// the replica cannot equivocate against its own earlier prepare vote.
+    /// No votes are re-broadcast; live traffic re-accumulates them.
+    pub fn restore_accepted(&mut self, view: View, seq: Seq, slot: Slot<P>) {
+        let digest = slot.digest();
+        let e = self.entry(seq);
+        if e.digest.is_some() && e.view >= view {
+            return;
+        }
+        e.view = view;
+        e.digest = Some(digest);
+        e.slot = Some(slot);
+        e.prepared = false;
+        self.next_seq = self.next_seq.max(seq + 1);
+    }
+
+    /// Restores a pre-crash prepared certificate (a `Prepared` journal
+    /// record): the entry can commit again without re-collecting prepares.
+    pub fn restore_prepared(&mut self, view: View, seq: Seq, digest: Digest) {
+        let me = self.id;
+        let e = self.entry(seq);
+        if e.digest == Some(digest) && e.view == view {
+            e.prepared = true;
+            e.commit_votes.entry((view, digest)).or_default().insert(me);
+        }
+    }
+
+    /// Fast-forwards the delivery frontier past payloads known (from the
+    /// WAL or a peer snapshot transfer) to have been delivered. Sequence
+    /// gaps below the frontier (noop fillers, or duplicates suppressed by
+    /// execution-layer dedup) are marked consumed so delivery stays
+    /// contiguous.
+    pub fn fast_forward<I: IntoIterator<Item = (Seq, P)>>(&mut self, delivered: I) {
+        for (seq, payload) in delivered {
+            let digest = payload.digest();
+            let e = self.entry(seq);
+            e.digest = Some(digest);
+            e.slot = Some(Slot::Payload(payload));
+            e.prepared = true;
+            e.committed = true;
+            e.delivered = true;
+            self.delivered_digests.insert(digest);
+            self.pending.retain(|(d, _)| *d != digest);
+            self.last_delivered = self.last_delivered.max(seq);
+        }
+        for seq in 1..=self.last_delivered {
+            let e = self.entry(seq);
+            if !e.delivered {
+                e.prepared = true;
+                e.committed = true;
+                e.delivered = true;
+                if e.slot.is_none() {
+                    e.slot = Some(Slot::Noop);
+                    e.digest = Some(Slot::<P>::Noop.digest());
+                }
+            }
+        }
+        self.next_seq = self.next_seq.max(self.last_delivered + 1);
+    }
+
+    /// Re-derives the journal records a compacting snapshot must carry:
+    /// the current view plus the binding (and certificate, if prepared) of
+    /// every *undelivered* entry. Delivered entries are represented by the
+    /// snapshot's own delivery records and [`Replica::fast_forward`].
+    pub fn journal_snapshot(&self) -> Vec<JournalRecord<P>> {
+        let mut out = vec![JournalRecord::View(self.view)];
+        for (&seq, e) in &self.entries {
+            if e.delivered {
+                continue;
+            }
+            let (Some(digest), Some(slot)) = (e.digest, e.slot.clone()) else {
+                continue;
+            };
+            out.push(JournalRecord::Accepted {
+                view: e.view,
+                seq,
+                slot,
+            });
+            if e.prepared {
+                out.push(JournalRecord::Prepared {
+                    view: e.view,
+                    seq,
+                    digest,
+                });
+            }
+        }
+        out
     }
 
     /// This replica's id.
@@ -246,6 +386,7 @@ impl<P: BftPayload> Replica<P> {
         let digest = slot.digest();
         let primary = self.cfg.primary(view);
         let me = self.id;
+        let mut bound = false;
         {
             let e = self.entry(seq);
             if e.committed {
@@ -279,11 +420,19 @@ impl<P: BftPayload> Replica<P> {
                 e.digest = Some(digest);
                 e.slot = Some(slot);
                 e.prepared = false;
+                bound = true;
             }
             // The pre-prepare is the primary's prepare vote; ours follows.
             let votes = e.prepare_votes.entry((view, digest)).or_default();
             votes.insert(primary);
             votes.insert(me);
+        }
+        if bound {
+            self.journal.push(JournalRecord::Accepted {
+                view,
+                seq,
+                slot: self.entries[&seq].slot.clone().expect("just bound"),
+            });
         }
         if let Slot::Payload(p) = self.entries[&seq].slot.as_ref().expect("just set") {
             let d = p.digest();
@@ -320,6 +469,7 @@ impl<P: BftPayload> Replica<P> {
             e.commit_votes.entry((view, digest)).or_default().insert(me);
             (view, digest)
         };
+        self.journal.push(JournalRecord::Prepared { view, seq, digest });
         let mut out = vec![Output::Broadcast(BftMessage::Commit { view, seq, digest })];
         out.extend(self.check_committed(seq));
         out
@@ -534,6 +684,7 @@ impl<P: BftPayload> Replica<P> {
 
     /// Common view-entry bookkeeping.
     fn enter_view(&mut self, view: View) {
+        self.journal.push(JournalRecord::View(view));
         self.view = view;
         self.in_view_change = false;
         self.ticks_waiting = 0;

@@ -424,12 +424,67 @@ impl ControllerActor {
         {
             ctx.send(node, Net::BoundaryRelease(signed));
         }
-        let st = self
-            .barriers
-            .entry((body.event, body.segment))
-            .or_insert_with(BarrierState::new);
-        st.signers.insert((body.domain, body.controller.0));
+        let fresh = {
+            let st = self
+                .barriers
+                .entry((body.event, body.segment))
+                .or_insert_with(BarrierState::new);
+            st.signers.insert((body.domain, body.controller.0))
+        };
+        if fresh {
+            // A counted signer is a durable fact: a restarted controller
+            // must not demand the quorum twice (nor release without it).
+            self.log_record(&crate::msg::WalRecord::BarrierSigner {
+                barrier: barrier_id(body.event, body.segment),
+                domain: body.domain,
+                controller: body.controller,
+            });
+        }
         self.check_barrier_release(ctx, (body.event, body.segment));
+    }
+
+    /// Crash-recovery replay of a logged barrier signer (ctrl/durable.rs).
+    pub(super) fn restore_barrier_signer(
+        &mut self,
+        ctx: &mut dyn Host<Net, Obs>,
+        barrier: UpdateId,
+        domain: DomainId,
+        controller: ControllerId,
+    ) {
+        let key = (barrier.event, barrier.seq.wrapping_sub(BARRIER_SEQ_BASE));
+        {
+            let st = self.barriers.entry(key).or_insert_with(BarrierState::new);
+            st.signers.insert((domain, controller.0));
+        }
+        self.check_barrier_release(ctx, key);
+    }
+
+    /// Every counted barrier signer, as WAL records (snapshot body).
+    pub(super) fn barrier_signer_records(&self) -> Vec<crate::msg::WalRecord> {
+        let mut out = Vec::new();
+        for (&(event, segment), st) in self.barriers.iter() {
+            for &(domain, controller) in st.signers.iter() {
+                out.push(crate::msg::WalRecord::BarrierSigner {
+                    barrier: barrier_id(event, segment),
+                    domain,
+                    controller: ControllerId(controller),
+                });
+            }
+        }
+        out
+    }
+
+    /// `true` when the cross-domain handshake holds no unfinished work:
+    /// every registered barrier released and every own-segment watch
+    /// receipted (snapshot quiescence check).
+    pub(super) fn handshake_idle(&self) -> bool {
+        self.barriers
+            .iter()
+            .all(|(_, st)| st.released || st.expected.is_none())
+            && self
+                .seg_watch
+                .iter()
+                .all(|(_, w)| w.sending && w.pending_receipts.is_empty())
     }
 
     /// Handles an upstream controller's receipt for our segment report.

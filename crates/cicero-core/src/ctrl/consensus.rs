@@ -15,6 +15,9 @@ impl ControllerActor {
         ctx: &mut dyn Host<Net, Obs>,
         outs: Vec<Output<OrderedOp>>,
     ) {
+        // Write-ahead discipline: the votes the replica just cast are
+        // persisted before the messages carrying them go on the wire.
+        self.persist_journal();
         let members = self.members();
         let phase = self.view.phase();
         for out in outs {
@@ -52,7 +55,10 @@ impl ControllerActor {
                         );
                     }
                 }
-                Output::Deliver(_, op) => self.on_deliver(ctx, op),
+                Output::Deliver(seq, op) => {
+                    self.record_delivery(seq, &op);
+                    self.on_deliver(ctx, op);
+                }
             }
         }
     }
@@ -64,6 +70,10 @@ impl ControllerActor {
             }
         }
         if !self.uses_consensus() {
+            // No consensus sequence exists; number deliveries locally so
+            // the WAL replays in the same order.
+            let seq = self.delivered_ops.len() as u64 + 1;
+            self.record_delivery(seq, &op);
             self.on_deliver(ctx, op);
             return;
         }

@@ -1,0 +1,459 @@
+//! Durable controller state: write-ahead logging, crash recovery, and
+//! snapshot state sync.
+//!
+//! Every externally meaningful state transition — a consensus slot accepted
+//! or prepared, an ordered op delivered, a switch ack verified, a
+//! cross-domain barrier signer counted — is appended to a per-controller
+//! WAL (checksummed frames over a pluggable [`Disk`](substrate::storage::Disk))
+//! before the transition's outputs leave the actor. On restart the snapshot
+//! plus WAL tail replays through the **real** handlers under a [`MuteHost`]
+//! that forwards time/identity/randomness but swallows sends, timers, and
+//! observations: derived state (routing app, pending-update graph, barrier
+//! handshake, replica bindings) is reconstructed without re-emitting a
+//! single message. The retry layer then re-transmits whatever was genuinely
+//! in flight — idempotent at the switches, which de-duplicate by update id
+//! and re-ack duplicates.
+//!
+//! Snapshots are *compacted logs in the same record alphabet*, written
+//! atomically at quiescent points and followed by a WAL truncate; recovery
+//! therefore has exactly one replay path. A crash between snapshot write
+//! and truncate replays some records twice, which is safe: every replay
+//! step is idempotent (`seen_events`, acked sets, signer sets).
+//!
+//! Known limitation (documented in DESIGN.md §Durability): membership
+//! phase-changes are not re-run during muted replay — the ops are archived
+//! for state sync, but a controller that crashes mid-reshare rejoins with
+//! its pre-change key material. Crash-recovery scenarios therefore assume a
+//! stable membership, which is what the simcheck generator enforces.
+
+use super::ControllerActor;
+use crate::msg::{Net, OrderedOp, WalRecord};
+use crate::obs::Obs;
+use bft::message::Slot;
+use bft::replica::JournalRecord;
+use simnet::node::{Host, NodeId, TimerToken};
+use simnet::time::{SimDuration, SimTime};
+use southbound::codec::Wire;
+use southbound::types::{ControllerId, DomainId, UpdateId};
+use substrate::buf::BytesMut;
+use substrate::rng::StdRng;
+use substrate::storage::{read_snapshot, write_snapshot, DiskHandle, Wal};
+
+/// WAL file name on the controller's disk.
+const WAL_FILE: &str = "wal";
+/// Snapshot file name on the controller's disk.
+const SNAP_FILE: &str = "snapshot";
+/// WAL records accumulated before the next quiescent point compacts them
+/// into a snapshot.
+const SNAPSHOT_EVERY: usize = 64;
+/// Ticks between `SyncRequest` re-broadcasts while recovering (the first
+/// request or its replies may be lost).
+const SYNC_RESEND_TICKS: u32 = 40; // 200 ms at the 5 ms tick
+
+/// A [`Host`] wrapper for crash-recovery replay: forwards time, identity
+/// and randomness (so replayed handlers make the same internal decisions)
+/// but discards every outward effect — sends, timers, observations, CPU
+/// charges, crashes. Replay reconstructs state; it must not re-emit
+/// protocol traffic or re-count observations the first life already
+/// produced.
+struct MuteHost<'a> {
+    inner: &'a mut dyn Host<Net, Obs>,
+}
+
+impl Host<Net, Obs> for MuteHost<'_> {
+    fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+
+    fn id(&self) -> NodeId {
+        self.inner.id()
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
+        self.inner.rng()
+    }
+
+    fn send(&mut self, _to: NodeId, _msg: Net) {}
+
+    fn send_delayed(&mut self, _to: NodeId, _msg: Net, _extra: SimDuration) {}
+
+    fn set_timer(&mut self, _delay: SimDuration, _token: TimerToken) {}
+
+    fn charge_cpu(&mut self, _d: SimDuration) {}
+
+    fn observe(&mut self, _obs: Obs) {}
+
+    fn crash(&mut self) {}
+}
+
+fn journal_to_record(j: JournalRecord<OrderedOp>) -> WalRecord {
+    match j {
+        JournalRecord::View(v) => WalRecord::BftView(v),
+        JournalRecord::Accepted { view, seq, slot } => WalRecord::BftAccepted {
+            view,
+            seq,
+            op: match slot {
+                Slot::Payload(p) => Some(p),
+                Slot::Noop => None,
+            },
+        },
+        JournalRecord::Prepared { view, seq, digest } => {
+            WalRecord::BftPrepared { view, seq, digest }
+        }
+    }
+}
+
+impl ControllerActor {
+    /// Attaches durable storage. Opens (and torn-tail-repairs) the WAL and
+    /// reads the snapshot; the recovered records replay on the next
+    /// `on_start`. With `recovering` set, the controller also withholds
+    /// itself from consensus and requests a state-sync from its peers (the
+    /// restart-after-crash path); a fresh boot finds both files empty and
+    /// this is a no-op beyond arming the log.
+    pub fn attach_disk(&mut self, disk: DiskHandle, recovering: bool) {
+        let (wal, tail) = Wal::open(disk.clone(), WAL_FILE);
+        let mut records = Vec::new();
+        if let Some(snap) = read_snapshot(&disk, SNAP_FILE) {
+            let mut buf = &snap[..];
+            while !buf.is_empty() {
+                match WalRecord::decode(&mut buf) {
+                    Ok(r) => records.push(r),
+                    // The snapshot frame checksum passed, so this is a
+                    // version/corruption edge: keep the valid prefix.
+                    Err(_) => break,
+                }
+            }
+        }
+        for frame in tail {
+            if let Ok(r) = WalRecord::from_wire(&frame) {
+                records.push(r);
+            }
+        }
+        self.disk = Some(disk);
+        self.recovered = records;
+        self.recovering = recovering && self.active && self.uses_consensus();
+        self.wal = Some(wal);
+    }
+
+    /// `true` while this controller is state-syncing after a restart.
+    pub fn is_recovering(&self) -> bool {
+        self.recovering
+    }
+
+    /// Durability counters: `(wal records since last snapshot, archived
+    /// deliveries)` — tests and the engine watchdog.
+    pub fn durability_stats(&self) -> (usize, usize) {
+        (self.records_since_snapshot, self.delivered_ops.len())
+    }
+
+    /// Appends one record to the WAL (no-op without attached storage).
+    pub(super) fn log_record(&mut self, rec: &WalRecord) {
+        if let Some(w) = self.wal.as_mut() {
+            w.append(&rec.to_wire());
+            self.records_since_snapshot += 1;
+        }
+    }
+
+    /// Logs and archives a consensus delivery (write-ahead: called before
+    /// the op is acted on).
+    pub(super) fn record_delivery(&mut self, seq: u64, op: &OrderedOp) {
+        self.log_record(&WalRecord::Deliver {
+            seq,
+            op: op.clone(),
+        });
+        self.delivered_ops.push((seq, op.clone()));
+    }
+
+    /// Drains the replica's journal into the WAL. Must run before the
+    /// outputs of the same replica call go on the wire (write-ahead
+    /// discipline: a vote is persisted before anyone can observe it).
+    pub(super) fn persist_journal(&mut self) {
+        let Some(replica) = self.replica.as_mut() else {
+            return;
+        };
+        let recs = replica.take_journal();
+        if self.wal.is_none() {
+            return;
+        }
+        for j in recs {
+            let rec = journal_to_record(j);
+            self.log_record(&rec);
+        }
+    }
+
+    /// Highest archived consensus sequence (the state-sync frontier).
+    fn delivered_frontier(&self) -> u64 {
+        self.delivered_ops.last().map(|(s, _)| *s).unwrap_or(0)
+    }
+
+    /// Replays the records recovered by [`ControllerActor::attach_disk`]
+    /// through the real handlers under a [`MuteHost`]. Called once from
+    /// `on_start`, before any timer is armed.
+    pub(super) fn replay_recovered(&mut self, ctx: &mut dyn Host<Net, Obs>) {
+        if self.recovered.is_empty() {
+            return;
+        }
+        let records = std::mem::take(&mut self.recovered);
+        let mut delivered: Vec<(u64, OrderedOp)> = Vec::new();
+        let mut mute = MuteHost { inner: ctx };
+        for rec in records {
+            match rec {
+                WalRecord::Deliver { seq, op } => {
+                    self.delivered_ops.push((seq, op.clone()));
+                    delivered.push((seq, op.clone()));
+                    match op {
+                        OrderedOp::Event(e) => self.process_event(&mut mute, e),
+                        // Membership replay is out of scope (see module
+                        // doc): the op stays archived for state sync but
+                        // the phase change is not re-run.
+                        OrderedOp::AddController(_) | OrderedOp::RemoveController(_) => {}
+                    }
+                }
+                WalRecord::Acked(id) => {
+                    let now = mute.now();
+                    // Ready updates released by the ack re-enter the
+                    // in-flight set; the retry timer re-sends them after
+                    // recovery (switch-side dedup absorbs duplicates).
+                    let _ = self.pending.ack(id, now);
+                }
+                WalRecord::BarrierSigner {
+                    barrier,
+                    domain,
+                    controller,
+                } => {
+                    self.restore_barrier_signer(&mut mute, barrier, domain, controller);
+                }
+                WalRecord::BftView(v) => {
+                    if let Some(r) = self.replica.as_mut() {
+                        r.restore_view(v);
+                    }
+                }
+                WalRecord::BftAccepted { view, seq, op } => {
+                    if let Some(r) = self.replica.as_mut() {
+                        let slot = op.map(Slot::Payload).unwrap_or(Slot::Noop);
+                        r.restore_accepted(view, seq, slot);
+                    }
+                }
+                WalRecord::BftPrepared { view, seq, digest } => {
+                    if let Some(r) = self.replica.as_mut() {
+                        r.restore_prepared(view, seq, digest);
+                    }
+                }
+            }
+        }
+        if let Some(r) = self.replica.as_mut() {
+            r.fast_forward(delivered);
+        }
+        // Muted replay set the armed flag without a live timer; re-arming
+        // happens with the real host once `on_start` proceeds.
+        self.retry_armed = false;
+        // Journal records produced by restore calls are already durable.
+        if let Some(r) = self.replica.as_mut() {
+            let _ = r.take_journal();
+        }
+    }
+
+    /// Broadcasts a state-sync request to the domain peers (restart path).
+    pub(super) fn send_sync_request(&mut self, ctx: &mut dyn Host<Net, Obs>) {
+        let have = self.delivered_frontier();
+        for m in self.members() {
+            if m != self.id {
+                ctx.send(
+                    self.node_of(m),
+                    Net::SyncRequest {
+                        domain: self.domain,
+                        from: self.id,
+                        have,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Per-tick recovery duties: re-broadcast the sync request while no
+    /// reply has arrived (the first one may have been lost).
+    pub(super) fn tick_recovery(&mut self, ctx: &mut dyn Host<Net, Obs>) {
+        if !self.recovering {
+            return;
+        }
+        self.sync_ticks += 1;
+        if self.sync_ticks >= SYNC_RESEND_TICKS {
+            self.sync_ticks = 0;
+            self.send_sync_request(ctx);
+        }
+    }
+
+    /// Answers a restarted peer's state-sync request with every archived
+    /// delivery past its frontier.
+    pub(super) fn on_sync_request(
+        &mut self,
+        ctx: &mut dyn Host<Net, Obs>,
+        domain: DomainId,
+        from: ControllerId,
+        have: u64,
+    ) {
+        if !self.active || self.recovering || domain != self.domain || from == self.id {
+            return;
+        }
+        let ops: Vec<(u64, OrderedOp)> = self
+            .delivered_ops
+            .iter()
+            .filter(|(s, _)| *s > have)
+            .cloned()
+            .collect();
+        let signers = self
+            .barrier_signer_records()
+            .into_iter()
+            .filter_map(|r| match r {
+                WalRecord::BarrierSigner {
+                    barrier,
+                    domain,
+                    controller,
+                } => Some((barrier, domain, controller)),
+                _ => None,
+            })
+            .collect();
+        ctx.send(
+            self.node_of(from),
+            Net::SyncReply {
+                from: self.id,
+                frontier: self.delivered_frontier(),
+                ops,
+                acked: self.pending.acked_ids().collect(),
+                signers,
+            },
+        );
+    }
+
+    /// Completes recovery from the first peer snapshot transfer: the
+    /// missing deliveries are WAL-logged, muted-replayed, and the replica
+    /// fast-forwarded; the peer's ack archive then retires every replayed
+    /// update that was already acknowledged before the crash (without it a
+    /// disk-lost restart would wait forever on acks nobody will re-send);
+    /// finally the controller rejoins consensus and re-arms retransmission
+    /// for everything the replay left in flight.
+    pub(super) fn on_sync_reply(
+        &mut self,
+        ctx: &mut dyn Host<Net, Obs>,
+        from: ControllerId,
+        ops: Vec<(u64, OrderedOp)>,
+        acked: Vec<UpdateId>,
+        signers: Vec<(UpdateId, DomainId, ControllerId)>,
+    ) {
+        if !self.recovering {
+            return;
+        }
+        let mut delivered: Vec<(u64, OrderedOp)> = Vec::new();
+        for (seq, op) in ops {
+            if seq <= self.delivered_frontier() {
+                continue;
+            }
+            self.record_delivery(seq, &op);
+            delivered.push((seq, op.clone()));
+            if let OrderedOp::Event(e) = op {
+                let mut mute = MuteHost { inner: ctx };
+                self.process_event(&mut mute, e);
+            }
+        }
+        let now = ctx.now();
+        for id in acked {
+            // Same treatment as a WAL `Acked` record: retire the update
+            // and drain its dependents; anything the ack releases is
+            // already in the peer's acked set too, so nothing new goes on
+            // the wire here. Logged so a second crash replays it locally.
+            self.log_record(&WalRecord::Acked(id));
+            let _ = self.pending.ack(id, now);
+        }
+        for (barrier, domain, controller) in signers {
+            // Receipted segment reports are never retransmitted to us, so
+            // the peer's signer facts are the only way to re-learn a
+            // quorum counted before the crash. Muted like WAL replay:
+            // updates a release frees re-enter the in-flight set and the
+            // retry timer below re-sends them.
+            self.log_record(&WalRecord::BarrierSigner {
+                barrier,
+                domain,
+                controller,
+            });
+            let mut mute = MuteHost { inner: ctx };
+            self.restore_barrier_signer(&mut mute, barrier, domain, controller);
+        }
+        if let Some(r) = self.replica.as_mut() {
+            r.fast_forward(delivered);
+            let _ = r.take_journal();
+        }
+        self.recovering = false;
+        self.retry_armed = false;
+        self.arm_retry(ctx);
+        ctx.observe(Obs::ControllerRecovered {
+            domain: self.domain,
+            controller: self.id.0,
+            peer: from.0,
+            frontier: self.delivered_frontier(),
+        });
+        // Events queued while syncing enter consensus now.
+        let queued = std::mem::take(&mut self.queued_events);
+        for e in queued {
+            self.submit_op(ctx, OrderedOp::Event(e));
+        }
+    }
+
+    /// `true` when no protocol work is in progress anywhere in this actor —
+    /// the only points where a compacting snapshot equals the log.
+    fn quiescent(&self) -> bool {
+        self.pending.is_drained()
+            && self.unprocessed.is_empty()
+            && !self.in_phase_change
+            && self
+                .replica
+                .as_ref()
+                .map(|r| r.pending_len() == 0)
+                .unwrap_or(true)
+            && self.handshake_idle()
+    }
+
+    /// Compacts the log into an atomic snapshot and truncates the WAL,
+    /// when enough records accumulated and the actor is quiescent. Runs on
+    /// every tick; cheap when the threshold is not met.
+    pub(super) fn maybe_snapshot(&mut self, ctx: &mut dyn Host<Net, Obs>) {
+        if self.wal.is_none()
+            || self.recovering
+            || self.records_since_snapshot < SNAPSHOT_EVERY
+            || !self.quiescent()
+        {
+            return;
+        }
+        let mut buf = BytesMut::new();
+        for (seq, op) in &self.delivered_ops {
+            WalRecord::Deliver {
+                seq: *seq,
+                op: op.clone(),
+            }
+            .encode(&mut buf);
+        }
+        let acked: Vec<_> = self.pending.acked_ids().collect();
+        for id in acked {
+            WalRecord::Acked(id).encode(&mut buf);
+        }
+        for rec in self.barrier_signer_records() {
+            rec.encode(&mut buf);
+        }
+        if let Some(r) = self.replica.as_ref() {
+            for j in r.journal_snapshot() {
+                journal_to_record(j).encode(&mut buf);
+            }
+        }
+        let records = self.records_since_snapshot;
+        let disk = self.disk.as_ref().expect("wal implies disk");
+        write_snapshot(disk, SNAP_FILE, buf.as_slice());
+        if let Some(w) = self.wal.as_mut() {
+            w.truncate();
+        }
+        self.records_since_snapshot = 0;
+        ctx.observe(Obs::SnapshotTaken {
+            domain: self.domain,
+            controller: self.id.0,
+            compacted: records as u64,
+        });
+    }
+}

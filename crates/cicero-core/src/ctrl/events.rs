@@ -258,7 +258,9 @@ impl ControllerActor {
         if !msg.payload.forwarded && self.is_lowest() {
             self.forward_event(ctx, &msg.payload);
         }
-        if self.in_phase_change {
+        if self.in_phase_change || self.recovering {
+            // Mid-reshare or mid-recovery: hold the event until the control
+            // plane is back in a state where it can order it.
             self.queued_events.push(msg.payload);
             return;
         }

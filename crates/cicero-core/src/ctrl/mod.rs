@@ -21,11 +21,12 @@ mod aggregate;
 mod barriers;
 mod consensus;
 mod delivery;
+mod durable;
 mod events;
 mod membership;
 
 use crate::config::Mode;
-use crate::msg::{AckBody, Net, OrderedOp};
+use crate::msg::{AckBody, Net, OrderedOp, WalRecord};
 use crate::obs::Obs;
 use crate::runtime::Shared;
 use barriers::{BarrierState, SegWatch};
@@ -48,6 +49,7 @@ use southbound::types::{
 };
 use std::collections::BTreeMap;
 use substrate::collections::{DetMap, DetSet};
+use substrate::storage::{DiskHandle, Wal};
 use std::sync::Arc;
 
 use aggregate::AggBucket;
@@ -86,6 +88,22 @@ pub struct ControllerActor {
     seg_watch: DetMap<(EventId, u32), SegWatch>,
     msg_seq: u64,
     retry_armed: bool,
+    // ---- durability (ctrl/durable.rs) --------------------------------
+    /// Durable storage, when provisioned.
+    disk: Option<DiskHandle>,
+    /// Open write-ahead log over `disk`.
+    wal: Option<Wal>,
+    /// Snapshot + WAL records awaiting replay at `on_start`.
+    recovered: Vec<WalRecord>,
+    /// Restarted-after-crash: withhold from consensus, state-sync first.
+    recovering: bool,
+    /// WAL records appended since the last compacting snapshot.
+    records_since_snapshot: usize,
+    /// Archive of every consensus delivery `(seq, op)` — the snapshot body
+    /// and the state-sync answer set.
+    delivered_ops: Vec<(u64, OrderedOp)>,
+    /// Tick counter for `SyncRequest` re-broadcasts while recovering.
+    sync_ticks: u32,
 }
 
 impl ControllerActor {
@@ -155,6 +173,13 @@ impl ControllerActor {
             seg_watch: DetMap::new(),
             msg_seq: 0,
             retry_armed: false,
+            disk: None,
+            wal: None,
+            recovered: Vec::new(),
+            recovering: false,
+            records_since_snapshot: 0,
+            delivered_ops: Vec::new(),
+            sync_ticks: 0,
         }
     }
 
@@ -236,10 +261,48 @@ impl ControllerActor {
     fn node_of(&self, c: ControllerId) -> NodeId {
         self.shared.dir.controller(self.domain, c)
     }
+
+    /// Applies a signature-verified acknowledgement: records it (and its
+    /// WAL entry, first ack only), releases newly unblocked updates, and
+    /// reports any own segment the ack drained upstream. Shared by the
+    /// live `AckMsg` path and crash-recovery replay.
+    fn apply_verified_ack(
+        &mut self,
+        ctx: &mut dyn Host<Net, Obs>,
+        update: UpdateId,
+        extra: SimDuration,
+    ) {
+        let fresh = !self.pending.is_acked(update);
+        let ready = self.pending.ack(update, ctx.now());
+        if fresh {
+            self.log_record(&WalRecord::Acked(update));
+        }
+        for u in ready {
+            self.send_update_delayed(ctx, u, extra);
+        }
+        // The ack may drain a watched own segment: report upstream.
+        let mut drained: Vec<(EventId, u32)> = Vec::new();
+        for (key, w) in self.seg_watch.iter_mut() {
+            if key.0 == update.event
+                && !w.sending
+                && w.remaining.remove(&update)
+                && w.remaining.is_empty()
+            {
+                drained.push(*key);
+            }
+        }
+        for key in drained {
+            self.start_segment_report(ctx, key);
+        }
+        self.arm_retry(ctx);
+    }
 }
 
 impl Actor<Net, Obs> for ControllerActor {
     fn on_start(&mut self, ctx: &mut dyn Host<Net, Obs>) {
+        // Crash recovery first: replay the snapshot + WAL through the real
+        // handlers (muted), then resume live operation on recovered state.
+        self.replay_recovered(ctx);
         if self.uses_consensus() {
             ctx.set_timer(TICK_PERIOD, TICK);
         }
@@ -254,16 +317,23 @@ impl Actor<Net, Obs> for ControllerActor {
                 self.detector.track(m, now);
             }
         }
+        if self.recovering {
+            self.send_sync_request(ctx);
+        }
+        // Replay left re-admitted updates in flight: re-arm their retries.
+        self.arm_retry(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut dyn Host<Net, Obs>, token: TimerToken) {
         if token == TICK {
-            if self.active && !self.in_phase_change {
+            if self.active && !self.in_phase_change && !self.recovering {
                 if let Some(replica) = self.replica.as_mut() {
                     let outs = replica.on_tick();
                     self.route_outputs(ctx, outs);
                 }
             }
+            self.tick_recovery(ctx);
+            self.maybe_snapshot(ctx);
             ctx.set_timer(TICK_PERIOD, TICK);
         } else if token == HEARTBEAT {
             if let Some(hb) = self.shared.cfg.heartbeat {
@@ -303,7 +373,14 @@ impl Actor<Net, Obs> for ControllerActor {
             Net::EventMsg(m) => self.on_event_msg(ctx, m, false),
             Net::ForwardedEvent(m) => self.on_event_msg(ctx, m, true),
             Net::Consensus { phase, from, msg } => {
-                if !self.active || phase != self.view.phase() || self.in_phase_change {
+                // While recovering, consensus traffic is dropped: the
+                // remaining 2f replicas make progress without this one, and
+                // it rejoins fast-forwarded after the snapshot transfer.
+                if !self.active
+                    || phase != self.view.phase()
+                    || self.in_phase_change
+                    || self.recovering
+                {
                     return;
                 }
                 ctx.charge_cpu(self.shared.cfg.costs.consensus_msg);
@@ -342,25 +419,7 @@ impl Actor<Net, Obs> for ControllerActor {
                     }
                 }
                 let body: AckBody = m.payload;
-                let ready = self.pending.ack(body.update, ctx.now());
-                for u in ready {
-                    self.send_update_delayed(ctx, u, extra);
-                }
-                // The ack may drain a watched own segment: report upstream.
-                let mut drained: Vec<(EventId, u32)> = Vec::new();
-                for (key, w) in self.seg_watch.iter_mut() {
-                    if key.0 == body.update.event
-                        && !w.sending
-                        && w.remaining.remove(&body.update)
-                        && w.remaining.is_empty()
-                    {
-                        drained.push(*key);
-                    }
-                }
-                for key in drained {
-                    self.start_segment_report(ctx, key);
-                }
-                self.arm_retry(ctx);
+                self.apply_verified_ack(ctx, body.update, extra);
             }
             Net::UpdateNack(m) => self.on_update_nack(ctx, m),
             Net::SegmentApplied(m) => self.on_segment_applied(ctx, m),
@@ -375,13 +434,19 @@ impl Actor<Net, Obs> for ControllerActor {
                 self.try_finalize_reshare(ctx);
             }
             Net::StateSync { view } => self.on_state_sync(ctx, view),
+            Net::SyncRequest { domain, from, have } => {
+                self.on_sync_request(ctx, domain, from, have)
+            }
+            Net::SyncReply { from, frontier: _, ops, acked, signers } => {
+                self.on_sync_reply(ctx, from, ops, acked, signers)
+            }
             Net::MembershipCmd(op) => {
                 let allowed = match op {
                     OrderedOp::AddController(_) => self.id == self.view.bootstrap(),
                     OrderedOp::RemoveController(_) => true,
                     OrderedOp::Event(_) => false,
                 };
-                if allowed {
+                if allowed && !self.recovering {
                     self.submit_op(ctx, op);
                 }
             }

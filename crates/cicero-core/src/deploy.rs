@@ -14,11 +14,13 @@ use crate::switch::{initial_phase_info, SwitchActor};
 use blscrypto::bls::KeyShare;
 use controller::membership::ControlPlaneView;
 use controller::policy::{DomainMap, GlobalDomainPolicy};
+use blscrypto::bls::SecretKey;
 use netmodel::topology::Topology;
 use simnet::node::NodeId;
 use southbound::types::{ControllerId, DomainId, SwitchId};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use substrate::storage::DiskHandle;
 
 /// One planned node: its id plus the constructed protocol actor.
 pub struct PlannedNode {
@@ -48,6 +50,21 @@ pub enum NodeRole {
     },
 }
 
+/// Everything needed to reconstruct one controller actor after a crash
+/// (clones of the key material taken before the originals moved into the
+/// first-life actor).
+#[derive(Clone)]
+pub struct ControllerSeed {
+    /// Per-controller signing identity (real-crypto modes).
+    pub identity: Option<SecretKey>,
+    /// Threshold signature share (Cicero modes).
+    pub share: Option<KeyShare>,
+    /// The initial membership view.
+    pub view: ControlPlaneView,
+    /// Member (`true`) or standby (`false`) at plan time.
+    pub active: bool,
+}
+
 /// A fully planned deployment: shared runtime context plus every actor in
 /// node-id order, ready for an executor to schedule.
 pub struct Deployment {
@@ -60,6 +77,101 @@ pub struct Deployment {
     /// The bootstrap controller's node in each domain (membership commands
     /// are injected here).
     pub bootstrap_nodes: BTreeMap<DomainId, NodeId>,
+    /// Rebuild seeds per controller (crash recovery).
+    pub seeds: BTreeMap<(DomainId, ControllerId), ControllerSeed>,
+    /// Durable disks per controller node, once provisioned.
+    pub disks: BTreeMap<NodeId, DiskHandle>,
+}
+
+/// The retained slice of a [`Deployment`] an executor needs to rebuild a
+/// crashed controller: seeds, disks, and the shared context. Cheap to
+/// clone out of the deployment before its actors are consumed.
+#[derive(Clone)]
+pub struct RecoveryKit {
+    shared: Arc<Shared>,
+    seeds: BTreeMap<(DomainId, ControllerId), ControllerSeed>,
+    disks: BTreeMap<NodeId, DiskHandle>,
+    customize: Option<Arc<dyn Fn(&mut ControllerActor) + Send + Sync>>,
+}
+
+impl RecoveryKit {
+    /// Registers a customization re-applied to every actor this kit
+    /// rebuilds, before its WAL replay runs. A deployment whose
+    /// controllers were mutated after planning — a non-default update
+    /// scheduler, extra firewall entries — must register the same
+    /// mutation here, or a restarted controller would rejoin with
+    /// plan-time defaults and silently diverge from its peers (e.g.
+    /// re-deriving a forwarding schedule for a flow the others denied).
+    pub fn on_rebuild(&mut self, f: impl Fn(&mut ControllerActor) + Send + Sync + 'static) {
+        self.customize = Some(Arc::new(f));
+    }
+    /// Rebuilds controller `(d, c)` from its seed and durable disk, in the
+    /// recovering state (WAL replay on start, then peer state sync). With
+    /// `disk_lost`, the disk is wiped first — modeling a replacement
+    /// machine that recovers from peers alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(d, c)` was not planned or storage was never provisioned.
+    pub fn rebuild(
+        &self,
+        d: DomainId,
+        c: ControllerId,
+        disk_lost: bool,
+    ) -> (NodeId, ControllerActor) {
+        let seed = self.seeds.get(&(d, c)).expect("planned controller");
+        let node = self.shared.dir.controller(d, c);
+        let disk = self
+            .disks
+            .get(&node)
+            .expect("controller storage provisioned")
+            .clone();
+        if disk_lost {
+            disk.lock().wipe();
+        }
+        let mut actor = ControllerActor::new(
+            Arc::clone(&self.shared),
+            d,
+            c,
+            seed.identity.clone(),
+            seed.share.clone(),
+            seed.view.clone(),
+            seed.active,
+        );
+        if let Some(f) = &self.customize {
+            f(&mut actor);
+        }
+        actor.attach_disk(disk, true);
+        (node, actor)
+    }
+}
+
+impl Deployment {
+    /// Provisions per-controller durable storage: creates a disk via
+    /// `factory` for every controller, attaches it to the actor (fresh
+    /// boot: empty WAL), and records it for crash-recovery rebuilds.
+    pub fn provision_storage<F: FnMut(DomainId, ControllerId) -> DiskHandle>(
+        &mut self,
+        mut factory: F,
+    ) {
+        for n in &mut self.nodes {
+            if let NodeRole::Controller { domain, id, actor } = &mut n.role {
+                let disk = factory(*domain, *id);
+                actor.attach_disk(disk.clone(), false);
+                self.disks.insert(n.node, disk);
+            }
+        }
+    }
+
+    /// The rebuild context an executor retains for crash recovery.
+    pub fn recovery_kit(&self) -> RecoveryKit {
+        RecoveryKit {
+            shared: Arc::clone(&self.shared),
+            seeds: self.seeds.clone(),
+            disks: self.disks.clone(),
+            customize: None,
+        }
+    }
 }
 
 /// Plans a deployment: assigns node ids (controllers domain-asc/id-asc with
@@ -157,6 +269,7 @@ pub fn plan(
     // ---- construct actors in node-id order ---------------------------
     let mut nodes = Vec::with_capacity(next_node as usize);
     let mut bootstrap_nodes = BTreeMap::new();
+    let mut seeds: BTreeMap<(DomainId, ControllerId), ControllerSeed> = BTreeMap::new();
     for &d in &domains {
         let n_members = members_per_domain[&d].len() as u32;
         let view = ControlPlaneView::initial(n_members);
@@ -166,6 +279,15 @@ pub fn plan(
                 .domain_dkg
                 .get(&d)
                 .map(|dkg| dkg.participants[(c.0 - 1) as usize].share.clone());
+            seeds.insert(
+                (d, c),
+                ControllerSeed {
+                    identity: identity.clone(),
+                    share: share.clone(),
+                    view: view.clone(),
+                    active: true,
+                },
+            );
             let actor = ControllerActor::new(
                 Arc::clone(&shared),
                 d,
@@ -190,6 +312,15 @@ pub fn plan(
         }
         for extra in 0..standby_controllers {
             let c = ControllerId(n_members + 1 + extra);
+            seeds.insert(
+                (d, c),
+                ControllerSeed {
+                    identity: None,
+                    share: None,
+                    view: view.clone(),
+                    active: false,
+                },
+            );
             let actor = ControllerActor::new(
                 Arc::clone(&shared),
                 d,
@@ -236,5 +367,7 @@ pub fn plan(
         locations,
         nodes,
         bootstrap_nodes,
+        seeds,
+        disks: BTreeMap::new(),
     }
 }

@@ -4,7 +4,7 @@
 
 use crate::config::{CryptoMode, EngineConfig, Mode};
 use crate::ctrl::ControllerActor;
-use crate::deploy::{self, NodeRole};
+use crate::deploy::{self, NodeRole, RecoveryKit};
 use crate::msg::Net;
 use crate::obs::{retransmit_stats, Obs, RetransmitStats};
 use crate::runtime::Shared;
@@ -78,8 +78,19 @@ pub struct RunReport {
     pub failed_updates: usize,
     /// Signed events switches are still retransmitting.
     pub outstanding_events: usize,
+    /// Messages dropped at each node's inbox by the fault plan, indexed by
+    /// node id (the simulator analogue of the threaded executor's
+    /// mailbox-full drops).
+    pub dropped_per_node: Vec<u64>,
     /// Reliable-delivery activity counters for the whole run.
     pub stats: RetransmitStats,
+}
+
+impl RunReport {
+    /// Total messages dropped before delivery, summed over nodes.
+    pub fn dropped_messages(&self) -> u64 {
+        self.dropped_per_node.iter().sum()
+    }
 }
 
 impl std::fmt::Display for RunReport {
@@ -98,11 +109,12 @@ impl std::fmt::Display for RunReport {
         )?;
         writeln!(
             f,
-            "  outstanding: {} unacked, {} waiting, {} failed updates; {} pending events",
+            "  outstanding: {} unacked, {} waiting, {} failed updates; {} pending events; {} msgs dropped",
             self.unacked_updates,
             self.waiting_updates,
             self.failed_updates,
-            self.outstanding_events
+            self.outstanding_events,
+            self.dropped_messages()
         )?;
         write!(
             f,
@@ -126,6 +138,17 @@ struct Outstanding {
     waiting: usize,
     failed: usize,
     events: usize,
+    /// Controllers still state-syncing after a restart.
+    recovering: usize,
+}
+
+/// A scheduled controller restart (crash-recovery experiments).
+#[derive(Clone, Copy, Debug)]
+struct PlannedRestart {
+    at: SimTime,
+    domain: DomainId,
+    controller: ControllerId,
+    disk_lost: bool,
 }
 
 /// A fully built deployment ready to run.
@@ -136,6 +159,9 @@ pub struct Engine {
     controller_nodes: BTreeMap<(DomainId, ControllerId), NodeId>,
     bootstrap_nodes: BTreeMap<DomainId, NodeId>,
     injected_flows: usize,
+    kit: RecoveryKit,
+    /// Pending controller restarts, kept sorted by time.
+    restarts: Vec<PlannedRestart>,
 }
 
 impl Engine {
@@ -154,7 +180,11 @@ impl Engine {
         domain_map: DomainMap,
         standby_controllers: u32,
     ) -> Engine {
-        let dep = deploy::plan(cfg, topo, domain_map, standby_controllers);
+        let mut dep = deploy::plan(cfg, topo, domain_map, standby_controllers);
+        // In-memory durable storage: controllers WAL every transition and
+        // can crash-recover, while the simulation stays deterministic.
+        dep.provision_storage(|_, _| substrate::storage::mem_disk());
+        let kit = dep.recovery_kit();
         let seed = dep.shared.cfg.seed;
         let mut sim: Simulation<Net, Obs> =
             Simulation::new(seed, ControlLatency { loc: dep.locations });
@@ -186,6 +216,8 @@ impl Engine {
             controller_nodes,
             bootstrap_nodes: dep.bootstrap_nodes,
             injected_flows: 0,
+            kit,
+            restarts: Vec::new(),
         }
     }
 
@@ -234,6 +266,60 @@ impl Engine {
     /// Installs a fault plan (message drops/duplicates, scheduled crashes).
     pub fn set_faults(&mut self, faults: simnet::fault::FaultPlan) {
         self.sim.set_faults(faults);
+    }
+
+    /// Schedules controller `(d, c)` to restart at `at` from its durable
+    /// disk (crash it first via the fault plan). With `disk_lost` the disk
+    /// is wiped before reboot: recovery then relies entirely on the peer
+    /// snapshot transfer.
+    pub fn schedule_restart(
+        &mut self,
+        at: SimTime,
+        d: DomainId,
+        c: ControllerId,
+        disk_lost: bool,
+    ) {
+        self.restarts.push(PlannedRestart {
+            at,
+            domain: d,
+            controller: c,
+            disk_lost,
+        });
+        self.restarts.sort_by_key(|r| r.at);
+    }
+
+    /// Registers a customization re-applied to every controller rebuilt
+    /// for a restart (see [`RecoveryKit::on_rebuild`]): harnesses that
+    /// mutate controllers after build — a non-default scheduler, firewall
+    /// entries — must mirror those mutations here or a restarted
+    /// controller rejoins with plan-time defaults.
+    pub fn set_rebuild_hook(
+        &mut self,
+        f: impl Fn(&mut crate::ctrl::ControllerActor) + Send + Sync + 'static,
+    ) {
+        self.kit.on_rebuild(f);
+    }
+
+    /// Rebuilds and revives controller `(d, c)` right now from its durable
+    /// disk (the imperative form of [`Engine::schedule_restart`]).
+    pub fn restart_controller(&mut self, d: DomainId, c: ControllerId, disk_lost: bool) {
+        let (node, actor) = self.kit.rebuild(d, c, disk_lost);
+        self.sim.revive_node(node, actor);
+    }
+
+    /// Performs every scheduled restart due by `cursor`. All events up to
+    /// `cursor` have been run, so the clock can coast to each restart's
+    /// exact instant even when the queue is empty (a drained network must
+    /// not leave a scheduled restart forever in the future).
+    fn perform_due_restarts(&mut self, cursor: SimTime) {
+        while let Some(&r) = self.restarts.first() {
+            if r.at > cursor {
+                break;
+            }
+            self.sim.advance_to(r.at);
+            self.restarts.remove(0);
+            self.restart_controller(r.domain, r.controller, r.disk_lost);
+        }
     }
 
     /// Fails the link `a`–`b` at `at`: switch `a` detects the port-down and
@@ -287,13 +373,14 @@ impl Engine {
         let mut stalled = false;
         let mut cursor = self.sim.now();
         loop {
-            if watchdog {
+            if watchdog && self.restarts.is_empty() {
                 let out = self.snapshot_outstanding();
                 let resolved = self.resolved_flows();
                 if resolved >= self.injected_flows
                     && out.unacked == 0
                     && out.waiting == 0
                     && out.events == 0
+                    && out.recovering == 0
                 {
                     completed = true;
                     break;
@@ -302,25 +389,38 @@ impl Engine {
             if cursor >= horizon {
                 break;
             }
+            // A pending scheduled restart keeps the run alive even when the
+            // event queue drains: the revived controller creates new events.
+            let next_restart = self.restarts.first().map(|r| r.at);
+            let restart_pending = next_restart.map(|t| t <= horizon).unwrap_or(false);
             match self.sim.next_event_at() {
                 // Drained queue with outstanding work: nothing will ever
                 // make progress again.
-                None => {
+                None if !restart_pending => {
                     stalled = watchdog;
                     break;
                 }
-                Some(at) if at > horizon => break,
-                Some(_) => {}
+                Some(at) if at > horizon && !restart_pending => break,
+                _ => {}
             }
             cursor = if watchdog {
                 std::cmp::min(cursor + slice, horizon)
             } else {
                 horizon
             };
+            if let Some(t) = next_restart {
+                cursor = std::cmp::min(cursor, std::cmp::max(t, self.sim.now()));
+            }
             self.sim.run_until(cursor);
+            self.perform_due_restarts(cursor);
             if watchdog {
                 let n = self.sim.observations().len();
-                if n == last_obs {
+                if !self.restarts.is_empty() {
+                    // Quietly waiting out the clock until a scheduled
+                    // restart is not a stall.
+                    last_obs = n;
+                    quiet = 0;
+                } else if n == last_obs {
                     quiet += 1;
                     if quiet >= stall_slices {
                         stalled = true;
@@ -343,6 +443,7 @@ impl Engine {
             waiting_updates: out.waiting,
             failed_updates: out.failed,
             outstanding_events: out.events,
+            dropped_per_node: self.sim.dropped_counts(),
             stats: retransmit_stats(self.sim.observations()),
         }
     }
@@ -374,13 +475,19 @@ impl Engine {
             if self.sim.is_crashed(node) {
                 continue;
             }
-            let (unacked, waiting, failed) = self.with_controller(d, c, |ca| {
+            let (unacked, waiting, failed, recovering) = self.with_controller(d, c, |ca| {
                 let p = ca.pending();
-                (p.in_flight_count(), p.waiting_count(), p.failed_count())
+                (
+                    p.in_flight_count(),
+                    p.waiting_count(),
+                    p.failed_count(),
+                    ca.is_recovering(),
+                )
             });
             out.unacked += unacked;
             out.waiting += waiting;
             out.failed += failed;
+            out.recovering += usize::from(recovering);
         }
         let switches: Vec<(SwitchId, NodeId)> =
             self.switch_nodes.iter().map(|(&s, &n)| (s, n)).collect();

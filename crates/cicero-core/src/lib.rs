@@ -63,7 +63,8 @@ pub mod prelude {
     };
     pub use crate::msg::{AckBody, Net, OrderedOp, PhaseInfo};
     pub use crate::obs::{
-        check_event_linearizability, delivery_sequences, events_per_domain, flow_latencies,
+        check_event_linearizability, check_event_linearizability_with_restarts,
+        delivery_sequences, events_per_domain, flow_latencies,
         retransmit_stats, unique_events, Cdf, Obs, RetransmitStats,
     };
     pub use crate::runtime::{bootstrap_keys, Directory, KeyMaterial, Shared};

@@ -208,6 +208,133 @@ impl BftPayload for OrderedOp {
     }
 }
 
+/// One durable control-plane fact in a controller's write-ahead log. A
+/// snapshot is the same alphabet, compacted: the delivered-op archive plus
+/// the ack/barrier facts that reconstruct the pending-update graph (see
+/// DESIGN.md §Durability). Each record is Wire-encoded into one
+/// checksummed `substrate::storage` frame.
+#[derive(Clone, PartialEq, Debug)]
+pub enum WalRecord {
+    /// Consensus delivered `op` at sequence `seq` (logged *before* the op
+    /// is acted on).
+    Deliver {
+        /// Consensus sequence number.
+        seq: u64,
+        /// The delivered operation.
+        op: OrderedOp,
+    },
+    /// A verified acknowledgement completed `update`.
+    Acked(UpdateId),
+    /// A distinct downstream signer was counted toward releasing the
+    /// cross-domain barrier `barrier`.
+    BarrierSigner {
+        /// The synthetic barrier update id.
+        barrier: UpdateId,
+        /// The reporting downstream domain.
+        domain: DomainId,
+        /// The reporting downstream controller.
+        controller: ControllerId,
+    },
+    /// The local BFT replica entered `view`.
+    BftView(u64),
+    /// The local replica bound `(view, seq)` to a slot (`None` = noop
+    /// filler) and cast its prepare vote.
+    BftAccepted {
+        /// View of the binding.
+        view: u64,
+        /// Sequence number.
+        seq: u64,
+        /// The bound payload (`None` for a noop gap filler).
+        op: Option<OrderedOp>,
+    },
+    /// The local replica collected a prepare quorum for
+    /// `(view, seq, digest)` and cast its commit vote.
+    BftPrepared {
+        /// View of the certificate.
+        view: u64,
+        /// Sequence number.
+        seq: u64,
+        /// Slot digest.
+        digest: [u8; 32],
+    },
+}
+
+impl Wire for WalRecord {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            WalRecord::Deliver { seq, op } => {
+                0u8.encode(buf);
+                seq.encode(buf);
+                op.encode(buf);
+            }
+            WalRecord::Acked(u) => {
+                1u8.encode(buf);
+                u.encode(buf);
+            }
+            WalRecord::BarrierSigner {
+                barrier,
+                domain,
+                controller,
+            } => {
+                2u8.encode(buf);
+                barrier.encode(buf);
+                domain.encode(buf);
+                controller.encode(buf);
+            }
+            WalRecord::BftView(v) => {
+                3u8.encode(buf);
+                v.encode(buf);
+            }
+            WalRecord::BftAccepted { view, seq, op } => {
+                4u8.encode(buf);
+                view.encode(buf);
+                seq.encode(buf);
+                op.is_some().encode(buf);
+                if let Some(op) = op {
+                    op.encode(buf);
+                }
+            }
+            WalRecord::BftPrepared { view, seq, digest } => {
+                5u8.encode(buf);
+                view.encode(buf);
+                seq.encode(buf);
+                digest.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::decode(buf)? {
+            0 => Ok(WalRecord::Deliver {
+                seq: u64::decode(buf)?,
+                op: OrderedOp::decode(buf)?,
+            }),
+            1 => Ok(WalRecord::Acked(UpdateId::decode(buf)?)),
+            2 => Ok(WalRecord::BarrierSigner {
+                barrier: UpdateId::decode(buf)?,
+                domain: DomainId::decode(buf)?,
+                controller: ControllerId::decode(buf)?,
+            }),
+            3 => Ok(WalRecord::BftView(u64::decode(buf)?)),
+            4 => {
+                let view = u64::decode(buf)?;
+                let seq = u64::decode(buf)?;
+                let op = if bool::decode(buf)? {
+                    Some(OrderedOp::decode(buf)?)
+                } else {
+                    None
+                };
+                Ok(WalRecord::BftAccepted { view, seq, op })
+            }
+            5 => Ok(WalRecord::BftPrepared {
+                view: u64::decode(buf)?,
+                seq: u64::decode(buf)?,
+                digest: <[u8; 32]>::decode(buf)?,
+            }),
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+}
+
 /// Everything that travels between simulated nodes.
 #[derive(Clone, Debug)]
 pub enum Net {
@@ -317,6 +444,38 @@ pub enum Net {
         /// The post-change membership view.
         view: controller::membership::ControlPlaneView,
     },
+    /// Restarted/fresh replica → domain peers: "my durable log ends at
+    /// consensus sequence `have`; send me what I missed" (snapshot-transfer
+    /// catch-up; re-sent with the retry cadence until answered).
+    SyncRequest {
+        /// The requesting controller's domain.
+        domain: DomainId,
+        /// The requesting controller.
+        from: ControllerId,
+        /// Highest consensus sequence in the requester's durable state.
+        have: u64,
+    },
+    /// Active peer → recovering replica: the delivered-op archive past the
+    /// requester's frontier, plus the ack archive. Without the acks a
+    /// disk-lost restart would replay every synced event as if freshly
+    /// delivered and wait forever for update acknowledgements that were
+    /// consumed before the crash.
+    SyncReply {
+        /// The answering controller.
+        from: ControllerId,
+        /// The answering replica's own delivery frontier.
+        frontier: u64,
+        /// `(seq, op)` pairs with `seq > have`, in delivery order.
+        ops: Vec<(u64, OrderedOp)>,
+        /// Every update id the answering replica has archived an ack for.
+        acked: Vec<UpdateId>,
+        /// Every counted barrier signer `(barrier, domain, controller)`.
+        /// Downstream domains retransmit segment reports only to
+        /// controllers with outstanding receipts, so a receipted-then-lost
+        /// signer fact would otherwise never be re-learned after a
+        /// disk-lost restart and its barrier would never release.
+        signers: Vec<(UpdateId, DomainId, ControllerId)>,
+    },
 }
 
 #[cfg(test)]
@@ -341,6 +500,54 @@ mod tests {
             OrderedOp::AddController(ControllerId(5)).digest(),
             OrderedOp::RemoveController(ControllerId(5)).digest()
         );
+    }
+
+    #[test]
+    fn wal_record_round_trip() {
+        let e = Event {
+            id: EventId(7),
+            kind: EventKind::PolicyChange { policy: 2 },
+            origin: DomainId(1),
+            forwarded: false,
+        };
+        let records = vec![
+            WalRecord::Deliver {
+                seq: 3,
+                op: OrderedOp::Event(e),
+            },
+            WalRecord::Acked(UpdateId {
+                event: EventId(7),
+                seq: 1,
+            }),
+            WalRecord::BarrierSigner {
+                barrier: UpdateId {
+                    event: EventId(7),
+                    seq: 0xFFFF_0001,
+                },
+                domain: DomainId(1),
+                controller: ControllerId(3),
+            },
+            WalRecord::BftView(4),
+            WalRecord::BftAccepted {
+                view: 4,
+                seq: 9,
+                op: None,
+            },
+            WalRecord::BftAccepted {
+                view: 4,
+                seq: 10,
+                op: Some(OrderedOp::AddController(ControllerId(6))),
+            },
+            WalRecord::BftPrepared {
+                view: 4,
+                seq: 9,
+                digest: [0xAB; 32],
+            },
+        ];
+        for r in records {
+            assert_eq!(WalRecord::from_wire(&r.to_wire()).unwrap(), r);
+        }
+        assert!(WalRecord::from_wire(&[9, 9, 9]).is_err());
     }
 
     #[test]

@@ -44,6 +44,20 @@ pub struct NodeSpec {
     pub flow_bytes: u64,
     /// Wall-clock convergence budget in milliseconds.
     pub budget_ms: u64,
+    /// Directory for durable controller state (WAL + snapshots); `None`
+    /// keeps state in memory (still crash-recoverable within the process).
+    /// Cleared at launch: each invocation is a fresh cluster incarnation
+    /// (its own key ceremony), so only in-run restarts replay this state.
+    pub state_dir: Option<String>,
+    /// Kill one controller this many wall-clock ms after injection.
+    pub kill_at_ms: Option<u64>,
+    /// Restart the killed controller this many wall-clock ms after
+    /// injection (requires `kill_at_ms`, and must be later).
+    pub restart_at_ms: Option<u64>,
+    /// Wipe the victim's WAL/snapshot before restarting (replacement
+    /// machine): it must state-sync from a peer instead of replaying its
+    /// local log. Requires `restart_at_ms`.
+    pub disk_lost: bool,
 }
 
 impl Default for NodeSpec {
@@ -63,6 +77,10 @@ impl Default for NodeSpec {
             flows: 8,
             flow_bytes: 40_000,
             budget_ms: 8_000,
+            state_dir: None,
+            kill_at_ms: None,
+            restart_at_ms: None,
+            disk_lost: false,
         }
     }
 }
@@ -74,6 +92,17 @@ fn get_u64(doc: &JsonValue, key: &str, default: u64) -> Result<u64, String> {
             .as_f64()
             .filter(|f| *f >= 0.0 && f.fract() == 0.0)
             .map(|f| f as u64)
+            .ok_or_else(|| format!("`{key}` must be a non-negative integer")),
+    }
+}
+
+fn get_opt_u64(doc: &JsonValue, key: &str) -> Result<Option<u64>, String> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .filter(|f| *f >= 0.0 && f.fract() == 0.0)
+            .map(|f| Some(f as u64))
             .ok_or_else(|| format!("`{key}` must be a non-negative integer")),
     }
 }
@@ -96,6 +125,10 @@ impl NodeSpec {
             "flows",
             "flow_bytes",
             "budget_ms",
+            "state_dir",
+            "kill_at_ms",
+            "restart_at_ms",
+            "disk_lost",
         ];
         if let JsonValue::Object(pairs) = &doc {
             for (k, _) in pairs {
@@ -142,9 +175,36 @@ impl NodeSpec {
             flows: get_u64(&doc, "flows", d.flows as u64)? as usize,
             flow_bytes: get_u64(&doc, "flow_bytes", d.flow_bytes)?,
             budget_ms: get_u64(&doc, "budget_ms", d.budget_ms)?,
+            state_dir: match doc.get("state_dir") {
+                None => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .ok_or_else(|| "`state_dir` must be a string".to_string())?
+                        .to_string(),
+                ),
+            },
+            kill_at_ms: get_opt_u64(&doc, "kill_at_ms")?,
+            restart_at_ms: get_opt_u64(&doc, "restart_at_ms")?,
+            disk_lost: match doc.get("disk_lost") {
+                None => false,
+                Some(JsonValue::Bool(b)) => *b,
+                Some(_) => return Err("`disk_lost` must be a boolean".to_string()),
+            },
         };
         if spec.pods == 0 || spec.racks_per_pod == 0 || spec.hosts_per_rack == 0 {
             return Err("pods, racks_per_pod and hosts_per_rack must be ≥ 1".to_string());
+        }
+        match (spec.kill_at_ms, spec.restart_at_ms) {
+            (None, Some(_)) => {
+                return Err("`restart_at_ms` requires `kill_at_ms`".to_string());
+            }
+            (Some(k), Some(r)) if r <= k => {
+                return Err("`restart_at_ms` must be after `kill_at_ms`".to_string());
+            }
+            _ => {}
+        }
+        if spec.disk_lost && spec.restart_at_ms.is_none() {
+            return Err("`disk_lost` requires `restart_at_ms`".to_string());
         }
         Ok(spec)
     }
@@ -251,6 +311,34 @@ mod tests {
         assert!(NodeSpec::from_json(r#"{"seed": -1}"#).is_err());
         assert!(NodeSpec::from_json(r#"{"pods": 0}"#).is_err());
         assert!(NodeSpec::from_json("[]").is_err());
+    }
+
+    #[test]
+    fn crash_recovery_keys_parse_and_validate() {
+        let s = NodeSpec::from_json(
+            r#"{"state_dir": "/tmp/x", "kill_at_ms": 100, "restart_at_ms": 400}"#,
+        )
+        .expect("valid recovery spec");
+        assert_eq!(s.state_dir.as_deref(), Some("/tmp/x"));
+        assert_eq!(s.kill_at_ms, Some(100));
+        assert_eq!(s.restart_at_ms, Some(400));
+        // A restart without a kill, or before it, is a config error.
+        assert!(NodeSpec::from_json(r#"{"restart_at_ms": 400}"#).is_err());
+        assert!(
+            NodeSpec::from_json(r#"{"kill_at_ms": 400, "restart_at_ms": 100}"#).is_err()
+        );
+        assert!(NodeSpec::from_json(r#"{"state_dir": 3}"#).is_err());
+        let wiped = NodeSpec::from_json(
+            r#"{"kill_at_ms": 100, "restart_at_ms": 400, "disk_lost": true}"#,
+        )
+        .expect("valid disk-lost spec");
+        assert!(wiped.disk_lost);
+        // A wiped disk without a restart never recovers: config error.
+        assert!(NodeSpec::from_json(r#"{"disk_lost": true}"#).is_err());
+        assert!(NodeSpec::from_json(
+            r#"{"kill_at_ms": 100, "restart_at_ms": 400, "disk_lost": 1}"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //!   with wall-clock-since-epoch times.
 
 use crate::clock::WallClock;
-use cicero_core::deploy::{Deployment, NodeRole};
+use cicero_core::deploy::{Deployment, NodeRole, RecoveryKit};
 use cicero_core::msg::Net;
 use cicero_core::obs::Obs;
 use cicero_core::runtime::Shared;
@@ -27,7 +27,7 @@ use netmodel::routing::route;
 use simnet::node::{Actor, Host, NodeId, TimerToken};
 use simnet::sim::{Observation, ENVIRONMENT};
 use simnet::time::{SimDuration, SimTime};
-use southbound::types::SwitchId;
+use southbound::types::{ControllerId, DomainId, SwitchId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::mpsc::SyncSender;
@@ -58,6 +58,12 @@ enum Envelope {
     /// dependency-blocked updates (controller) or pending signed events
     /// (switch).
     Probe(SyncSender<usize>),
+    /// Crash the node: it drops all state and drains its mailbox until a
+    /// [`Envelope::Restart`] or [`Envelope::Shutdown`] arrives.
+    Kill,
+    /// Revive a killed node with a freshly rebuilt actor (constructed by
+    /// [`RecoveryKit::rebuild`], so it replays its durable WAL on start).
+    Restart(Box<NodeRole>),
     /// Stop the node loop.
     Shutdown,
 }
@@ -147,7 +153,7 @@ struct NodeRunner {
     senders: Arc<Vec<SyncSender<Envelope>>>,
     clock: WallClock,
     obs: Arc<Mutex<Vec<Observation<Obs>>>>,
-    dropped: Arc<Mutex<u64>>,
+    dropped: Arc<Mutex<Vec<u64>>>,
     rng: StdRng,
     /// Pending `on_timer` deadlines.
     timers: BinaryHeap<Reverse<Due<TimerToken>>>,
@@ -165,7 +171,9 @@ impl NodeRunner {
         match &self.role {
             NodeRole::Controller { actor, .. } => {
                 let p = actor.pending();
-                p.in_flight_count() + p.waiting_count()
+                // A recovering controller holds outstanding work by
+                // definition: it has not finished state sync.
+                p.in_flight_count() + p.waiting_count() + usize::from(actor.is_recovering())
             }
             NodeRole::Switch { actor, .. } => actor.outstanding_event_count(),
         }
@@ -240,7 +248,9 @@ impl NodeRunner {
         if tx.try_send(Envelope::Msg { from: self.id, msg }).is_err() {
             // Full mailbox or dead peer: the link drops the message; the
             // reliable-delivery layer retransmits what matters.
-            *self.dropped.lock() += 1;
+            if let Some(slot) = self.dropped.lock().get_mut(to.0 as usize) {
+                *slot += 1;
+            }
         }
     }
 
@@ -280,48 +290,63 @@ impl NodeRunner {
     }
 
     fn run(mut self) {
-        self.handle(|a, h| a.on_start(h));
-        while !self.crashed {
-            let envelope = match self.service_deadlines() {
-                _ if self.crashed => break,
-                Some(next) => {
-                    let wait = next.since(self.clock.now());
-                    match self.rx.recv_timeout(std::time::Duration::from_nanos(wait.as_nanos()))
-                    {
-                        Ok(e) => Some(e),
-                        Err(RecvTimeoutError::Timeout) => None,
-                        Err(RecvTimeoutError::Disconnected) => break,
+        'lives: loop {
+            self.handle(|a, h| a.on_start(h));
+            while !self.crashed {
+                let envelope = match self.service_deadlines() {
+                    _ if self.crashed => break,
+                    Some(next) => {
+                        let wait = next.since(self.clock.now());
+                        match self
+                            .rx
+                            .recv_timeout(std::time::Duration::from_nanos(wait.as_nanos()))
+                        {
+                            Ok(e) => Some(e),
+                            Err(RecvTimeoutError::Timeout) => None,
+                            Err(RecvTimeoutError::Disconnected) => return,
+                        }
                     }
+                    None => match self.rx.recv() {
+                        Ok(e) => Some(e),
+                        Err(_) => return,
+                    },
+                };
+                match envelope {
+                    None => {}
+                    Some(Envelope::Msg { from, msg }) => {
+                        self.handle(|a, h| a.on_message(h, from, msg));
+                    }
+                    Some(Envelope::Probe(reply)) => {
+                        let _ = reply.try_send(self.outstanding());
+                    }
+                    Some(Envelope::Kill) => self.crashed = true,
+                    // A live node ignores a stray restart.
+                    Some(Envelope::Restart(_)) => {}
+                    Some(Envelope::Shutdown) => return,
                 }
-                None => match self.rx.recv() {
-                    Ok(e) => Some(e),
-                    Err(_) => break,
-                },
-            };
-            match envelope {
-                None => {}
-                Some(Envelope::Msg { from, msg }) => {
-                    self.handle(|a, h| a.on_message(h, from, msg));
-                }
-                Some(Envelope::Probe(reply)) => {
-                    let _ = reply.try_send(self.outstanding());
-                }
-                Some(Envelope::Shutdown) => break,
             }
-        }
-        // A crashed node drops all future deliveries, like the simulator:
-        // drain silently until the deployment shuts down.
-        if self.crashed {
+            // A crashed node drops all future deliveries, like the
+            // simulator: drain silently until restarted or shut down.
             loop {
                 match self.rx.recv() {
-                    Ok(Envelope::Shutdown) | Err(_) => break,
+                    Ok(Envelope::Shutdown) | Err(_) => return,
                     Ok(Envelope::Probe(reply)) => {
                         // Dead nodes hold no *outstanding* work (their live
                         // peers carry the protocol), mirroring the engine
                         // watchdog's is_crashed exclusion.
                         let _ = reply.try_send(0);
                     }
-                    Ok(Envelope::Msg { .. }) => {}
+                    Ok(Envelope::Msg { .. }) | Ok(Envelope::Kill) => {}
+                    Ok(Envelope::Restart(role)) => {
+                        // Second life: fresh actor (rebuilt from its durable
+                        // disk), no carried-over timers or delayed sends —
+                        // exactly what the simulator's revive_node does.
+                        self.role = *role;
+                        self.timers.clear();
+                        self.delayed.clear();
+                        self.crashed = false;
+                        continue 'lives;
+                    }
                 }
             }
         }
@@ -343,6 +368,10 @@ pub struct ThreadedReport {
     pub outstanding: usize,
     /// Messages dropped on full mailboxes (recovered by retransmission).
     pub dropped_messages: u64,
+    /// Drops broken down by *destination* node, indexed by node id — the
+    /// threaded analogue of `RunReport::dropped_per_node`, for spotting
+    /// which mailbox saturates.
+    pub dropped_per_node: Vec<u64>,
     /// Wall-clock milliseconds from deployment start to verdict.
     pub wall_ms: f64,
 }
@@ -365,11 +394,12 @@ impl std::fmt::Display for ThreadedReport {
 /// A running threaded deployment: one OS thread per planned node.
 pub struct ThreadedDeployment {
     shared: Arc<Shared>,
+    kit: RecoveryKit,
     senders: Arc<Vec<SyncSender<Envelope>>>,
     handles: Vec<JoinHandle<()>>,
     clock: WallClock,
     obs: Arc<Mutex<Vec<Observation<Obs>>>>,
-    dropped: Arc<Mutex<u64>>,
+    dropped: Arc<Mutex<Vec<u64>>>,
     injected_flows: usize,
 }
 
@@ -378,8 +408,9 @@ impl ThreadedDeployment {
     pub fn launch(dep: Deployment) -> ThreadedDeployment {
         let clock = WallClock::start();
         let obs: Arc<Mutex<Vec<Observation<Obs>>>> = Arc::new(Mutex::new(Vec::new()));
-        let dropped = Arc::new(Mutex::new(0u64));
+        let dropped = Arc::new(Mutex::new(vec![0u64; dep.nodes.len()]));
         let seed = dep.shared.cfg.seed;
+        let kit = dep.recovery_kit();
 
         let mut senders = Vec::with_capacity(dep.nodes.len());
         let mut receivers = Vec::with_capacity(dep.nodes.len());
@@ -421,6 +452,7 @@ impl ThreadedDeployment {
 
         ThreadedDeployment {
             shared: dep.shared,
+            kit,
             senders,
             handles,
             clock,
@@ -433,6 +465,31 @@ impl ThreadedDeployment {
     /// The shared runtime context.
     pub fn shared(&self) -> &Arc<Shared> {
         &self.shared
+    }
+
+    /// Kills controller `(d, c)`: its thread drops all state and drains its
+    /// mailbox until restarted. The durable disk survives the kill.
+    pub fn kill_controller(&self, d: DomainId, c: ControllerId) {
+        let node = self.shared.dir.controller(d, c);
+        let _ = self.senders[node.0 as usize].send(Envelope::Kill);
+    }
+
+    /// Revives a killed controller with an actor rebuilt from its seed and
+    /// durable disk; it replays its WAL on start and state-syncs from a
+    /// peer. With `disk_lost` the disk is wiped first (replacement machine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if storage was never provisioned (see
+    /// [`Deployment::provision_storage`]).
+    pub fn restart_controller(&self, d: DomainId, c: ControllerId, disk_lost: bool) {
+        let (node, actor) = self.kit.rebuild(d, c, disk_lost);
+        let role = NodeRole::Controller {
+            domain: d,
+            id: c,
+            actor: Box::new(actor),
+        };
+        let _ = self.senders[node.0 as usize].send(Envelope::Restart(Box::new(role)));
     }
 
     /// Injects flows at their ingress ToR switches, in order. Arrival time
@@ -539,12 +596,14 @@ impl ThreadedDeployment {
             }
             std::thread::sleep(std::time::Duration::from_nanos(POLL_PERIOD.as_nanos()));
         }
+        let dropped_per_node = self.dropped.lock().clone();
         ThreadedReport {
             completed,
             injected_flows: self.injected_flows,
             resolved_flows: self.resolved_flows(),
             outstanding: if completed { 0 } else { last_outstanding },
-            dropped_messages: *self.dropped.lock(),
+            dropped_messages: dropped_per_node.iter().sum(),
+            dropped_per_node,
             wall_ms: self.clock.now().as_millis_f64(),
         }
     }

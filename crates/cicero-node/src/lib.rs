@@ -9,6 +9,8 @@
 //!
 //! * [`clock`] — the single wall-clock boundary (maps an `Instant` epoch
 //!   onto `SimTime`);
+//! * [`disk`] — the single OS-filesystem boundary (fsync'd durable storage
+//!   behind `substrate::storage::Disk`);
 //! * [`exec`] — the executor: node threads, mailboxes, timer heaps, the
 //!   convergence watchdog;
 //! * [`config`] — the JSON deployment spec consumed by the `cicero-node`
@@ -18,6 +20,7 @@
 
 pub mod clock;
 pub mod config;
+pub mod disk;
 pub mod exec;
 
 pub use config::NodeSpec;

@@ -31,9 +31,14 @@ parentheses):
     flows                   cross-pod flows to inject            (8)
     flow_bytes              bytes per flow                       (40000)
     budget_ms               wall-clock convergence budget        (8000)
+    state_dir               durable WAL/snapshot directory    (in-memory)
+    kill_at_ms              kill one controller at this offset   (never)
+    restart_at_ms           restart it at this offset            (never)
+    disk_lost               wipe its WAL before the restart      (false)
 
-EXAMPLE:
+EXAMPLES:
     cicero-node examples/node_two_domains.json
+    cicero-node examples/node_recovery.json
 ";
 
 fn run() -> Result<(), String> {
@@ -55,27 +60,87 @@ fn run() -> Result<(), String> {
 
     let topo = spec.topology();
     let flows = spec.workload(&topo);
-    let dep = cicero_core::deploy::plan(
+    let mut dep = cicero_core::deploy::plan(
         spec.engine_config(),
         spec.topology(),
         spec.domain_map(&topo),
         0,
     );
+    match &spec.state_dir {
+        Some(dir) => {
+            let base = std::path::PathBuf::from(dir);
+            // Every invocation runs its own key ceremony, so WAL/snapshot
+            // state left by a previous process belongs to a dead cluster
+            // incarnation and must not be replayed into this one. In-run
+            // restarts (`restart_at_ms`) still replay the log written
+            // below.
+            if base.exists() {
+                std::fs::remove_dir_all(&base)
+                    .map_err(|e| format!("cannot clear state dir {base:?}: {e}"))?;
+            }
+            dep.provision_storage(|d, c| {
+                let sub = base.join(format!("d{}-c{}", d.0, c.0));
+                cicero_node::disk::FsDisk::handle(&sub)
+                    .unwrap_or_else(|e| panic!("cannot open state dir {sub:?}: {e}"))
+            });
+        }
+        None => dep.provision_storage(|_, _| substrate::storage::mem_disk()),
+    }
     println!(
-        "cicero-node: {} nodes ({} domains), {} flows, mode {}",
+        "cicero-node: {} nodes ({} domains), {} flows, mode {}{}",
         dep.nodes.len(),
         dep.bootstrap_nodes.len(),
         flows.len(),
         spec.mode.label(),
+        match &spec.state_dir {
+            Some(d) => format!(", durable state in {d}"),
+            None => String::new(),
+        },
     );
+
+    // The kill victim: the second member of the first domain (never the
+    // view-0 primary/aggregator, so consensus keeps making progress).
+    let victim = deployment_victim(&dep);
 
     let mut deployment = ThreadedDeployment::launch(dep);
     deployment.inject_flows(&flows);
+    if let Some(kill_ms) = spec.kill_at_ms {
+        let (d, c) = victim.ok_or("kill_at_ms needs a domain with >= 2 controllers")?;
+        std::thread::sleep(std::time::Duration::from_millis(kill_ms));
+        deployment.kill_controller(d, c);
+        println!("killed controller {}.{} at +{kill_ms} ms", d.0, c.0);
+        if let Some(restart_ms) = spec.restart_at_ms {
+            std::thread::sleep(std::time::Duration::from_millis(restart_ms - kill_ms));
+            deployment.restart_controller(d, c, spec.disk_lost);
+            let how = if spec.disk_lost { "wiped disk" } else { "local WAL" };
+            println!(
+                "restarted controller {}.{} at +{restart_ms} ms ({how})",
+                d.0, c.0
+            );
+        }
+    }
     let report = deployment.run_to_convergence(spec.budget());
     println!("{report}");
+    let busiest = report
+        .dropped_per_node
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &n)| n);
+    if let Some((node, &n)) = busiest {
+        if n > 0 {
+            println!("busiest mailbox: node {node} dropped {n} messages");
+        }
+    }
 
     let shared = deployment.shared().clone();
     let obs = deployment.shutdown();
+    let recovered = obs
+        .iter()
+        .filter(|o| matches!(o.value, cicero_core::obs::Obs::ControllerRecovered { .. }))
+        .count();
+    if spec.restart_at_ms.is_some() {
+        println!("controller recoveries observed: {recovered}");
+    }
     let mut hazards = 0usize;
     for f in &flows {
         let Some(ingress) = shared.topo.host(f.src).map(|h| h.attached) else {
@@ -99,7 +164,19 @@ fn run() -> Result<(), String> {
     if hazards > 0 {
         return Err(format!("consistency audit found {hazards} hazards"));
     }
+    if spec.restart_at_ms.is_some() && recovered == 0 {
+        return Err("restarted controller never completed state sync".to_string());
+    }
     Ok(())
+}
+
+/// The second member of the first domain, if any — the designated kill
+/// victim for `kill_at_ms`.
+fn deployment_victim(
+    dep: &cicero_core::deploy::Deployment,
+) -> Option<(southbound::types::DomainId, southbound::types::ControllerId)> {
+    let (&d, members) = dep.shared.dir.initial_members.iter().next()?;
+    members.get(1).map(|&c| (d, c))
 }
 
 fn main() {

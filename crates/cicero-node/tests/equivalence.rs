@@ -14,9 +14,10 @@ use cicero_core::obs::Obs;
 use cicero_core::prelude::Engine;
 use cicero_node::exec::ThreadedDeployment;
 use cicero_node::NodeSpec;
+use simnet::fault::FaultPlan;
 use simnet::sim::Observation;
 use simnet::time::{SimDuration, SimTime};
-use southbound::types::{FlowMatch, SwitchId, UpdateId};
+use southbound::types::{ControllerId, DomainId, FlowMatch, SwitchId, UpdateId};
 use std::collections::BTreeSet;
 
 fn spec() -> NodeSpec {
@@ -94,12 +95,13 @@ fn sim_and_threads_apply_the_same_updates() {
     );
 
     // ---- threaded run ------------------------------------------------
-    let dep = cicero_core::deploy::plan(
+    let mut dep = cicero_core::deploy::plan(
         spec.engine_config(),
         spec.topology(),
         spec.domain_map(&topo),
         0,
     );
+    dep.provision_storage(|_, _| substrate::storage::mem_disk());
     let mut threaded = ThreadedDeployment::launch(dep);
     threaded.inject_flows(&flows);
     let report = threaded.run_to_convergence(SimDuration::from_secs(20));
@@ -116,5 +118,82 @@ fn sim_and_threads_apply_the_same_updates() {
     assert_eq!(
         sim_applied, thr_applied,
         "the applied-update set must not depend on the executor"
+    );
+}
+
+fn recoveries(obs: &[Observation<Obs>]) -> usize {
+    obs.iter()
+        .filter(|o| matches!(o.value, Obs::ControllerRecovered { .. }))
+        .count()
+}
+
+/// Satellite: executor equivalence extends to crash recovery. The same
+/// scenario with the same controller crashed and restarted mid-run must
+/// converge to the same applied-update set with clean audits under both
+/// executors, and the restarted controller must complete state sync under
+/// both. The crash instants are only approximately aligned (wall clock vs
+/// virtual time) — which is the point: the *outcome* may not depend on
+/// where in the run the crash lands.
+#[test]
+fn sim_and_threads_recover_equivalently_after_crash() {
+    let spec = spec();
+    let victim = (DomainId(0), ControllerId(2));
+
+    // ---- simulated crash + restart -----------------------------------
+    let topo = spec.topology();
+    let flows = spec.workload(&topo);
+    let mut engine = Engine::build(
+        spec.engine_config(),
+        spec.topology(),
+        spec.domain_map(&topo),
+        0,
+    );
+    let node = engine.controller_node(victim.0, victim.1);
+    engine.set_faults(
+        FaultPlan::none().with_crash(SimTime::ZERO + SimDuration::from_millis(6), node),
+    );
+    engine.schedule_restart(
+        SimTime::ZERO + SimDuration::from_millis(250),
+        victim.0,
+        victim.1,
+        false,
+    );
+    engine.inject_flows(&flows);
+    let sim_report = engine.run_reporting(SimTime::from_nanos(60_000_000_000));
+    assert!(
+        sim_report.completed,
+        "simulated crash-recover run must complete: {sim_report}"
+    );
+    assert_eq!(recoveries(engine.observations()), 1, "sim recovery");
+    assert_eq!(audit_hazards(engine.observations(), &spec), 0);
+    let sim_applied = applied_set(engine.observations());
+
+    // ---- threaded kill + restart -------------------------------------
+    let mut dep = cicero_core::deploy::plan(
+        spec.engine_config(),
+        spec.topology(),
+        spec.domain_map(&topo),
+        0,
+    );
+    dep.provision_storage(|_, _| substrate::storage::mem_disk());
+    let mut threaded = ThreadedDeployment::launch(dep);
+    threaded.inject_flows(&flows);
+    std::thread::sleep(std::time::Duration::from_millis(6));
+    threaded.kill_controller(victim.0, victim.1);
+    std::thread::sleep(std::time::Duration::from_millis(244));
+    threaded.restart_controller(victim.0, victim.1, false);
+    let report = threaded.run_to_convergence(SimDuration::from_secs(20));
+    let obs = threaded.shutdown();
+    assert!(
+        report.completed,
+        "threaded crash-recover run must converge: {report}"
+    );
+    assert_eq!(recoveries(&obs), 1, "threaded recovery");
+    assert_eq!(audit_hazards(&obs, &spec), 0);
+    let thr_applied = applied_set(&obs);
+
+    assert_eq!(
+        sim_applied, thr_applied,
+        "crash recovery must not change the executor-independent outcome"
     );
 }

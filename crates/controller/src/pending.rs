@@ -179,6 +179,12 @@ impl PendingUpdates {
         out
     }
 
+    /// Ids of every acknowledged update, in id order (durability snapshots
+    /// persist this set so a recovered controller pre-drains acked deps).
+    pub fn acked_ids(&self) -> impl Iterator<Item = UpdateId> + '_ {
+        self.acked.iter().copied()
+    }
+
     /// Sweeps the in-flight set at `now`: returns the updates due for
     /// retransmission (their backoff is advanced) and the updates whose
     /// retry budget is exhausted. Exhausted updates — and every waiting

@@ -11,6 +11,7 @@
 //! | `no-os-entropy` | `OsRng`, `thread_rng`, `from_entropy`, `getrandom`, `RandomState` | everywhere except `substrate::rng` |
 //! | `no-unsafe` | the `unsafe` keyword | workspace-wide |
 //! | `panic-policy` | `unwrap()`, reason-less `expect()`, `todo!`/`unimplemented!` | protocol hot paths, non-test code |
+//! | `durable-io-boundary` | `OpenOptions`, `sync_all`, `sync_data` | everywhere except `cicero-node`'s disk boundary |
 
 use crate::lex::{Lexed, Tok, Token};
 
@@ -46,6 +47,7 @@ pub const RULE_IDS: &[&str] = &[
     "no-os-entropy",
     "no-unsafe",
     "panic-policy",
+    "durable-io-boundary",
 ];
 
 /// Crates whose execution must be a pure function of the seed. The facade
@@ -78,6 +80,13 @@ const WALL_CLOCK_ALLOWED_PREFIXES: &[&str] = &["crates/bench/"];
 
 /// The only module that may produce randomness (seeded, never from the OS).
 const ENTROPY_ALLOWED: &[&str] = &["crates/substrate/src/rng.rs"];
+
+/// The single module allowed to open files for writing and fsync them:
+/// `cicero-node`'s disk boundary implements `substrate::storage::Disk`
+/// over real files (append + fsync, temp-file + rename + dir-fsync).
+/// Every other component takes a `Disk` handle, so durability semantics
+/// (and their simulated counterpart) live in exactly one place.
+const DURABLE_IO_ALLOWED: &[&str] = &["crates/cicero-node/src/disk.rs"];
 
 /// Protocol hot paths where PR 2's explicit-failure style is enforced:
 /// a bare `unwrap()` carries no invariant; `expect("why")` must state one.
@@ -114,6 +123,10 @@ fn wall_clock_allowed(path: &str) -> bool {
 
 fn entropy_allowed(path: &str) -> bool {
     ENTROPY_ALLOWED.contains(&path)
+}
+
+fn durable_io_allowed(path: &str) -> bool {
+    DURABLE_IO_ALLOWED.contains(&path)
 }
 
 fn is_hot_path(path: &str) -> bool {
@@ -223,6 +236,7 @@ pub fn apply_rules(path: &str, lexed: &Lexed) -> Vec<Finding> {
     let deterministic = in_deterministic_crate(path);
     let wall_ok = wall_clock_allowed(path);
     let entropy_ok = entropy_allowed(path);
+    let durable_ok = durable_io_allowed(path);
     let hot = is_hot_path(path);
     let test_mask = if hot {
         test_region_mask(tokens)
@@ -284,6 +298,18 @@ pub fn apply_rules(path: &str, lexed: &Lexed) -> Vec<Finding> {
                     "no-os-entropy",
                     format!("`{id}` draws OS entropy; all randomness must be seed-derived"),
                     "take an explicit seed and use substrate::rng::StdRng::seed_from_u64",
+                );
+            }
+            "OpenOptions" | "sync_all" | "sync_data" if !durable_ok => {
+                push(
+                    t.line,
+                    "durable-io-boundary",
+                    format!(
+                        "`{id}` opens or fsyncs files; durable I/O is confined to the \
+                         disk boundary"
+                    ),
+                    "take a substrate::storage::Disk handle; real files live only in \
+                     cicero-node/src/disk.rs",
                 );
             }
             "unsafe" => {
@@ -352,6 +378,29 @@ mod tests {
         assert!(!in_deterministic_crate("crates/substrate/src/rng.rs"));
         assert!(!in_deterministic_crate("crates/bench/src/lib.rs"));
         assert!(!in_deterministic_crate("crates/detlint/src/lib.rs"));
+    }
+
+    #[test]
+    fn durable_io_confined_to_disk_boundary() {
+        let src = r#"
+fn persist(f: &std::fs::File) {
+    let g = OpenOptions::new().append(true).open("wal.log");
+    f.sync_all().ok();
+}
+"#;
+        let lexed = lex(src);
+        let flagged = apply_rules("crates/cicero-core/src/ctrl/durable.rs", &lexed);
+        let rules: Vec<&str> = flagged
+            .iter()
+            .filter(|f| f.rule == "durable-io-boundary")
+            .map(|f| f.rule)
+            .collect();
+        assert_eq!(rules.len(), 2, "OpenOptions and sync_all both flagged");
+        let allowed = apply_rules("crates/cicero-node/src/disk.rs", &lexed);
+        assert!(
+            allowed.iter().all(|f| f.rule != "durable-io-boundary"),
+            "the disk boundary itself is exempt"
+        );
     }
 
     #[test]

@@ -173,6 +173,21 @@ fn fault_to_json(f: &Fault) -> JsonValue {
             ("controller", num(controller as u64)),
             ("at_ms", num(at_ms)),
         ]),
+        Fault::CrashRecoverController {
+            domain,
+            controller,
+            at_ms,
+            after_ms,
+            disk_lost,
+        } => JsonValue::object([
+            ("kind", JsonValue::Str("crash_recover".into())),
+            ("domain", num(domain as u64)),
+            ("controller", num(controller as u64)),
+            ("at_ms", num(at_ms)),
+            ("after_ms", num(after_ms)),
+            // JsonValue has no boolean; 0/1 round-trips exactly.
+            ("disk_lost", num(disk_lost as u64)),
+        ]),
         Fault::SeverControllers {
             domain,
             a,
@@ -224,6 +239,13 @@ fn fault_from_json(v: &JsonValue) -> Result<Fault, String> {
             domain: get_u64(v, "domain")? as u16,
             controller: get_u64(v, "controller")? as u32,
             at_ms: get_u64(v, "at_ms")?,
+        },
+        "crash_recover" => Fault::CrashRecoverController {
+            domain: get_u64(v, "domain")? as u16,
+            controller: get_u64(v, "controller")? as u32,
+            at_ms: get_u64(v, "at_ms")?,
+            after_ms: get_u64(v, "after_ms")?,
+            disk_lost: get_u64(v, "disk_lost")? != 0,
         },
         "sever_controllers" => Fault::SeverControllers {
             domain: get_u64(v, "domain")? as u16,

@@ -17,7 +17,11 @@
 //! * **liveness** — a fault plan that leaves progress possible must end in
 //!   a drained, completed run (no stall, no abandoned updates);
 //! * **agreement** — event delivery sequences stay prefix-consistent
-//!   within every domain.
+//!   within every domain;
+//! * **recovery** — crash-recovery is exactly-once: no switch ever applies
+//!   the same update twice (WAL replay and post-restart retries must be
+//!   absorbed by dedup), and in a benign scenario every crash-recover
+//!   fault ends with the restarted controller completing its state sync.
 //!
 //! A failing scenario is automatically [`shrink`]-ed — fewer flows, fewer
 //! faults, shorter partition windows, a smaller fabric — to a minimal
@@ -122,9 +126,21 @@ fn run_inner(s: &Scenario, handshake: bool) -> (RunOutcome, Vec<Observation<Obs>
     for m in s.denied_matches(&topo) {
         harness::deny_pair(&mut engine, m);
     }
+    // A controller rebuilt after a crash-recover fault must carry the same
+    // post-build customizations as its first life, or its WAL replay
+    // re-derives different schedules than its peers committed to.
+    let sched = s.scheduler;
+    let denies = s.denied_matches(&topo);
+    engine.set_rebuild_hook(move |ctrl| {
+        ctrl.set_scheduler(sched.make());
+        for &m in &denies {
+            ctrl.app_mut().firewall.deny(m);
+        }
+    });
 
     let plan = build_fault_plan(&engine, s, &topo);
     engine.set_faults(plan);
+    schedule_restarts(&mut engine, s);
     inject_byzantine(&mut engine, s, &topo);
 
     let flows = s.flow_specs(&topo);
@@ -192,6 +208,21 @@ fn build_fault_plan(engine: &Engine, s: &Scenario, topo: &Topology) -> simnet::f
                 let c = ControllerId(2 + controller % (n - 1));
                 plan = plan.with_crash(at_ms(at), engine.controller_node(d, c));
             }
+            Fault::CrashRecoverController {
+                domain,
+                controller,
+                at_ms: at,
+                ..
+            } => {
+                // Same victim mapping as a permanent crash; the restart
+                // half is scheduled by `schedule_restarts` below.
+                if n < 2 {
+                    continue;
+                }
+                let d = domains[domain as usize % domains.len()];
+                let c = ControllerId(2 + controller % (n - 1));
+                plan = plan.with_crash(at_ms(at), engine.controller_node(d, c));
+            }
             Fault::SeverControllers {
                 domain,
                 a,
@@ -238,6 +269,34 @@ fn build_fault_plan(engine: &Engine, s: &Scenario, topo: &Topology) -> simnet::f
         }
     }
     plan
+}
+
+/// Schedules the restart half of every crash-recover fault. The crash
+/// itself rides in the fault plan ([`build_fault_plan`], identical victim
+/// mapping); `after_ms` later the engine revives the controller, which
+/// replays its WAL — or, with `disk_lost`, state-syncs a snapshot from a
+/// peer — before rejoining.
+fn schedule_restarts(engine: &mut Engine, s: &Scenario) {
+    let domains = s.domain_ids(engine);
+    let n = s.controllers_per_domain;
+    for f in &s.faults {
+        let Fault::CrashRecoverController {
+            domain,
+            controller,
+            at_ms: at,
+            after_ms,
+            disk_lost,
+        } = *f
+        else {
+            continue;
+        };
+        if n < 2 {
+            continue;
+        }
+        let d = domains[domain as usize % domains.len()];
+        let c = ControllerId(2 + controller % (n - 1));
+        engine.schedule_restart(at_ms(at + after_ms), d, c, disk_lost);
+    }
 }
 
 /// Injects the Byzantine faults: a compromised controller sending

@@ -142,6 +142,23 @@ pub enum Fault {
         /// Crash time in milliseconds.
         at_ms: u64,
     },
+    /// Crash one controller *and restart it later* — the durable-state
+    /// recovery path (WAL replay, snapshot state sync from a peer). The
+    /// crash and its restart are a single fault, so the shrinker can only
+    /// keep or drop the pair as a unit, never orphan a restart.
+    CrashRecoverController {
+        /// Abstract domain index.
+        domain: u16,
+        /// Abstract controller index (resolved into `2..=n`).
+        controller: u32,
+        /// Crash time in milliseconds.
+        at_ms: u64,
+        /// Restart delay after the crash, milliseconds.
+        after_ms: u64,
+        /// `true` wipes the WAL/snapshot before the restart, forcing a
+        /// full state sync from a peer instead of local replay.
+        disk_lost: bool,
+    },
     /// A healing partition between two controllers of one domain.
     SeverControllers {
         /// Abstract domain index.
@@ -179,9 +196,16 @@ pub enum Fault {
 }
 
 impl Fault {
-    /// `true` for the crash variant.
+    /// `true` for the *permanent* crash variant. A crash-recover fault is
+    /// deliberately excluded: its restart restores the controller, so the
+    /// liveness oracle may still demand a fully drained run.
     pub fn is_crash(&self) -> bool {
         matches!(self, Fault::CrashController { .. })
+    }
+
+    /// `true` for the crash-and-restart variant.
+    pub fn is_crash_recover(&self) -> bool {
+        matches!(self, Fault::CrashRecoverController { .. })
     }
 }
 
@@ -328,6 +352,23 @@ impl Scenario {
                 at_ms: g.u64_in(1..1000),
             });
         }
+        // Crash *and restart* a controller — drawn last so adding this arm
+        // left every previously sampled scenario field untouched. The time
+        // bounds keep the fault inside the benign envelope by construction
+        // (at + after + 25 s margin ≤ the 30 s horizon), so benign sweeps
+        // exercise the recovery oracle's completion half, not just safety.
+        if matches!(mode, ModeTag::Cicero | ModeTag::CiceroAgg)
+            && controllers_per_domain >= 4
+            && g.f64_unit() < 0.25
+        {
+            faults.push(Fault::CrashRecoverController {
+                domain: g.u16(),
+                controller: g.u32(),
+                at_ms: g.u64_in(1..1200),
+                after_ms: g.u64_in(50..800),
+                disk_lost: g.bool(),
+            });
+        }
 
         let mut s = Scenario {
             seed,
@@ -361,6 +402,38 @@ impl Scenario {
         s
     }
 
+    /// [`Scenario::generate`], then forced into a benign crash-recover
+    /// shape: Cicero-family mode, a crash-tolerant control plane, the
+    /// sampled fault plan minus any permanent crashes, plus exactly one
+    /// crash-and-restart fault derived from the seed. Every scenario this
+    /// returns is [`Scenario::benign`], so the recovery oracle demands the
+    /// restarted controller actually completes its state sync — the
+    /// focused sweep behind `simcheck recover`.
+    pub fn generate_recovery(seed: u64) -> Scenario {
+        let mut s = Scenario::generate(seed);
+        if !matches!(s.mode, ModeTag::Cicero | ModeTag::CiceroAgg) {
+            s.mode = if seed % 2 == 0 {
+                ModeTag::Cicero
+            } else {
+                ModeTag::CiceroAgg
+            };
+        }
+        s.controllers_per_domain = s.controllers_per_domain.max(4);
+        // The whole `⌊(n−1)/3⌋` crash budget goes to the restart fault;
+        // sampled permanent crashes (or a sampled crash-recover fault)
+        // would overdraw it on n = 4.
+        s.faults
+            .retain(|f| !f.is_crash() && !f.is_crash_recover());
+        s.faults.push(Fault::CrashRecoverController {
+            domain: (seed >> 8) as u16,
+            controller: (seed >> 16) as u32,
+            at_ms: 1 + seed % 800,
+            after_ms: 100 + (seed >> 4) % 600,
+            disk_lost: seed % 3 == 0,
+        });
+        s
+    }
+
     /// The concrete fabric: a single pod of ToR + edge switches.
     pub fn topology(&self) -> Topology {
         Topology::single_pod(
@@ -370,9 +443,14 @@ impl Scenario {
         )
     }
 
-    /// `true` if the scenario contains a controller crash.
+    /// `true` if the scenario contains a permanent controller crash.
     pub fn has_crash(&self) -> bool {
         self.faults.iter().any(Fault::is_crash)
+    }
+
+    /// `true` if the scenario contains a crash-and-restart fault.
+    pub fn has_crash_recover(&self) -> bool {
+        self.faults.iter().any(Fault::is_crash_recover)
     }
 
     /// `true` iff the fault plan provably leaves progress possible, so the
@@ -381,8 +459,12 @@ impl Scenario {
     /// still checked for safety, just not for liveness.
     ///
     /// * loss/duplication stay far below what the retry budgets absorb;
-    /// * at most `⌊(n−1)/3⌋` crashes per domain, never the index-1 slot
-    ///   (bootstrap leader / aggregator);
+    /// * at most `⌊(n−1)/3⌋` crashes per domain — a crash-recover fault
+    ///   counts toward that budget too, since the controller is down until
+    ///   its restart — and never the index-1 slot (bootstrap leader /
+    ///   aggregator);
+    /// * every restart leaves at least 25 s before the horizon for state
+    ///   sync and re-drain;
     /// * partitions all heal at least 25 s before the horizon;
     /// * rogue shares are harmless to a correct switch by construction.
     pub fn benign(&self) -> bool {
@@ -404,6 +486,15 @@ impl Scenario {
                 Fault::CrashController { .. } => {
                     crashes += 1;
                     if crashes > tolerated {
+                        return false;
+                    }
+                }
+                Fault::CrashRecoverController { at_ms, after_ms, .. } => {
+                    crashes += 1;
+                    if crashes > tolerated {
+                        return false;
+                    }
+                    if at_ms + after_ms + 25_000 > self.horizon_ms {
                         return false;
                     }
                 }

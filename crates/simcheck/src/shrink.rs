@@ -102,6 +102,45 @@ fn candidates(s: &Scenario) -> Vec<Scenario> {
         out.push(c);
     }
 
+    // Simplify crash-recover faults, never splitting the crash from its
+    // restart (they are one enum variant, so no candidate *can* orphan a
+    // restart): first keep the disk (peer state sync is the harder path),
+    // then halve the downtime.
+    for i in 0..s.faults.len() {
+        let Fault::CrashRecoverController {
+            domain,
+            controller,
+            at_ms,
+            after_ms,
+            disk_lost,
+        } = s.faults[i]
+        else {
+            continue;
+        };
+        if disk_lost {
+            let mut c = s.clone();
+            c.faults[i] = Fault::CrashRecoverController {
+                domain,
+                controller,
+                at_ms,
+                after_ms,
+                disk_lost: false,
+            };
+            out.push(c);
+        }
+        if after_ms > 2 {
+            let mut c = s.clone();
+            c.faults[i] = Fault::CrashRecoverController {
+                domain,
+                controller,
+                at_ms,
+                after_ms: after_ms / 2,
+                disk_lost,
+            };
+            out.push(c);
+        }
+    }
+
     // Collapse to one domain.
     if s.domains > 1 {
         let mut c = s.clone();
@@ -135,4 +174,41 @@ fn candidates(s: &Scenario) -> Vec<Scenario> {
     }
 
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A crash-recover fault shrinks as a unit: every candidate either
+    /// keeps the crash+restart pair whole (possibly with a shorter
+    /// downtime or an intact disk) or drops the whole pair — none may
+    /// degrade it into a permanent crash or otherwise orphan one half.
+    #[test]
+    fn crash_recover_faults_shrink_as_a_unit() {
+        let s = Scenario::generate_recovery(0x5eed);
+        let pairs = s.faults.iter().filter(|f| f.is_crash_recover()).count();
+        let crashes = s.faults.iter().filter(|f| f.is_crash()).count();
+        assert_eq!(pairs, 1, "generate_recovery plants exactly one pair");
+        let cands = candidates(&s);
+        assert!(!cands.is_empty());
+        for c in &cands {
+            let c_pairs = c.faults.iter().filter(|f| f.is_crash_recover()).count();
+            let c_crashes = c.faults.iter().filter(|f| f.is_crash()).count();
+            assert!(
+                c_pairs == pairs || c_pairs == pairs - 1,
+                "a candidate must keep or drop a whole pair"
+            );
+            assert_eq!(
+                c_crashes, crashes,
+                "shrinking may never turn a crash-recover pair into a \
+                 permanent crash"
+            );
+            for f in &c.faults {
+                if let Fault::CrashRecoverController { after_ms, .. } = f {
+                    assert!(*after_ms >= 1, "restart delay stays well-formed");
+                }
+            }
+        }
+    }
 }

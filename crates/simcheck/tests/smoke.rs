@@ -30,6 +30,31 @@ fn fuzz_sweep_upholds_all_invariants() {
     });
 }
 
+/// The focused crash-recovery slice: every seed is forced into a benign
+/// scenario with exactly one crash-and-restart fault, so the recovery
+/// oracle's completion half (the restarted controller must finish its
+/// state sync) is exercised on every single run — the headline sweep only
+/// samples it probabilistically. The full 256-seed version runs as
+/// `simcheck recover` in `scripts/verify.sh`.
+#[test]
+fn recovery_sweep_upholds_all_invariants() {
+    forall!(cases = 48, |g| {
+        let seed = g.u64();
+        let s = Scenario::generate_recovery(seed);
+        assert!(s.benign(), "generate_recovery must stay benign");
+        if let Some(failure) = check_scenario(s) {
+            let path = std::env::temp_dir().join(format!("simcheck-recover-{seed:#x}.json"));
+            let _ = write_artifact(&path, &failure.shrunk, &failure.violations);
+            panic!(
+                "recovery seed {seed:#x}: {} violation(s).\n  first: {}\n  replay: {}",
+                failure.violations.len(),
+                failure.violations[0],
+                replay_command(&path),
+            );
+        }
+    });
+}
+
 /// The generator must actually explore the space: ≥ 100 structurally
 /// distinct scenarios (seed field excluded) out of 128 consecutive seeds.
 #[test]
@@ -66,6 +91,15 @@ fn generation_and_run_are_deterministic() {
 fn artifact_round_trips() {
     let mut s = Scenario::generate(7);
     s.seed = 0xDEAD_BEEF_CAFE_F00D;
+    // Cover the crash-recover arm (and its bool-as-0/1 encoding) even if
+    // seed 7 happens not to sample one.
+    s.faults.push(simcheck::Fault::CrashRecoverController {
+        domain: 1,
+        controller: 3,
+        at_ms: 120,
+        after_ms: 340,
+        disk_lost: true,
+    });
     let doc = substrate::ser::JsonValue::parse(&render_artifact(&s, &[]))
         .expect("artifact parses");
     let back = Scenario::from_json(doc.get("scenario").unwrap()).expect("scenario parses");

@@ -20,7 +20,10 @@ pub const ENVIRONMENT: NodeId = NodeId(u32::MAX);
 #[derive(Debug)]
 enum EventKind<M> {
     Deliver { to: NodeId, from: NodeId, msg: M },
-    Timer { node: NodeId, token: TimerToken },
+    // `epoch` is the node's incarnation at scheduling time: timers armed
+    // before a crash must not fire on a revived incarnation (the revived
+    // actor arms its own from `on_start`).
+    Timer { node: NodeId, token: TimerToken, epoch: u64 },
     Crash { node: NodeId },
 }
 
@@ -51,6 +54,10 @@ struct NodeEntry<M, O> {
     actor: Option<Box<dyn Actor<M, O>>>,
     busy_until: SimTime,
     crashed: bool,
+    /// Incarnation count: bumped by [`Simulation::revive_node`].
+    epoch: u64,
+    /// Messages to this node dropped by the fault plan.
+    dropped: u64,
     cpu: CpuMeter,
 }
 
@@ -149,9 +156,31 @@ impl<M: Clone + 'static, O: 'static> Simulation<M, O> {
             actor: Some(Box::new(actor)),
             busy_until: SimTime::ZERO,
             crashed: false,
+            epoch: 0,
+            dropped: 0,
             cpu: CpuMeter::new(self.cpu_bucket),
         });
         id
+    }
+
+    /// Replaces a crashed node's actor with a fresh incarnation and runs
+    /// its `on_start` at the current time — the restart half of a
+    /// crash-recover fault. Timers armed by the previous incarnation are
+    /// discarded (their epoch no longer matches); in-flight messages
+    /// addressed to the node are delivered to the new incarnation.
+    pub fn revive_node<A: Actor<M, O> + 'static>(&mut self, node: NodeId, actor: A) {
+        let e = &mut self.nodes[node.0 as usize];
+        e.actor = Some(Box::new(actor));
+        e.crashed = false;
+        e.busy_until = self.now;
+        e.epoch += 1;
+        self.dispatch_with(node, |actor, ctx| actor.on_start(ctx));
+    }
+
+    /// Per-destination counts of messages dropped by the fault plan
+    /// (indexed by node id) — surfaces silent loss for diagnostics.
+    pub fn dropped_counts(&self) -> Vec<u64> {
+        self.nodes.iter().map(|n| n.dropped).collect()
     }
 
     /// Number of registered nodes.
@@ -267,6 +296,23 @@ impl<M: Clone + 'static, O: 'static> Simulation<M, O> {
         }
     }
 
+    /// Advances the idle clock to `t`. A no-op if `t` is in the past or an
+    /// event earlier than `t` is still queued (the clock only coasts over
+    /// genuinely quiet stretches). Lets an external driver apply state
+    /// changes at a chosen instant — e.g. a controller restart while the
+    /// network is drained.
+    pub fn advance_to(&mut self, t: SimTime) {
+        if t <= self.now {
+            return;
+        }
+        if let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at < t {
+                return;
+            }
+        }
+        self.now = t;
+    }
+
     fn process(&mut self, ev: Event<M>) {
         debug_assert!(ev.at >= self.now, "time went backwards");
         match ev.kind {
@@ -274,8 +320,10 @@ impl<M: Clone + 'static, O: 'static> Simulation<M, O> {
                 self.now = ev.at;
                 self.nodes[node.0 as usize].crashed = true;
             }
-            EventKind::Timer { node, token } => {
-                if self.nodes[node.0 as usize].crashed {
+            EventKind::Timer { node, token, epoch } => {
+                if self.nodes[node.0 as usize].crashed
+                    || self.nodes[node.0 as usize].epoch != epoch
+                {
                     return;
                 }
                 // Defer if the node is still busy.
@@ -285,7 +333,7 @@ impl<M: Clone + 'static, O: 'static> Simulation<M, O> {
                     self.queue.push(Reverse(Event {
                         at: busy,
                         seq,
-                        kind: EventKind::Timer { node, token },
+                        kind: EventKind::Timer { node, token, epoch },
                     }));
                     return;
                 }
@@ -364,6 +412,9 @@ impl<M: Clone + 'static, O: 'static> Simulation<M, O> {
                     // would have healed before arrival.
                     let loopback = to == node;
                     if !loopback && self.faults.should_drop(node, to, done, &mut self.rng) {
+                        if (to.0 as usize) < self.nodes.len() {
+                            self.nodes[to.0 as usize].dropped += 1;
+                        }
                         continue;
                     }
                     let arrive = done + self.latency.latency(node, to) + extra_delay;
@@ -388,10 +439,11 @@ impl<M: Clone + 'static, O: 'static> Simulation<M, O> {
                 }
                 Effect::Timer { delay, token } => {
                     let seq = self.next_seq();
+                    let epoch = self.nodes[idx].epoch;
                     self.queue.push(Reverse(Event {
                         at: done + delay,
                         seq,
-                        kind: EventKind::Timer { node, token },
+                        kind: EventKind::Timer { node, token, epoch },
                     }));
                 }
                 Effect::Observe(obs) => {

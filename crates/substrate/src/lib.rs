@@ -25,6 +25,9 @@
 //!   `CHECK_SEED=<seed>` single-case replay.
 //! * [`benchkit`] — warmup/iteration timing with median/p95 statistics and
 //!   JSON output, replacing criterion for the micro-benchmarks.
+//! * [`storage`] — a checksummed append-only WAL and atomic snapshots over
+//!   a pluggable [`storage::Disk`] (in-memory under the simulator, real
+//!   fsync'd files under the threaded runtime).
 //!
 //! Determinism is the design center: the same seed always produces the same
 //! byte stream, the same property-test cases, and the same simulated
@@ -40,4 +43,5 @@ pub mod collections;
 pub mod check;
 pub mod rng;
 pub mod ser;
+pub mod storage;
 pub mod sync;

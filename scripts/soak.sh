@@ -59,4 +59,11 @@ run_suite "simulation fuzzer sweep, CHECK_CASES=$cases" \
 run_suite "DKG/reshare churn properties, CHECK_CASES=$cases" \
     env CHECK_CASES="$cases" cargo test -q --offline -p blscrypto --test churn
 
+# The recovery sweep quadruples the case count: every scenario schedules a
+# crash-recover fault, so this is the soak's main exercise of the WAL
+# replay, snapshot-transfer, and recovery-oracle machinery. Failures are
+# shrunk and written as replayable artifacts like any simcheck failure.
+run_suite "crash-recovery fuzzer sweep, $((cases * 4)) seeds" \
+    cargo run -q --offline --release -p bench --bin simcheck -- recover "$((cases * 4))"
+
 echo "soak.sh: all sweeps passed (CHECK_CASES=$cases)"

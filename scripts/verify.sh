@@ -72,6 +72,13 @@ echo "== simulation fuzzer smoke (bounded seed sweep) =="
 # cross-domain ordering handshake is exercised on every invocation.
 cargo run -q --offline --release -p bench --bin simcheck -- run 64
 
+echo "== crash-recovery fuzzer smoke (bounded recovery sweep) =="
+# Every scenario carries exactly one crash-recover fault (a controller
+# killed mid-update and restarted, half the seeds with its disk wiped);
+# the recovery oracle demands exactly-once update application and a
+# completed state sync per restart on top of the standard invariants.
+cargo run -q --offline --release -p bench --bin simcheck -- recover 64
+
 echo "== reliability smoke (scripts/soak.sh quick) =="
 SOAK_QUICK=1 "$(dirname "$0")/soak.sh"
 
@@ -81,5 +88,12 @@ echo "== threaded runtime smoke (cicero-node, real threads) =="
 # seconds of wall clock (the config's budget_ms bounds the run).
 cargo build -q --release --offline -p cicero-node
 cargo run -q --release --offline -p cicero-node -- examples/node_two_domains.json
+
+echo "== crash-recovery smoke (cicero-node, WAL on real files) =="
+# Same runtime with a mid-run controller crash: the WAL and snapshots live
+# in a scratch directory, the victim restarts from its fsync'd log, state-
+# syncs the gap from a peer, and the run must still converge and audit
+# clean.
+cargo run -q --release --offline -p cicero-node -- examples/node_recovery.json
 
 echo "verify.sh: all checks passed"
