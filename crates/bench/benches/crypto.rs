@@ -7,11 +7,15 @@
 //! host). Run with `BENCHKIT_OUT=BENCH_protocol.json` to merge the suite
 //! into the recorded baseline.
 
+use blscrypto::batch::{batch_verify, BatchItem};
 use blscrypto::bls::{self, SecretKey};
 use blscrypto::curves::{g1_generator, hash_to_g1};
 use blscrypto::dkg;
 use blscrypto::fields::Fr;
-use blscrypto::pairing::pairing;
+use blscrypto::pairing::{
+    final_exponentiation, g2_generator_prepared, miller_loop, multi_miller_loop, pairing,
+    prepare_g2,
+};
 use blscrypto::reshare;
 use blscrypto::shamir;
 use std::hint::black_box;
@@ -31,6 +35,70 @@ fn bench_field_and_curve(c: &mut Harness) {
     let p = g1.to_affine();
     let q = blscrypto::curves::g2_generator().to_affine();
     c.bench_function("pairing", |bch| bch.iter(|| black_box(pairing(&p, &q))));
+}
+
+/// Per-lever entries isolating each optimization the fast verify path is
+/// built from, so a regression names the lever rather than just "verify got
+/// slower".
+fn bench_levers(c: &mut Harness) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let a = Fr::random(&mut rng);
+    let g1 = g1_generator();
+    c.bench_function("g1_mul_wnaf", |bch| {
+        bch.iter(|| black_box(g1.mul_limbs(&a.to_raw())))
+    });
+
+    let p = g1.to_affine();
+    let p2 = g1.mul_fr(a).to_affine();
+    let q = blscrypto::curves::g2_generator().to_affine();
+    let q2 = blscrypto::curves::g2_generator().mul_fr(a).to_affine();
+    let prep_q2 = prepare_g2(&q2);
+    // The bls_verify shape: two ate pairings sharing one Miller loop, both
+    // G2 points prepared ahead of time (the group public key and the
+    // generator are fixed across a run).
+    c.bench_function("miller_loop_precomp", |bch| {
+        bch.iter(|| {
+            black_box(multi_miller_loop(&[
+                (&p, g2_generator_prepared()),
+                (&p2, &prep_q2),
+            ]))
+        })
+    });
+    let f = miller_loop(&p, &q);
+    c.bench_function("final_exp", |bch| {
+        bch.iter(|| black_box(final_exponentiation(f)))
+    });
+}
+
+/// Controller-side aggregate verification: one randomized pairing-product
+/// check over `n` signed updates. The entry times the *whole batch*; the
+/// paper-level target (amortized ≤ 2 ms per update) is enforced by
+/// `benchgate` with a `batch_verify_64/64` cap.
+fn bench_batch(c: &mut Harness) {
+    let mut rng = StdRng::seed_from_u64(8);
+    let keys: Vec<SecretKey> = (0..64).map(|_| SecretKey::generate(&mut rng)).collect();
+    let msgs: Vec<Vec<u8>> = (0..64u32)
+        .map(|i| format!("update {i} switch {}", i % 7).into_bytes())
+        .collect();
+    let sigs: Vec<_> = keys
+        .iter()
+        .zip(&msgs)
+        .map(|(k, m)| k.sign(m))
+        .collect();
+    let items: Vec<BatchItem<'_>> = keys
+        .iter()
+        .zip(&msgs)
+        .zip(&sigs)
+        .map(|((k, m), s)| BatchItem::new(k.public_key(), m, *s))
+        .collect();
+    for n in [16usize, 64] {
+        c.bench_function(&format!("batch_verify_{n}"), |bch| {
+            bch.iter(|| {
+                let mut weights = StdRng::seed_from_u64(9);
+                black_box(batch_verify(&items[..n], &mut weights))
+            })
+        });
+    }
 }
 
 fn bench_bls(c: &mut Harness) {
@@ -96,6 +164,8 @@ fn bench_dkg_and_reshare(c: &mut Harness) {
 fn main() {
     let mut harness = Harness::new("crypto");
     bench_field_and_curve(&mut harness);
+    bench_levers(&mut harness);
+    bench_batch(&mut harness);
     bench_bls(&mut harness);
     bench_dkg_and_reshare(&mut harness);
     harness.finish();

@@ -1,0 +1,168 @@
+//! The perf-regression gate (`scripts/verify.sh`).
+//!
+//! Usage:
+//!   benchgate <baseline.json> <fresh.json> <suite> \
+//!       [--tolerance 0.5] [--cap name=max_ns] [--cap name/div=max_ns]...
+//!
+//! Compares the named suite's medians between a recorded baseline (usually
+//! `BENCH_protocol.json`) and a fresh `BENCHKIT_OUT` document via
+//! [`substrate::benchkit::compare_docs`]. Exits non-zero and names every
+//! offender when
+//!
+//! * a fresh median exceeds its baseline by more than the tolerance band,
+//! * a baseline entry is missing from the fresh run (a regression must not
+//!   hide behind a rename), or
+//! * an absolute cap is violated. A cap `batch_verify_64/64=2000000`
+//!   divides the measured median by 64 first — that is how the paper-level
+//!   target "amortized ≤ 2 ms per update" is enforced against a bench that
+//!   times the whole batch.
+
+use substrate::benchkit::compare_docs;
+
+struct Cap {
+    name: String,
+    divisor: f64,
+    max_ns: f64,
+}
+
+fn parse_cap(spec: &str) -> Result<Cap, String> {
+    let (lhs, max) = spec
+        .split_once('=')
+        .ok_or_else(|| format!("bad --cap {spec:?}: expected name[=/div]=max_ns"))?;
+    let max_ns: f64 = max
+        .parse()
+        .map_err(|_| format!("bad --cap {spec:?}: max_ns is not a number"))?;
+    let (name, divisor) = match lhs.rsplit_once('/') {
+        Some((n, d)) => {
+            let d: f64 = d
+                .parse()
+                .map_err(|_| format!("bad --cap {spec:?}: divisor is not a number"))?;
+            (n.to_owned(), d)
+        }
+        None => (lhs.to_owned(), 1.0),
+    };
+    Ok(Cap {
+        name,
+        divisor,
+        max_ns,
+    })
+}
+
+fn fmt_ms(ns: f64) -> String {
+    format!("{:.3} ms", ns / 1_000_000.0)
+}
+
+fn run(args: &[String]) -> Result<i32, String> {
+    let mut positional = Vec::new();
+    let mut tolerance = 0.5_f64;
+    let mut caps = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" => {
+                let v = it.next().ok_or("--tolerance needs a value")?;
+                tolerance = v
+                    .parse()
+                    .map_err(|_| format!("bad --tolerance {v:?}"))?;
+            }
+            "--cap" => {
+                let v = it.next().ok_or("--cap needs a value")?;
+                caps.push(parse_cap(v)?);
+            }
+            _ => positional.push(a.clone()),
+        }
+    }
+    let [baseline_path, fresh_path, suite] = positional.as_slice() else {
+        return Err("usage: benchgate <baseline.json> <fresh.json> <suite> \
+                    [--tolerance T] [--cap name[/div]=max_ns]..."
+            .into());
+    };
+    let baseline = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("{baseline_path}: {e}"))?;
+    let fresh =
+        std::fs::read_to_string(fresh_path).map_err(|e| format!("{fresh_path}: {e}"))?;
+    let report = compare_docs(&baseline, &fresh, suite)?;
+
+    let mut failures = Vec::new();
+    println!(
+        "benchgate: suite {suite:?}, {} entries, tolerance +{:.0}%",
+        report.compared.len(),
+        tolerance * 100.0
+    );
+    for c in &report.compared {
+        let flag = if c.regressed(tolerance) { "  REGRESSED" } else { "" };
+        println!(
+            "  {:<32} {:>12} -> {:>12}  ({:.2}x){flag}",
+            c.name,
+            fmt_ms(c.baseline_ns),
+            fmt_ms(c.fresh_ns),
+            c.ratio()
+        );
+        if c.regressed(tolerance) {
+            failures.push(format!(
+                "{}: {} -> {} exceeds the +{:.0}% band",
+                c.name,
+                fmt_ms(c.baseline_ns),
+                fmt_ms(c.fresh_ns),
+                tolerance * 100.0
+            ));
+        }
+    }
+    for name in &report.missing_in_fresh {
+        failures.push(format!("{name}: present in baseline, missing from fresh run"));
+    }
+    for name in &report.new_in_fresh {
+        println!("  {name:<32} (new — not in baseline; refresh the baseline)");
+    }
+    for cap in &caps {
+        match report.compared.iter().find(|c| c.name == cap.name) {
+            Some(c) => {
+                let effective = c.fresh_ns / cap.divisor;
+                let what = if cap.divisor == 1.0 {
+                    cap.name.clone()
+                } else {
+                    format!("{}/{}", cap.name, cap.divisor)
+                };
+                println!(
+                    "  cap {:<28} {:>12} <= {:>12}{}",
+                    what,
+                    fmt_ms(effective),
+                    fmt_ms(cap.max_ns),
+                    if effective > cap.max_ns { "  VIOLATED" } else { "" }
+                );
+                if effective > cap.max_ns {
+                    failures.push(format!(
+                        "{what}: {} exceeds the absolute cap {}",
+                        fmt_ms(effective),
+                        fmt_ms(cap.max_ns)
+                    ));
+                }
+            }
+            None => failures.push(format!(
+                "cap {}: no such entry in the fresh run",
+                cap.name
+            )),
+        }
+    }
+    if failures.is_empty() {
+        println!("benchgate: OK");
+        Ok(0)
+    } else {
+        eprintln!("benchgate: {} failure(s):", failures.len());
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        Ok(1)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("benchgate: {e}");
+            std::process::exit(2);
+        }
+    }
+}

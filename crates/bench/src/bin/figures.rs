@@ -20,7 +20,7 @@ fn main() {
         .map(String::as_str)
         .collect();
 
-    let sections: [(&str, Box<dyn Fn() -> String>); 11] = [
+    let sections: [(&str, Box<dyn Fn() -> String>); 12] = [
         ("table2", Box::new(bench::table2)),
         ("calib", Box::new(bench::calibration)),
         ("ablation", Box::new(bench::ablation)),
@@ -28,6 +28,7 @@ fn main() {
         ("fig11b", Box::new(move || bench::fig11b(scale))),
         ("fig11c", Box::new(move || bench::fig11c(scale))),
         ("fig11d", Box::new(move || bench::fig11d(scale))),
+        ("fig11dm", Box::new(move || bench::fig11d_measured(scale))),
         ("fig12a", Box::new(move || bench::fig12a(scale))),
         ("fig12b", Box::new(move || bench::fig12b(scale))),
         ("fig12c", Box::new(move || bench::fig12c(scale))),

@@ -3,6 +3,9 @@
 //! Usage:
 //!   simcheck replay <artifact.json>      # re-execute a shrunk reproducer
 //!   simcheck run [count] [--start N]     # explore `count` seeds from N
+//!   simcheck secure [count] [--start N]  # same, forced into the secure
+//!                                        # (Cicero-family, threshold-
+//!                                        # signed) modes
 //!   simcheck recover [count] [--start N] # crash-recovery sweep: every
 //!                                        # seed crashes and restarts one
 //!                                        # controller mid-run
@@ -18,11 +21,12 @@ fn main() {
     let code = match args.first().map(String::as_str) {
         Some("replay") => replay(args.get(1).map(String::as_str)),
         Some("run") => run(&args[1..], Scenario::generate, "seeds"),
+        Some("secure") => run(&args[1..], Scenario::generate_secure, "secure seeds"),
         Some("recover") => run(&args[1..], Scenario::generate_recovery, "recovery seeds"),
         _ => {
             eprintln!(
                 "usage: simcheck replay <artifact.json> | simcheck run [count] [--start N] \
-                 | simcheck recover [count] [--start N]"
+                 | simcheck secure [count] [--start N] | simcheck recover [count] [--start N]"
             );
             2
         }

@@ -130,6 +130,46 @@ pub fn fig11d(scale: Scale) -> String {
     out
 }
 
+/// Fig. 11d variant under *measured* crypto costs ([`CostModel::measured`]):
+/// switch CPU with the optimized pairing/batch-verify medians from
+/// `BENCH_protocol.json` instead of the paper-calibrated defaults. Printed
+/// side by side with [`fig11d`], it quantifies how much per-switch CPU the
+/// fast verify path buys.
+pub fn fig11d_measured(scale: Scale) -> String {
+    let mut out =
+        String::from("Fig 11d* — switch CPU under measured crypto costs (Hadoop workload)\n");
+    let mut spec = workload::spec::hadoop();
+    spec.flows = scale.flows;
+    let topo = netmodel::topology::Topology::single_pod(40, 4, 4);
+    for &mode in &ALL_MODES {
+        let run = run_flow_completion_costed(
+            mode,
+            &topo,
+            controller::policy::DomainMap::single(&topo),
+            &spec,
+            true,
+            scale.seed,
+            true,
+            CostModel::measured(),
+        );
+        let series = &run.mean_switch_cpu;
+        let peak = series.iter().cloned().fold(0.0, f64::max);
+        let mean = if series.is_empty() {
+            0.0
+        } else {
+            series.iter().sum::<f64>() / series.len() as f64
+        };
+        let _ = writeln!(
+            out,
+            "  {:<16} mean={:>6.2}% peak={:>6.2}%",
+            run.label,
+            mean * 100.0,
+            peak * 100.0
+        );
+    }
+    out
+}
+
 /// Fig. 12a — single-update latency vs control-plane size.
 pub fn fig12a(scale: Scale) -> String {
     let mut out = String::from("Fig 12a — update time vs control plane size\n");
@@ -326,6 +366,7 @@ pub fn run_all(scale: Scale) -> String {
         fig11b(scale),
         fig11c(scale),
         fig11d(scale),
+        fig11d_measured(scale),
         fig12a(scale),
         fig12b(scale),
         fig12c(scale),

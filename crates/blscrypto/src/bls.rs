@@ -6,11 +6,9 @@
 //! Lagrange interpolation into one group signature verifiable against the
 //! single group public key installed on switches (paper §3.2).
 
-use crate::curves::{
-    g2_generator, hash_to_g1, G1Affine, G1Projective, G2Affine,
-};
+use crate::curves::{g2_mul_generator, hash_to_g1, G1Affine, G1Projective, G2Affine};
 use crate::fields::Fr;
-use crate::pairing::pairing_product_is_one;
+use crate::pairing::{g2_generator_prepared, pairing_product_is_one_prepared, prepare_g2};
 use crate::shamir::{lagrange_at_zero, Share};
 use crate::Error;
 
@@ -57,9 +55,9 @@ impl SecretKey {
         self.0
     }
 
-    /// Derives the matching public key `g2 · sk`.
+    /// Derives the matching public key `g2 · sk` (fixed-base table).
     pub fn public_key(&self) -> PublicKey {
-        PublicKey(g2_generator().mul_fr(self.0).to_affine())
+        PublicKey(g2_mul_generator(self.0).to_affine())
     }
 
     /// Signs a message: `σ = H(m) · sk`.
@@ -113,7 +111,9 @@ pub fn verify(pk: &PublicKey, msg: &[u8], sig: &Signature) -> bool {
         return false;
     }
     let h = hash_to_g1(msg, SIGNATURE_DOMAIN).to_affine();
-    pairing_product_is_one(&[(h, pk.0), (sig.0.neg(), g2_generator().to_affine())])
+    let pk_prep = prepare_g2(&pk.0);
+    let neg_sig = sig.0.neg();
+    pairing_product_is_one_prepared(&[(&h, &pk_prep), (&neg_sig, g2_generator_prepared())])
 }
 
 /// One participant's signing share (index is the Shamir evaluation point).
@@ -228,6 +228,7 @@ pub fn shares_to_key_shares(shares: &[Share]) -> Vec<KeyShare> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::curves::g2_generator;
     use crate::shamir::share_secret;
     use substrate::rng::{SeedableRng, StdRng};
 

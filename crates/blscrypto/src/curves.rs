@@ -264,8 +264,120 @@ impl<C: CurveParams> Projective<C> {
         }
     }
 
-    /// Scalar multiplication by little-endian `u64` limbs (double-and-add).
+    /// Mixed addition with an affine point (`Z2 = 1` Jacobian formulas —
+    /// three fewer field multiplications than the general [`Self::add`]).
+    pub fn add_mixed(&self, other: &Affine<C>) -> Self {
+        if other.infinity {
+            return *self;
+        }
+        if self.is_identity() {
+            return other.to_projective();
+        }
+        let z1z1 = self.z.square();
+        let u2 = other.x * z1z1;
+        let s2 = other.y * z1z1 * self.z;
+        if u2 == self.x {
+            if s2 == self.y {
+                return self.double();
+            }
+            return Projective::identity();
+        }
+        let h = u2 - self.x;
+        let hh = h.square();
+        let i = hh.double().double();
+        let j = h * i;
+        let rr = (s2 - self.y).double();
+        let v = self.x * i;
+        let x3 = rr.square() - j - v.double();
+        let y3 = rr * (v - x3) - (self.y * j).double();
+        let z3 = (self.z + h).square() - z1z1 - hh;
+        Projective {
+            x: x3,
+            y: y3,
+            z: z3,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Normalizes a slice of points to affine with a single field inversion
+    /// (Montgomery's batch-inversion trick).
+    pub fn batch_normalize(points: &[Self]) -> Vec<Affine<C>> {
+        // prefix[i] = product of all non-identity z's before index i.
+        let mut prefix = Vec::with_capacity(points.len());
+        let mut acc = C::Base::one();
+        for p in points {
+            prefix.push(acc);
+            if !p.is_identity() {
+                acc = acc * p.z;
+            }
+        }
+        let mut suffix_inv = match acc.invert() {
+            Some(inv) => inv,
+            // Every point is the identity; acc stayed 1 (invertible), so
+            // this arm is unreachable, but keep it total.
+            None => C::Base::one(),
+        };
+        let mut out = vec![Affine::identity(); points.len()];
+        for i in (0..points.len()).rev() {
+            let p = &points[i];
+            if p.is_identity() {
+                continue;
+            }
+            let z_inv = prefix[i] * suffix_inv;
+            suffix_inv = suffix_inv * p.z;
+            let z_inv2 = z_inv.square();
+            out[i] = Affine {
+                x: p.x * z_inv2,
+                y: p.y * z_inv2 * z_inv,
+                infinity: false,
+            };
+        }
+        out
+    }
+
+    /// The affine odd multiples `[1]P, [3]P, …, [2·TABLE-1]P` used by the
+    /// wNAF ladder, normalized with one shared inversion.
+    fn odd_multiples_affine(&self, count: usize) -> Vec<Affine<C>> {
+        let two_p = self.double();
+        let mut multiples = Vec::with_capacity(count);
+        multiples.push(*self);
+        for i in 1..count {
+            multiples.push(multiples[i - 1].add(&two_p));
+        }
+        Self::batch_normalize(&multiples)
+    }
+
+    /// Scalar multiplication by little-endian `u64` limbs.
+    ///
+    /// Width-5 wNAF over a batch-normalized table of odd multiples with
+    /// mixed additions: ~bits doublings plus ~bits/6 additions, against
+    /// ~bits/2 full additions for the plain double-and-add ladder (retained
+    /// as [`Self::mul_limbs_binary`] for the differential suite).
     pub fn mul_limbs(&self, limbs: &[u64]) -> Self {
+        const WIDTH: u32 = 5;
+        if self.is_identity() {
+            return Projective::identity();
+        }
+        let digits = wnaf_digits(limbs, WIDTH);
+        if digits.is_empty() {
+            return Projective::identity();
+        }
+        let table = self.odd_multiples_affine(1 << (WIDTH - 2));
+        let mut acc = Projective::identity();
+        for &d in digits.iter().rev() {
+            acc = acc.double();
+            if d > 0 {
+                acc = acc.add_mixed(&table[(d as usize - 1) / 2]);
+            } else if d < 0 {
+                acc = acc.add_mixed(&table[((-d) as usize - 1) / 2].neg());
+            }
+        }
+        acc
+    }
+
+    /// Plain binary double-and-add scalar multiplication — the reference
+    /// implementation [`Self::mul_limbs`] is differentially tested against.
+    pub fn mul_limbs_binary(&self, limbs: &[u64]) -> Self {
         let mut acc = Projective::identity();
         for i in (0..limbs.len() * 64).rev() {
             acc = acc.double();
@@ -335,6 +447,92 @@ pub type G1Projective = Projective<G1Params>;
 pub type G2Affine = Affine<G2Params>;
 /// `G2` projective point.
 pub type G2Projective = Projective<G2Params>;
+
+/// Computes the width-`w` non-adjacent form of a little-endian limb scalar:
+/// odd digits in `(-2^(w-1), 2^(w-1))`, least-significant first.
+fn wnaf_digits(scalar: &[u64], width: u32) -> Vec<i8> {
+    let mut x: Vec<u64> = scalar.to_vec();
+    x.push(0); // headroom for the +2^w carry of a negative digit
+    let radix = 1u64 << width;
+    let half = radix >> 1;
+    let mut digits = Vec::with_capacity(scalar.len() * 64 + 1);
+    while !x.iter().all(|&l| l == 0) {
+        let d = if x[0] & 1 == 1 {
+            let m = x[0] & (radix - 1);
+            if m >= half {
+                // digit = m - 2^w < 0; subtracting it adds 2^w - m.
+                let mut carry = radix - m;
+                for limb in x.iter_mut() {
+                    let (s, overflow) = limb.overflowing_add(carry);
+                    *limb = s;
+                    carry = overflow as u64;
+                    if carry == 0 {
+                        break;
+                    }
+                }
+                (m as i64 - radix as i64) as i8
+            } else {
+                x[0] -= m; // m is the low bits of x[0]: no borrow
+                m as i8
+            }
+        } else {
+            0
+        };
+        digits.push(d);
+        for i in 0..x.len() {
+            x[i] = (x[i] >> 1) | if i + 1 < x.len() { x[i + 1] << 63 } else { 0 };
+        }
+    }
+    digits
+}
+
+/// A precomputed fixed-window table for repeated multiplication of one base
+/// point: `table[w][j] = (j+1) · 2^(4w) · base`, all affine (one shared
+/// batch inversion at build time). A scalar multiplication is then just one
+/// mixed addition per 4-bit window — no doublings at all.
+pub(crate) struct FixedBaseTable<C: CurveParams> {
+    table: Vec<Vec<Affine<C>>>,
+}
+
+impl<C: CurveParams> FixedBaseTable<C> {
+    const WINDOW: usize = 4;
+
+    pub(crate) fn new(base: &Projective<C>, scalar_bits: usize) -> Self {
+        let windows = scalar_bits.div_ceil(Self::WINDOW);
+        let per = (1 << Self::WINDOW) - 1; // multiples 1..=15 of the window base
+        let mut flat = Vec::with_capacity(windows * per);
+        let mut cur = *base;
+        for _ in 0..windows {
+            let mut mult = cur;
+            for j in 0..per {
+                flat.push(mult);
+                if j + 1 < per {
+                    mult = mult.add(&cur);
+                }
+            }
+            cur = mult.add(&cur); // 16 · cur
+        }
+        let affine = Projective::batch_normalize(&flat);
+        let table = affine.chunks(per).map(|c| c.to_vec()).collect();
+        FixedBaseTable { table }
+    }
+
+    pub(crate) fn mul(&self, scalar: &[u64]) -> Projective<C> {
+        let mut acc = Projective::identity();
+        for (w, row) in self.table.iter().enumerate() {
+            let bit = w * Self::WINDOW;
+            if bit >= scalar.len() * 64 {
+                break;
+            }
+            // 4-bit windows never straddle a limb boundary (4 divides 64).
+            let d = ((scalar[bit / 64] >> (bit % 64)) & 0xf) as usize;
+            if d != 0 {
+                acc = acc.add_mixed(&row[d - 1]);
+            }
+        }
+        acc
+    }
+}
 
 /// The (absolute value of the) BLS parameter `x = -0xd201000000010000`.
 pub const X_ABS: u64 = 0xd201_0000_0001_0000;
@@ -496,6 +694,27 @@ pub fn g1_generator() -> G1Projective {
 /// The fixed `G2` generator (derived deterministically at first use).
 pub fn g2_generator() -> G2Projective {
     constants().g2
+}
+
+fn g1_gen_table() -> &'static FixedBaseTable<G1Params> {
+    static CELL: OnceLock<FixedBaseTable<G1Params>> = OnceLock::new();
+    CELL.get_or_init(|| FixedBaseTable::new(&g1_generator(), Fr::LIMBS * 64))
+}
+
+fn g2_gen_table() -> &'static FixedBaseTable<G2Params> {
+    static CELL: OnceLock<FixedBaseTable<G2Params>> = OnceLock::new();
+    CELL.get_or_init(|| FixedBaseTable::new(&g2_generator(), Fr::LIMBS * 64))
+}
+
+/// Fixed-base multiplication `k · G1` using the precomputed generator window
+/// table: one mixed addition per 4 scalar bits, no doublings.
+pub fn g1_mul_generator(k: Fr) -> G1Projective {
+    g1_gen_table().mul(&k.to_raw())
+}
+
+/// Fixed-base multiplication `k · G2` using the precomputed generator table.
+pub fn g2_mul_generator(k: Fr) -> G2Projective {
+    g2_gen_table().mul(&k.to_raw())
 }
 
 /// The `G1` cofactor `#E(Fp) / r`.
@@ -799,6 +1018,61 @@ mod tests {
         assert_eq!(lhs, rhs);
         let sum = g.mul_fr(a).add(&g.mul_fr(b));
         assert_eq!(sum, g.mul_fr(a + b));
+    }
+
+    #[test]
+    fn wnaf_mul_matches_binary_ladder() {
+        let mut rng = StdRng::seed_from_u64(0x57af);
+        let g1 = g1_generator();
+        let g2 = g2_generator();
+        for _ in 0..6 {
+            let k = Fr::random(&mut rng);
+            assert_eq!(g1.mul_limbs(&k.to_raw()), g1.mul_limbs_binary(&k.to_raw()));
+            assert_eq!(g2.mul_limbs(&k.to_raw()), g2.mul_limbs_binary(&k.to_raw()));
+        }
+        // Edge scalars.
+        for limbs in [[0u64; 4], [1, 0, 0, 0], [31, 0, 0, 0]] {
+            assert_eq!(g1.mul_limbs(&limbs), g1.mul_limbs_binary(&limbs));
+        }
+        assert!(G1Projective::identity().mul_limbs(&[7]).is_identity());
+    }
+
+    #[test]
+    fn fixed_base_generator_mul_matches() {
+        let mut rng = StdRng::seed_from_u64(0xf1c5);
+        for _ in 0..4 {
+            let k = Fr::random(&mut rng);
+            assert_eq!(g1_mul_generator(k), g1_generator().mul_fr(k));
+            assert_eq!(g2_mul_generator(k), g2_generator().mul_fr(k));
+        }
+        assert!(g1_mul_generator(Fr::zero()).is_identity());
+        assert_eq!(g1_mul_generator(Fr::one()), g1_generator());
+    }
+
+    #[test]
+    fn mixed_add_and_batch_normalize_agree_with_general_add() {
+        let mut rng = StdRng::seed_from_u64(0xadd);
+        let g = g1_generator();
+        let mut points = Vec::new();
+        for _ in 0..5 {
+            points.push(g.mul_fr(Fr::random(&mut rng)));
+        }
+        points.push(G1Projective::identity());
+        let affine = G1Projective::batch_normalize(&points);
+        for (p, a) in points.iter().zip(affine.iter()) {
+            assert_eq!(p.to_affine(), *a);
+        }
+        let a0 = affine[0];
+        assert_eq!(points[1].add_mixed(&a0), points[1].add(&points[0]));
+        assert_eq!(
+            G1Projective::identity().add_mixed(&a0),
+            points[0]
+        );
+        assert_eq!(points[0].add_mixed(&a0), points[0].double());
+        assert_eq!(
+            points[0].add_mixed(&a0.neg()),
+            G1Projective::identity()
+        );
     }
 
     #[test]

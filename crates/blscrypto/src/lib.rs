@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 
 
+pub mod batch;
 pub mod bigint;
 pub mod bls;
 pub mod curves;
@@ -59,6 +60,7 @@ pub mod feldman;
 pub mod fields;
 pub mod mont;
 pub mod pairing;
+pub mod reference;
 pub mod reshare;
 pub mod sha256;
 pub mod shamir;

@@ -180,6 +180,134 @@ pub fn mont_mul<const N: usize>(a: [u64; N], b: [u64; N], m: [u64; N], inv: u64)
     }
 }
 
+/// Schoolbook full product `a * b` into `M = 2N` limbs (no reduction).
+///
+/// `M` must equal `2 * N`; Rust's const generics cannot express the doubled
+/// width, so callers pass both explicitly (checked by debug_assert).
+#[inline]
+pub const fn mul_wide<const N: usize, const M: usize>(a: [u64; N], b: [u64; N]) -> [u64; M] {
+    debug_assert!(M == 2 * N);
+    let mut t = [0u64; M];
+    let mut i = 0;
+    while i < N {
+        let mut carry = 0u64;
+        let mut j = 0;
+        while j < N {
+            let s = t[i + j] as u128 + a[i] as u128 * b[j] as u128 + carry as u128;
+            t[i + j] = s as u64;
+            carry = (s >> 64) as u64;
+            j += 1;
+        }
+        t[i + N] = carry;
+        i += 1;
+    }
+    t
+}
+
+/// Full squaring `a * a` into `M = 2N` limbs: half the cross products,
+/// doubled, plus the diagonal.
+#[inline]
+pub fn sqr_wide<const N: usize, const M: usize>(a: [u64; N]) -> [u64; M] {
+    debug_assert!(M == 2 * N);
+    let mut t = [0u64; M];
+    // Cross products a[i]*a[j] for i < j.
+    for i in 0..N {
+        let mut carry = 0u64;
+        for j in (i + 1)..N {
+            let s = t[i + j] as u128 + a[i] as u128 * a[j] as u128 + carry as u128;
+            t[i + j] = s as u64;
+            carry = (s >> 64) as u64;
+        }
+        t[i + N] = carry;
+    }
+    // Double them (top limb of t is < 2^63 here, so no carry is lost).
+    let mut carry = 0u64;
+    for limb in t.iter_mut() {
+        let next = *limb >> 63;
+        *limb = (*limb << 1) | carry;
+        carry = next;
+    }
+    debug_assert_eq!(carry, 0);
+    // Add the diagonal a[i]^2 terms.
+    let mut carry = 0u64;
+    for i in 0..N {
+        let d = a[i] as u128 * a[i] as u128;
+        let s = t[2 * i] as u128 + (d as u64) as u128 + carry as u128;
+        t[2 * i] = s as u64;
+        carry = (s >> 64) as u64;
+        let s = t[2 * i + 1] as u128 + ((d >> 64) as u64) as u128 + carry as u128;
+        t[2 * i + 1] = s as u64;
+        carry = (s >> 64) as u64;
+    }
+    debug_assert_eq!(carry, 0);
+    t
+}
+
+/// Montgomery reduction of a `2N`-limb value `t < m * R` down to `N` limbs:
+/// returns `t * R^{-1} mod m`, fully reduced below `m`.
+///
+/// Together with [`mul_wide`] this is the SOS (separated operand scanning)
+/// form of Montgomery multiplication; it exists alongside the CIOS
+/// [`mont_mul`] so extension-field code can add/subtract *unreduced* double
+/// width products and pay for a single reduction (lazy reduction — valid
+/// whenever the accumulated wide value stays below `m * R`).
+#[inline]
+pub fn redc<const N: usize, const M: usize>(mut t: [u64; M], m: [u64; N], inv: u64) -> [u64; N] {
+    debug_assert!(M == 2 * N);
+    let mut extra = 0u64; // the 2^(64*M) bit of the running sum
+    for i in 0..N {
+        let mf = t[i].wrapping_mul(inv);
+        let mut carry = 0u64;
+        for j in 0..N {
+            let s = t[i + j] as u128 + mf as u128 * m[j] as u128 + carry as u128;
+            t[i + j] = s as u64;
+            carry = (s >> 64) as u64;
+        }
+        let mut k = i + N;
+        while carry != 0 && k < M {
+            let s = t[k] as u128 + carry as u128;
+            t[k] = s as u64;
+            carry = (s >> 64) as u64;
+            k += 1;
+        }
+        extra += carry;
+    }
+    let mut out = [0u64; N];
+    out.copy_from_slice(&t[N..]);
+    // t < m*R implies (t + q*m)/R < 2m, so one conditional subtract suffices
+    // and `extra` is at most 1.
+    debug_assert!(extra <= 1);
+    if extra != 0 || !lt(out, m) {
+        sbb(out, m).0
+    } else {
+        out
+    }
+}
+
+/// Montgomery squaring: `a * a * R^{-1} mod m` via [`sqr_wide`] + [`redc`].
+#[inline]
+pub fn mont_sqr<const N: usize, const M: usize>(a: [u64; N], m: [u64; N], inv: u64) -> [u64; N] {
+    redc::<N, M>(sqr_wide::<N, M>(a), m, inv)
+}
+
+/// Wide addition without reduction; the carry out of limb `M-1` must be zero
+/// (callers keep accumulated values below `m * R < 2^(64M)`).
+#[inline]
+pub fn wide_add<const M: usize>(a: [u64; M], b: [u64; M]) -> [u64; M] {
+    let (s, carry) = adc(a, b);
+    debug_assert_eq!(carry, 0);
+    s
+}
+
+/// Wide subtraction `a - b` for `a >= b` (callers add a `p^2` offset first
+/// when the difference could go negative).
+#[inline]
+pub fn wide_sub<const M: usize>(a: [u64; M], b: [u64; M]) -> [u64; M] {
+    let (d, borrow) = sbb(a, b);
+    debug_assert_eq!(borrow, 0);
+    d
+}
+
 /// Montgomery exponentiation with a little-endian limb exponent.
 ///
 /// `base` is in Montgomery form; the result is in Montgomery form. `one_mont`
@@ -260,6 +388,57 @@ mod tests {
             .mul(&BigUint::from_limbs_le(&b))
             .rem(&p_big());
         assert_eq!(BigUint::from_limbs_le(&prod), expect);
+    }
+
+    #[test]
+    fn mul_wide_sqr_wide_redc_match_oracle() {
+        let inv = mont_inv64(P[0]);
+        let a: [u64; 6] = [
+            0xb9fe_ffff_ffff_aaaa,
+            0x1eab_fffe_b153_fffe,
+            0x6730_d2a0_f6b0_f623,
+            0x6477_4b84_f385_12be,
+            0x4b1b_a7b6_434b_acd6,
+            0x1a01_11ea_397f_e699,
+        ]; // p - 1: the largest reduced element
+        let b: [u64; 6] = [0xffff_ffff_ffff_fff1, 7, 0, 99, 0x8000_0000_0000_0000, 1];
+        let w: [u64; 12] = mul_wide(a, b);
+        let expect = BigUint::from_limbs_le(&a).mul(&BigUint::from_limbs_le(&b));
+        assert_eq!(BigUint::from_limbs_le(&w), expect);
+
+        let sq: [u64; 12] = sqr_wide(a);
+        let expect_sq = BigUint::from_limbs_le(&a).mul(&BigUint::from_limbs_le(&a));
+        assert_eq!(BigUint::from_limbs_le(&sq), expect_sq);
+
+        // redc(mul_wide(a, b)) must agree with CIOS mont_mul exactly.
+        assert_eq!(redc::<6, 12>(w, P, inv), mont_mul(a, b, P, inv));
+        assert_eq!(mont_sqr::<6, 12>(a, P, inv), mont_mul(a, a, P, inv));
+    }
+
+    #[test]
+    fn redc_handles_extra_bit() {
+        // The largest input redc accepts is just under p * R; build one close
+        // to it (p-1 times R-ish) and cross-check against the oracle.
+        let inv = mont_inv64(P[0]);
+        let mut t = [0u64; 12];
+        for (i, limb) in P.iter().enumerate() {
+            t[i + 6] = *limb;
+        }
+        t[6] -= 1; // t = (p - 1) * 2^384 < p * R
+        let got = redc::<6, 12>(t, P, inv);
+        let expect = BigUint::from_limbs_le(&t).rem(&p_big());
+        // redc divides by R mod p: t * R^{-1} = (p-1) mod p.
+        let _ = expect;
+        let r_inv_form = BigUint::from_limbs_le(&got);
+        let pm1 = p_big().sub(&BigUint::one());
+        assert_eq!(r_inv_form, pm1);
+    }
+
+    #[test]
+    fn wide_add_sub_roundtrip() {
+        let a: [u64; 12] = core::array::from_fn(|i| (i as u64).wrapping_mul(0x9e37_79b9));
+        let b: [u64; 12] = core::array::from_fn(|i| (i as u64) << 3);
+        assert_eq!(wide_sub(wide_add(a, b), b), a);
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! [`crate::curves`] be generic over `Fp` (for `G1`) and `Fp2` (for `G2`).
 
 use crate::fields::Fp;
+use crate::mont::{wide_add, wide_sub};
+use std::sync::OnceLock;
 
 /// Minimal field interface shared by all tower levels.
 ///
@@ -111,6 +113,27 @@ impl Fp2 {
         Fp2::new(self.c0 - self.c1, self.c0 + self.c1)
     }
 
+    /// Exponentiation by a little-endian limb scalar (square-and-multiply;
+    /// used to derive the Frobenius tower constants at first use).
+    pub fn pow(&self, exp: &[u64]) -> Self {
+        let mut acc = Fp2::one();
+        let mut started = false;
+        for i in (0..exp.len() * 64).rev() {
+            if started {
+                acc = acc.square();
+            }
+            if (exp[i / 64] >> (i % 64)) & 1 == 1 {
+                if started {
+                    acc = acc * *self;
+                } else {
+                    acc = *self;
+                    started = true;
+                }
+            }
+        }
+        acc
+    }
+
     /// Samples a random element.
     pub fn random<R: substrate::rng::Rng + ?Sized>(rng: &mut R) -> Self {
         Fp2::new(Fp::random(rng), Fp::random(rng))
@@ -155,11 +178,22 @@ impl std::ops::Neg for Fp2 {
 impl std::ops::Mul for Fp2 {
     type Output = Fp2;
     fn mul(self, rhs: Fp2) -> Fp2 {
-        // Karatsuba: (a0 b0 - a1 b1) + ((a0 + a1)(b0 + b1) - a0 b0 - a1 b1) u
-        let v0 = self.c0 * rhs.c0;
-        let v1 = self.c1 * rhs.c1;
-        let s = (self.c0 + self.c1) * (rhs.c0 + rhs.c1);
-        Fp2::new(v0 - v1, s - v0 - v1)
+        // Karatsuba with lazy reduction: the three schoolbook products are
+        // kept as unreduced 768-bit values and combined with wide add/sub
+        // before a single Montgomery reduction per output coefficient
+        // (2 REDCs instead of 3). Validity: operands are at most 2p (one
+        // unreduced limb sum), so every accumulated wide value stays below
+        // 4p² < p·R and one conditional subtraction in REDC suffices.
+        let v0 = Fp::widemul(self.c0.0, rhs.c0.0);
+        let v1 = Fp::widemul(self.c1.0, rhs.c1.0);
+        let s = Fp::widemul(
+            Fp::limb_sum(self.c0.0, self.c1.0),
+            Fp::limb_sum(rhs.c0.0, rhs.c1.0),
+        );
+        // c0 = v0 - v1 (offset by p² to stay non-negative); c1 = s - v0 - v1.
+        let c0 = Fp::redc_wide(wide_sub(wide_add(v0, Fp::P2_WIDE), v1));
+        let c1 = Fp::redc_wide(wide_sub(wide_sub(s, v0), v1));
+        Fp2::new(c0, c1)
     }
 }
 
@@ -223,6 +257,36 @@ impl Field for Fp2 {
     }
 }
 
+/// Frobenius tower constants, derived at first use from the modulus rather
+/// than transcribed: `γ = ξ^(k(p-1)/6)` for the `k` each tower level needs.
+/// (`p ≡ 1 (mod 6)`, so all three exponents are integral.)
+struct FrobConsts {
+    /// `ξ^((p-1)/3)` — scales the `v` coefficient of `Fp6` under Frobenius.
+    gamma6_1: Fp2,
+    /// `ξ^(2(p-1)/3)` — scales the `v²` coefficient.
+    gamma6_2: Fp2,
+    /// `ξ^((p-1)/6)` — scales the `w` coefficient of `Fp12`.
+    gamma12: Fp2,
+}
+
+fn frob_consts() -> &'static FrobConsts {
+    static CELL: OnceLock<FrobConsts> = OnceLock::new();
+    CELL.get_or_init(|| {
+        use crate::bigint::BigUint;
+        let p = BigUint::from_limbs_le(&Fp::MODULUS);
+        let pm1 = p.sub(&BigUint::one());
+        let sixth = pm1.div_rem(&BigUint::from_u64(6)).0;
+        let third = pm1.div_rem(&BigUint::from_u64(3)).0;
+        let two_thirds = third.add(&third);
+        let xi = Fp2::xi();
+        FrobConsts {
+            gamma6_1: xi.pow(third.limbs()),
+            gamma6_2: xi.pow(two_thirds.limbs()),
+            gamma12: xi.pow(sixth.limbs()),
+        }
+    })
+}
+
 /// Cubic extension `Fp6 = Fp2[v] / (v³ - ξ)`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct Fp6 {
@@ -249,6 +313,61 @@ impl Fp6 {
     pub fn mul_by_v(&self) -> Self {
         Fp6::new(self.c2.mul_by_xi(), self.c0, self.c1)
     }
+
+    /// Multiplies every coefficient by an `Fp2` scalar.
+    pub fn mul_by_fp2(&self, s: Fp2) -> Self {
+        Fp6::new(self.c0 * s, self.c1 * s, self.c2 * s)
+    }
+
+    /// Sparse product with `(b0, 0, b2)` — 5 `Fp2` multiplications.
+    pub(crate) fn mul_by_02(&self, b0: Fp2, b2: Fp2) -> Fp6 {
+        let v0 = self.c0 * b0;
+        let v2 = self.c2 * b2;
+        let s = (self.c0 + self.c2) * (b0 + b2);
+        let c0 = v0 + (self.c1 * b2).mul_by_xi();
+        let c1 = self.c1 * b0 + v2.mul_by_xi();
+        let c2 = s - v0 - v2;
+        Fp6::new(c0, c1, c2)
+    }
+
+    /// Sparse product with `(b0, b1, 0)` — 5 `Fp2` multiplications.
+    pub(crate) fn mul_by_01(&self, b0: Fp2, b1: Fp2) -> Fp6 {
+        let v0 = self.c0 * b0;
+        let v1 = self.c1 * b1;
+        let c1 = (self.c0 + self.c1) * (b0 + b1) - v0 - v1;
+        let c0 = v0 + (self.c2 * b1).mul_by_xi();
+        let c2 = v1 + self.c2 * b0;
+        Fp6::new(c0, c1, c2)
+    }
+
+    /// Sparse product with `(0, b1, 0)` — 3 `Fp2` multiplications.
+    pub(crate) fn mul_by_1(&self, b1: Fp2) -> Fp6 {
+        Fp6::new(
+            (self.c2 * b1).mul_by_xi(),
+            self.c0 * b1,
+            self.c1 * b1,
+        )
+    }
+
+    /// Sparse product with `(0, 0, b2)` — 3 `Fp2` multiplications.
+    pub(crate) fn mul_by_2(&self, b2: Fp2) -> Fp6 {
+        Fp6::new(
+            (self.c1 * b2).mul_by_xi(),
+            (self.c2 * b2).mul_by_xi(),
+            self.c0 * b2,
+        )
+    }
+
+    /// Frobenius endomorphism `x ↦ x^p`, using the runtime-derived tower
+    /// constants `γᵢ = ξ^(i(p-1)/3)`.
+    pub fn frobenius_map(&self) -> Fp6 {
+        let fc = frob_consts();
+        Fp6::new(
+            self.c0.conjugate(),
+            self.c1.conjugate() * fc.gamma6_1,
+            self.c2.conjugate() * fc.gamma6_2,
+        )
+    }
 }
 
 impl std::ops::Add for Fp6 {
@@ -272,12 +391,18 @@ impl std::ops::Neg for Fp6 {
 impl std::ops::Mul for Fp6 {
     type Output = Fp6;
     fn mul(self, rhs: Fp6) -> Fp6 {
-        let a = (self.c0, self.c1, self.c2);
-        let b = (rhs.c0, rhs.c1, rhs.c2);
-        let t0 = a.0 * b.0 + (a.1 * b.2 + a.2 * b.1).mul_by_xi();
-        let t1 = a.0 * b.1 + a.1 * b.0 + (a.2 * b.2).mul_by_xi();
-        let t2 = a.0 * b.2 + a.1 * b.1 + a.2 * b.0;
-        Fp6::new(t0, t1, t2)
+        // Karatsuba over the cubic extension: 6 Fp2 multiplications instead
+        // of the schoolbook 9 (retained as `reference::fp6_mul_schoolbook`).
+        let t0 = self.c0 * rhs.c0;
+        let t1 = self.c1 * rhs.c1;
+        let t2 = self.c2 * rhs.c2;
+        let s12 = (self.c1 + self.c2) * (rhs.c1 + rhs.c2); // a1b2 + a2b1 + t1 + t2
+        let s01 = (self.c0 + self.c1) * (rhs.c0 + rhs.c1); // a0b1 + a1b0 + t0 + t1
+        let s02 = (self.c0 + self.c2) * (rhs.c0 + rhs.c2); // a0b2 + a2b0 + t0 + t2
+        let c0 = t0 + (s12 - t1 - t2).mul_by_xi();
+        let c1 = s01 - t0 - t1 + t2.mul_by_xi();
+        let c2 = s02 - t0 - t2 + t1;
+        Fp6::new(c0, c1, c2)
     }
 }
 
@@ -292,7 +417,18 @@ impl Field for Fp6 {
         self.c0.is_zero() && self.c1.is_zero() && self.c2.is_zero()
     }
     fn square(&self) -> Self {
-        *self * *self
+        // Dedicated cubic squaring (CH-SQR3): 3 Fp2 squarings + 2 Fp2
+        // multiplications, against 6 generic products for `self * self`.
+        let s0 = self.c0.square();
+        let s1 = (self.c0 * self.c1).double();
+        let s2 = (self.c0 - self.c1 + self.c2).square();
+        let s3 = (self.c1 * self.c2).double();
+        let s4 = self.c2.square();
+        Fp6::new(
+            s0 + s3.mul_by_xi(),
+            s1 + s4.mul_by_xi(),
+            s1 + s2 + s3 - s0 - s4,
+        )
     }
     fn double(&self) -> Self {
         Fp6::new(self.c0.double(), self.c1.double(), self.c2.double())
@@ -386,6 +522,69 @@ impl Fp12 {
         }
         acc
     }
+
+    /// Frobenius endomorphism `x ↦ x^p`: `w^p = ξ^((p-1)/6) · w`.
+    pub fn frobenius_map(&self) -> Fp12 {
+        let fc = frob_consts();
+        Fp12::new(
+            self.c0.frobenius_map(),
+            self.c1.frobenius_map().mul_by_fp2(fc.gamma12),
+        )
+    }
+
+    /// Granger–Scott squaring for elements of the cyclotomic subgroup
+    /// (`x^(p⁶+1) = 1`, i.e. anything that already passed the easy part of a
+    /// final exponentiation). Roughly half the cost of a generic
+    /// [`Field::square`]; **invalid** for general `Fp12` elements.
+    pub fn cyclotomic_square(&self) -> Fp12 {
+        #[inline]
+        fn fp4_square(a: Fp2, b: Fp2) -> (Fp2, Fp2) {
+            // (a + b·s)² over Fp4 = Fp2[s]/(s² - ξ).
+            let t0 = a.square();
+            let t1 = b.square();
+            let c0 = t1.mul_by_xi() + t0;
+            let c1 = (a + b).square() - t0 - t1;
+            (c0, c1)
+        }
+        let z0 = self.c0.c0;
+        let z4 = self.c0.c1;
+        let z3 = self.c0.c2;
+        let z2 = self.c1.c0;
+        let z1 = self.c1.c1;
+        let z5 = self.c1.c2;
+        let (t0, t1) = fp4_square(z0, z1);
+        let r0 = (t0 - z0).double() + t0;
+        let r1 = (t1 + z1).double() + t1;
+        let (t0, t1) = fp4_square(z2, z3);
+        let (t2, t3) = fp4_square(z4, z5);
+        let r4 = (t0 - z4).double() + t0;
+        let r5 = (t1 + z5).double() + t1;
+        let xt3 = t3.mul_by_xi();
+        let r2 = (xt3 + z2).double() + xt3;
+        let r3 = (t2 - z3).double() + t2;
+        Fp12::new(Fp6::new(r0, r4, r3), Fp6::new(r2, r1, r5))
+    }
+
+    /// Sparse product with a Tate-pairing line: nonzero coefficients at
+    /// `c0.c0`, `c0.c2` and `c1.c1` only. 14 `Fp2` multiplications against 18
+    /// for a generic product.
+    pub(crate) fn mul_by_tate_line(&self, l00: Fp2, l02: Fp2, l11: Fp2) -> Fp12 {
+        let t0 = self.c0.mul_by_02(l00, l02);
+        let t1 = self.c1.mul_by_1(l11);
+        let dense = Fp6::new(l00, l11, l02); // m0 + m1
+        let c1 = (self.c0 + self.c1) * dense - t0 - t1;
+        Fp12::new(t0 + t1.mul_by_v(), c1)
+    }
+
+    /// Sparse product with an ate-pairing line: nonzero coefficients at
+    /// `c0.c2`, `c1.c0` and `c1.c1` only. 14 `Fp2` multiplications.
+    pub(crate) fn mul_by_ate_line(&self, l02: Fp2, l10: Fp2, l11: Fp2) -> Fp12 {
+        let t0 = self.c0.mul_by_2(l02);
+        let t1 = self.c1.mul_by_01(l10, l11);
+        let dense = Fp6::new(l10, l11, l02); // m0 + m1
+        let c1 = (self.c0 + self.c1) * dense - t0 - t1;
+        Fp12::new(t0 + t1.mul_by_v(), c1)
+    }
 }
 
 impl std::ops::Add for Fp12 {
@@ -428,7 +627,12 @@ impl Field for Fp12 {
         self.c0.is_zero() && self.c1.is_zero()
     }
     fn square(&self) -> Self {
-        *self * *self
+        // Complex squaring: 2 Fp6 multiplications instead of the 3 a generic
+        // product costs. (a0 + a1 w)² with w² = v:
+        //   c0 = (a0 + a1)(a0 + v a1) - t - v t,  c1 = 2t,  t = a0 a1.
+        let t = self.c0 * self.c1;
+        let c0 = (self.c0 + self.c1) * (self.c0 + self.c1.mul_by_v()) - t - t.mul_by_v();
+        Fp12::new(c0, t.double())
     }
     fn double(&self) -> Self {
         Fp12::new(self.c0.double(), self.c1.double())
@@ -557,6 +761,60 @@ mod tests {
         let a = random_fp12(&mut rng);
         let b = random_fp12(&mut rng);
         assert_eq!((a * b).conjugate(), a.conjugate() * b.conjugate());
+    }
+
+    #[test]
+    fn fp6_fp12_dedicated_squares_match_mul() {
+        let mut rng = rng();
+        for _ in 0..10 {
+            let a = random_fp6(&mut rng);
+            assert_eq!(a.square(), a * a);
+            let b = random_fp12(&mut rng);
+            assert_eq!(b.square(), b * b);
+        }
+    }
+
+    #[test]
+    fn sparse_line_muls_match_dense() {
+        let mut rng = rng();
+        for _ in 0..10 {
+            let f = random_fp12(&mut rng);
+            let (l0, l1, l2) = (
+                Fp2::random(&mut rng),
+                Fp2::random(&mut rng),
+                Fp2::random(&mut rng),
+            );
+            let tate = Fp12::new(Fp6::new(l0, Fp2::zero(), l1), Fp6::new(Fp2::zero(), l2, Fp2::zero()));
+            assert_eq!(f.mul_by_tate_line(l0, l1, l2), f * tate);
+            let ate = Fp12::new(Fp6::new(Fp2::zero(), Fp2::zero(), l0), Fp6::new(l1, l2, Fp2::zero()));
+            assert_eq!(f.mul_by_ate_line(l0, l1, l2), f * ate);
+        }
+    }
+
+    #[test]
+    fn frobenius_matches_pow_p() {
+        let mut rng = rng();
+        let a = random_fp12(&mut rng);
+        assert_eq!(a.frobenius_map(), a.pow(&Fp::MODULUS));
+        // Twelve applications are the identity.
+        let mut x = a;
+        for _ in 0..12 {
+            x = x.frobenius_map();
+        }
+        assert_eq!(x, a);
+    }
+
+    #[test]
+    fn cyclotomic_square_matches_square_in_subgroup() {
+        let mut rng = rng();
+        for _ in 0..5 {
+            let f = random_fp12(&mut rng);
+            // Push f into the cyclotomic subgroup via the easy part of a
+            // final exponentiation: z = (f^(p⁶-1))^(p²+1).
+            let t = f.conjugate() * f.invert().expect("random f invertible");
+            let z = t.frobenius_map().frobenius_map() * t;
+            assert_eq!(z.cyclotomic_square(), z.square());
+        }
     }
 
     #[test]

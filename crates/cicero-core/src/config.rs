@@ -82,6 +82,12 @@ pub struct CostModel {
     pub bls_verify: SimDuration,
     /// Aggregating one signature share (Lagrange-weighted G1 mul).
     pub aggregate_per_share: SimDuration,
+    /// Amortized per-item cost of *batched* signature verification: one
+    /// randomized pairing-product check covers a whole batch
+    /// ([`blscrypto::batch`]), so the per-item share is far below
+    /// [`CostModel::bls_verify`]. Charged by the aggregator when it
+    /// validates a quorum of partials before aggregating.
+    pub batch_verify_per_item: SimDuration,
     /// Controller: signing an update with a key share.
     pub update_sign: SimDuration,
     /// Controller: application + scheduler work per event — the *serialized*
@@ -114,6 +120,7 @@ impl Default for CostModel {
             event_sign: SimDuration::from_micros(200),
             bls_verify: SimDuration::from_micros(450),
             aggregate_per_share: SimDuration::from_micros(150),
+            batch_verify_per_item: SimDuration::from_micros(150),
             update_sign: SimDuration::from_micros(250),
             event_process: SimDuration::from_micros(700),
             event_pipeline: SimDuration::from_micros(1200),
@@ -122,6 +129,33 @@ impl Default for CostModel {
             ctrl_msg: SimDuration::from_micros(100),
             aggregator_msg: SimDuration::from_micros(150),
             aggregator_delay: SimDuration::from_micros(1200),
+        }
+    }
+}
+
+impl CostModel {
+    /// The cost model with every *cryptographic* term replaced by this
+    /// host's measured bench medians (`BENCH_protocol.json`, crypto suite) —
+    /// the fast pairing/wNAF/batch implementations, not the paper's PBC
+    /// numbers. Non-crypto terms (message handling, pipelines, consensus
+    /// wire) keep the paper-calibrated defaults: they model the testbed,
+    /// not this host.
+    ///
+    /// Used by the Fig. 11d variant that reports per-switch CPU under
+    /// measured costs (`experiment::fig11d_switch_cpu_measured`). Refresh
+    /// alongside the baseline: `event_sign`/`update_sign` ≈ `bls_sign` /
+    /// `threshold_sign_share`, `bls_verify` is the two-pairing verify,
+    /// `aggregate_per_share` is `threshold_aggregate_q2 / 2`, and
+    /// `batch_verify_per_item` is `batch_verify_64 / 64`.
+    #[must_use]
+    pub fn measured() -> Self {
+        CostModel {
+            event_sign: SimDuration::from_micros(380),
+            bls_verify: SimDuration::from_micros(1870),
+            aggregate_per_share: SimDuration::from_micros(143),
+            batch_verify_per_item: SimDuration::from_micros(980),
+            update_sign: SimDuration::from_micros(380),
+            ..CostModel::default()
         }
     }
 }

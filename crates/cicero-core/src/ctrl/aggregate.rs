@@ -5,9 +5,11 @@
 use super::ControllerActor;
 use crate::msg::Net;
 use crate::obs::Obs;
-use blscrypto::bls::PartialSignature;
+use crate::runtime::labels;
+use blscrypto::batch::{batch_verify, BatchItem};
+use blscrypto::bls::{self, PartialSignature, Signature};
 use simnet::node::Host;
-use southbound::envelope::{QuorumSigned, ShareSigned};
+use southbound::envelope::{signing_digest, QuorumSigned, ShareSigned};
 use southbound::types::{NetworkUpdate, Phase};
 use std::collections::BTreeMap;
 
@@ -71,6 +73,48 @@ impl ControllerActor {
         let update = bucket.update;
         let phase = bucket.phase;
         let msg_id = self.msg_id();
+        // Validate the quorum *before* aggregating: one randomized
+        // pairing-product check over all shares ([`blscrypto::batch`])
+        // instead of a full `bls_verify` per share. A poisoned batch falls
+        // back to per-share verification to evict the culprits, then waits
+        // for honest replacements — without this, one Byzantine share would
+        // make the relayed aggregate fail at the switch forever.
+        ctx.charge_cpu(
+            self.shared
+                .cfg
+                .costs
+                .batch_verify_per_item
+                .saturating_mul(partials.len() as u64),
+        );
+        if self.shared.real_crypto() {
+            let digest = signing_digest(labels::UPDATE, phase, &update);
+            let items: Vec<BatchItem<'_>> = partials
+                .iter()
+                .map(|p| {
+                    BatchItem::new(
+                        self.group.member_public_key(p.index),
+                        &digest,
+                        Signature(p.sig),
+                    )
+                })
+                .collect();
+            if !batch_verify(&items, ctx.rng()) {
+                for p in &partials {
+                    ctx.charge_cpu(self.shared.cfg.costs.bls_verify);
+                    let mpk = self.group.member_public_key(p.index);
+                    if !bls::verify_partial(&mpk, &digest, p) {
+                        if let Some(b) = self
+                            .agg_buckets
+                            .get_mut(&key)
+                            .and_then(|bs| bs.iter_mut().find(|b| b.update == update))
+                        {
+                            b.partials.remove(&p.index);
+                        }
+                    }
+                }
+                return;
+            }
+        }
         let out = if self.shared.real_crypto() {
             match QuorumSigned::aggregate(update, phase, msg_id, &partials, quorum - 1) {
                 Ok(q) => q,

@@ -2,7 +2,7 @@
 //! (§6). The `bench` crate's `figures` binary and the integration tests are
 //! thin wrappers over these.
 
-use crate::config::{Aggregation, CryptoMode, EngineConfig, Mode};
+use crate::config::{Aggregation, CostModel, CryptoMode, EngineConfig, Mode};
 use crate::engine::Engine;
 use crate::msg::Net;
 use crate::obs::{events_per_domain, flow_latencies, Cdf, Obs};
@@ -69,11 +69,39 @@ pub fn run_flow_completion_with(
     seed: u64,
     cross_domain_handshake: bool,
 ) -> FlowRun {
+    run_flow_completion_costed(
+        mode,
+        topo,
+        domain_map,
+        spec,
+        rule_reuse,
+        seed,
+        cross_domain_handshake,
+        CostModel::default(),
+    )
+}
+
+/// [`run_flow_completion_with`] with the per-operation [`CostModel`] also
+/// exposed, so figures can be produced under the paper-calibrated defaults
+/// *or* under [`CostModel::measured`] (this host's bench medians for the
+/// fast crypto paths).
+#[allow(clippy::too_many_arguments)]
+pub fn run_flow_completion_costed(
+    mode: Mode,
+    topo: &Topology,
+    domain_map: DomainMap,
+    spec: &WorkloadSpec,
+    rule_reuse: bool,
+    seed: u64,
+    cross_domain_handshake: bool,
+    costs: CostModel,
+) -> FlowRun {
     let mut cfg = EngineConfig::for_mode(mode);
     cfg.rule_reuse = rule_reuse;
     cfg.seed = seed;
     cfg.crypto = CryptoMode::Modeled;
     cfg.cross_domain_handshake = cross_domain_handshake;
+    cfg.costs = costs;
     let mut rng = StdRng::seed_from_u64(seed);
     let flows = workload::gen::generate(topo, spec, &mut rng);
     let mut engine = Engine::build(cfg, topo.clone(), domain_map, 0);
@@ -118,6 +146,33 @@ pub fn fig11d_switch_cpu(seed: u64) -> Vec<(&'static str, Vec<f64>)> {
     fig11_flow_completion(&spec, true, seed)
         .into_iter()
         .map(|r| (r.label, r.mean_switch_cpu))
+        .collect()
+}
+
+/// Fig. 11d under *measured* crypto costs: the per-switch CPU series with
+/// every cryptographic term of the [`CostModel`] replaced by this host's
+/// bench medians for the optimized implementations
+/// ([`CostModel::measured`]) — what the paper's figure would look like on
+/// modern hardware with the batched verify path, rather than on the
+/// 2012-era PBC testbed the defaults are calibrated to.
+pub fn fig11d_switch_cpu_measured(seed: u64) -> Vec<(&'static str, Vec<f64>)> {
+    let spec = workload::spec::hadoop();
+    let topo = Topology::single_pod(40, 4, 4);
+    ALL_MODES
+        .iter()
+        .map(|&mode| {
+            let run = run_flow_completion_costed(
+                mode,
+                &topo,
+                DomainMap::single(&topo),
+                &spec,
+                true,
+                seed,
+                true,
+                CostModel::measured(),
+            );
+            (run.label, run.mean_switch_cpu)
+        })
         .collect()
 }
 

@@ -434,6 +434,25 @@ impl Scenario {
         s
     }
 
+    /// [`Scenario::generate`], forced into the *secure* (Cicero-family)
+    /// modes where every update carries a threshold signature: the sweep
+    /// behind `simcheck secure`, which concentrates seeds on the paths the
+    /// crypto optimizations changed (signature quorums, batched
+    /// aggregator verification, rogue-share rejection) instead of
+    /// spending ~40% of them on centralized/crash-tolerant scenarios.
+    pub fn generate_secure(seed: u64) -> Scenario {
+        let mut s = Scenario::generate(seed);
+        if !matches!(s.mode, ModeTag::Cicero | ModeTag::CiceroAgg) {
+            s.mode = if seed % 2 == 0 {
+                ModeTag::Cicero
+            } else {
+                ModeTag::CiceroAgg
+            };
+            s.controllers_per_domain = s.controllers_per_domain.max(4);
+        }
+        s
+    }
+
     /// The concrete fabric: a single pod of ToR + edge switches.
     pub fn topology(&self) -> Topology {
         Topology::single_pod(

@@ -275,6 +275,108 @@ impl BenchmarkId {
     }
 }
 
+/// One benchmark's fresh-vs-baseline comparison.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Benchmark name.
+    pub name: String,
+    /// Recorded baseline median (ns).
+    pub baseline_ns: f64,
+    /// Freshly measured median (ns).
+    pub fresh_ns: f64,
+}
+
+impl Comparison {
+    /// `fresh / baseline` — above `1.0` means the fresh run is slower.
+    pub fn ratio(&self) -> f64 {
+        self.fresh_ns / self.baseline_ns
+    }
+
+    /// Whether this entry regressed beyond the tolerance band:
+    /// `fresh > baseline * (1 + tolerance)`. Speedups never count as
+    /// regressions.
+    pub fn regressed(&self, tolerance: f64) -> bool {
+        self.fresh_ns > self.baseline_ns * (1.0 + tolerance)
+    }
+}
+
+/// Outcome of comparing a fresh suite run against a recorded baseline.
+#[derive(Clone, Debug, Default)]
+pub struct CompareReport {
+    /// Per-benchmark comparisons for names present in both documents.
+    pub compared: Vec<Comparison>,
+    /// Baseline entries the fresh run no longer produces (renamed or
+    /// deleted benches — the gate treats these as failures so a regression
+    /// can't hide behind a rename).
+    pub missing_in_fresh: Vec<String>,
+    /// Fresh entries with no recorded baseline yet (new benches; not a
+    /// failure, but the baseline should be refreshed to cover them).
+    pub new_in_fresh: Vec<String>,
+}
+
+impl CompareReport {
+    /// All entries regressed beyond `tolerance`.
+    pub fn regressions(&self, tolerance: f64) -> Vec<&Comparison> {
+        self.compared
+            .iter()
+            .filter(|c| c.regressed(tolerance))
+            .collect()
+    }
+}
+
+fn suite_medians(doc: &JsonValue, suite: &str) -> Option<Vec<(String, f64)>> {
+    let suites = doc.get("suites")?.as_array()?;
+    let s = suites
+        .iter()
+        .find(|s| s.get("suite").and_then(JsonValue::as_str) == Some(suite))?;
+    let results = s.get("results")?.as_array()?;
+    let mut out = Vec::new();
+    for r in results {
+        let name = r.get("name")?.as_str()?.to_owned();
+        let median = r.get("median_ns")?.as_f64()?;
+        out.push((name, median));
+    }
+    Some(out)
+}
+
+/// Compares the named suite's medians between two benchkit JSON documents
+/// (the `compare` mode used by the perf regression gate in `verify.sh`).
+///
+/// # Errors
+///
+/// Returns a message when either document does not parse or does not
+/// contain the suite.
+pub fn compare_docs(
+    baseline_doc: &str,
+    fresh_doc: &str,
+    suite: &str,
+) -> Result<CompareReport, String> {
+    let baseline =
+        JsonValue::parse(baseline_doc).map_err(|e| format!("baseline: invalid JSON: {e}"))?;
+    let fresh = JsonValue::parse(fresh_doc).map_err(|e| format!("fresh: invalid JSON: {e}"))?;
+    let baseline =
+        suite_medians(&baseline, suite).ok_or_else(|| format!("baseline: no suite {suite:?}"))?;
+    let fresh =
+        suite_medians(&fresh, suite).ok_or_else(|| format!("fresh: no suite {suite:?}"))?;
+    let mut report = CompareReport::default();
+    for (name, baseline_ns) in &baseline {
+        match fresh.iter().find(|(n, _)| n == name) {
+            Some((_, fresh_ns)) => report.compared.push(Comparison {
+                name: name.clone(),
+                baseline_ns: *baseline_ns,
+                fresh_ns: *fresh_ns,
+            }),
+            None => report.missing_in_fresh.push(name.clone()),
+        }
+    }
+    for (name, _) in &fresh {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            report.new_in_fresh.push(name.clone());
+        }
+    }
+    Ok(report)
+}
+
 fn fmt_ns(ns: f64) -> String {
     if ns < 1_000.0 {
         format!("{ns:8.1} ns")
@@ -315,6 +417,48 @@ mod tests {
         assert_eq!(results.len(), 1);
         assert_eq!(results[0].get("name").unwrap().as_str(), Some("noop"));
         assert!(results[0].get("median_ns").unwrap().as_f64().unwrap() >= 0.0);
+    }
+
+    fn doc(suite: &str, entries: &[(&str, f64)]) -> String {
+        let results: Vec<String> = entries
+            .iter()
+            .map(|(n, m)| format!("{{\"name\":\"{n}\",\"median_ns\":{m}}}"))
+            .collect();
+        format!(
+            "{{\"suites\":[{{\"suite\":\"{suite}\",\"results\":[{}]}}]}}",
+            results.join(",")
+        )
+    }
+
+    #[test]
+    fn compare_flags_regressions_and_renames() {
+        let baseline = doc("crypto", &[("pairing", 1000.0), ("old_bench", 5.0)]);
+        let fresh = doc("crypto", &[("pairing", 1600.0), ("new_bench", 7.0)]);
+        let report = compare_docs(&baseline, &fresh, "crypto").unwrap();
+        assert_eq!(report.compared.len(), 1);
+        assert_eq!(report.compared[0].name, "pairing");
+        assert!((report.compared[0].ratio() - 1.6).abs() < 1e-9);
+        // 50% band catches the 60% slowdown; a looser band does not.
+        assert_eq!(report.regressions(0.5).len(), 1);
+        assert!(report.regressions(0.7).is_empty());
+        assert_eq!(report.missing_in_fresh, vec!["old_bench".to_owned()]);
+        assert_eq!(report.new_in_fresh, vec!["new_bench".to_owned()]);
+    }
+
+    #[test]
+    fn compare_never_flags_speedups() {
+        let baseline = doc("crypto", &[("pairing", 1000.0)]);
+        let fresh = doc("crypto", &[("pairing", 10.0)]);
+        let report = compare_docs(&baseline, &fresh, "crypto").unwrap();
+        assert!(report.regressions(0.0).is_empty());
+    }
+
+    #[test]
+    fn compare_rejects_missing_suite_or_bad_json() {
+        let ok = doc("crypto", &[("pairing", 1.0)]);
+        assert!(compare_docs(&ok, &ok, "nope").is_err());
+        assert!(compare_docs("not json", &ok, "crypto").is_err());
+        assert!(compare_docs(&ok, "{", "crypto").is_err());
     }
 
     #[test]

@@ -63,6 +63,39 @@ echo "== detlint: determinism & protocol-safety static analysis =="
 # `// detlint::allow(rule): reason` — reason mandatory.
 cargo run -q --offline --release -p detlint
 
+echo "== crypto perf regression gate (benchkit compare vs BENCH_protocol.json) =="
+# Re-measure the crypto suite and diff the medians against the recorded
+# baseline: fail on any entry regressing past the tolerance band, on a
+# renamed/vanished entry, or on the absolute paper-level caps —
+# bls_verify ≤ 10 ms and batch_verify_64 amortized ≤ 2 ms per update.
+# The band is wide (3x) because this runs on shared/variable hardware; the
+# caps are what the acceptance criteria actually pin. Skip with
+# SKIP_BENCH_GATE=1 (e.g. on heavily loaded CI workers), refresh the
+# baseline with BENCHKIT_OUT=$PWD/BENCH_protocol.json cargo bench -p bench --bench crypto.
+if [ -z "${SKIP_BENCH_GATE:-}" ]; then
+    fresh_bench=$(mktemp /tmp/benchkit-fresh.XXXXXX.json)
+    BENCHKIT_OUT="$fresh_bench" cargo bench -q --offline -p bench --bench crypto >/dev/null
+    cargo run -q --offline --release -p bench --bin benchgate -- \
+        BENCH_protocol.json "$fresh_bench" crypto \
+        --tolerance 2.0 \
+        --cap bls_verify=10000000 \
+        --cap batch_verify_64/64=2000000
+    rm -f "$fresh_bench"
+else
+    echo "  skipped (SKIP_BENCH_GATE set)"
+fi
+
+echo "== secure-mode fuzzer sweep (256 seeds, threshold-signed modes) =="
+# All 256 seeds forced into the Cicero-family modes so every scenario
+# exercises threshold signing, quorum checks, and the aggregator's batched
+# verification — the paths the crypto fast path rewired.
+cargo run -q --offline --release -p bench --bin simcheck -- secure 256
+
+echo "== secure-mode crash-recovery sweep (256 seeds) =="
+# generate_recovery already forces Cicero-family modes; 256 seeds of
+# crash-and-restart on top of the secure update path.
+cargo run -q --offline --release -p bench --bin simcheck -- recover 256
+
 echo "== simulation fuzzer smoke (bounded seed sweep) =="
 # A bounded exploration of fresh seeds beyond the fixed forall! sweep the
 # test suite already ran; failures are shrunk and written as replayable
