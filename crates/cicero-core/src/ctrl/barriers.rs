@@ -406,6 +406,26 @@ impl ControllerActor {
                 return;
             }
         }
+        let fresh = {
+            let st = self
+                .barriers
+                .entry((body.event, body.segment))
+                .or_insert_with(BarrierState::new);
+            st.signers.insert((body.domain, body.controller.0))
+        };
+        if fresh {
+            // A counted signer is a durable fact: a restarted controller
+            // must not demand the quorum twice (nor release without it).
+            // Logged *before* the receipt goes out — the receipt stops the
+            // downstream retransmitting, so if we crashed after sending but
+            // before logging, the signer would be forgotten with no
+            // retransmission left to re-teach it.
+            self.log_record(&crate::msg::WalRecord::BarrierSigner {
+                barrier: barrier_id(body.event, body.segment),
+                domain: body.domain,
+                controller: body.controller,
+            });
+        }
         // Receipt unconditionally — it only means "stop retransmitting to
         // me", never "released" — so duplicates and reports arriving before
         // our own barrier exists still silence the downstream sender.
@@ -423,22 +443,6 @@ impl ControllerActor {
             .get(&(body.domain, body.controller))
         {
             ctx.send(node, Net::BoundaryRelease(signed));
-        }
-        let fresh = {
-            let st = self
-                .barriers
-                .entry((body.event, body.segment))
-                .or_insert_with(BarrierState::new);
-            st.signers.insert((body.domain, body.controller.0))
-        };
-        if fresh {
-            // A counted signer is a durable fact: a restarted controller
-            // must not demand the quorum twice (nor release without it).
-            self.log_record(&crate::msg::WalRecord::BarrierSigner {
-                barrier: barrier_id(body.event, body.segment),
-                domain: body.domain,
-                controller: body.controller,
-            });
         }
         self.check_barrier_release(ctx, (body.event, body.segment));
     }

@@ -269,14 +269,17 @@ pub fn lex(source: &str) -> Lexed {
                     });
                     continue;
                 }
-                // `r#ident` raw identifier: emit the identifier itself.
+                // `r#ident` raw identifier. Keep the `r#` marker: a raw
+                // identifier is *not* the keyword it spells (`r#unsafe` is a
+                // plain binding named "unsafe"), so emitting the bare name
+                // would fabricate keyword findings like no-unsafe.
                 let id_start = i;
                 while i < n && is_ident_continue(chars[i]) {
                     i += 1;
                 }
                 let id: String = chars[id_start..i].iter().collect();
                 tokens.push(Token {
-                    tok: Tok::Ident(id),
+                    tok: Tok::Ident(format!("r#{id}")),
                     line,
                 });
                 continue;
@@ -390,6 +393,104 @@ fn real_ident() {}
         let lexed = lex(src);
         assert_eq!(lexed.directives.len(), 1);
         assert_eq!(lexed.directives[0].line, 2);
+    }
+
+    // -- raw-string edge cases -------------------------------------------
+    // The flow rules parse item structure from this token stream, so a raw
+    // string that leaks contents (or swallows following code) would corrupt
+    // every downstream analysis, not just one finding.
+
+    #[test]
+    fn raw_string_hash_runs_terminate_exactly() {
+        // Interior `"#` runs shorter than the opener must not close r##"..."##.
+        let src = r####"let a = r##"quote "# inside"##; unsafe {}"####;
+        let lexed = lex(src);
+        let strs: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec![r##"quote "# inside"##]);
+        assert!(idents(src).contains(&"unsafe".to_string()), "code after the raw string lexes");
+    }
+
+    #[test]
+    fn raw_string_without_hashes_and_byte_raw_strings() {
+        // r"..." (zero hashes) closes at the first quote; `#` inside stays.
+        assert_eq!(
+            lex(r#"let a = r"x # y";"#)
+                .tokens
+                .iter()
+                .filter_map(|t| match &t.tok {
+                    Tok::Str(s) => Some(s.clone()),
+                    _ => None,
+                })
+                .collect::<Vec<_>>(),
+            vec!["x # y".to_string()]
+        );
+        // br#"..."# byte raw strings take the same path.
+        let ids = idents(r##"let b = br#"HashMap unsafe"#; fn tail() {}"##);
+        assert!(ids.contains(&"tail".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"unsafe".to_string()));
+    }
+
+    #[test]
+    fn raw_string_multiline_counts_lines() {
+        let src = "let a = r#\"one\ntwo\"#;\nfn after() {}";
+        let lexed = lex(src);
+        let after = lexed
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("after".to_string()))
+            .expect("after ident present");
+        assert_eq!(after.line, 3);
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_keywords() {
+        // `r#unsafe` is a *binding named "unsafe"*, not the unsafe keyword;
+        // emitting the bare name fabricated no-unsafe findings.
+        let ids = idents("let r#unsafe = 1; let r#match = r#unsafe;");
+        assert!(!ids.contains(&"unsafe".to_string()), "raw ident leaked as keyword");
+        assert!(!ids.contains(&"match".to_string()));
+        assert_eq!(ids.iter().filter(|s| *s == "r#unsafe").count(), 2);
+        // A plain `r` binding is untouched by the raw-prefix sniffing.
+        assert!(idents("let r = 5;").contains(&"r".to_string()));
+    }
+
+    // -- nested block comment edge cases ---------------------------------
+
+    #[test]
+    fn nested_comment_openers_and_closers_pair_like_rustc() {
+        // `/*/` opens without closing (the `/` is content); `/**/` both
+        // opens and closes; overlapping `* /*` runs must not double-count.
+        for (src, visible) in [
+            ("/* a /* b */ c */ fn x() {}", "x"),
+            ("/*/ still a comment */ fn y() {}", "y"),
+            ("/* /**/ */ fn z() {}", "z"),
+            ("/* /* /* deep */ */ unsafe */ fn w() {}", "w"),
+            ("/** doc-style ** with stars **/ fn v() {}", "v"),
+        ] {
+            let ids = idents(src);
+            assert!(ids.contains(&visible.to_string()), "{src}: code after comment lost");
+            assert!(!ids.contains(&"unsafe".to_string()), "{src}: comment text leaked");
+            assert!(
+                !ids.iter().any(|s| s == "a" || s == "b" || s == "c" || s == "deep"),
+                "{src}: comment text leaked"
+            );
+        }
+    }
+
+    #[test]
+    fn unterminated_nested_comment_consumes_to_eof() {
+        // Depth never returns to zero: everything after is comment, exactly
+        // as rustc treats it (it would be a compile error; the linter must
+        // simply not misclassify the text as code).
+        assert!(idents("/* open /* deeper */ still open... unsafe").is_empty());
     }
 
     #[test]

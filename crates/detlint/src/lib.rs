@@ -21,6 +21,17 @@
 //! * `panic-policy` — bare `unwrap()`, reason-less `expect()`, and
 //!   `todo!`/`unimplemented!` in protocol hot paths (non-test code).
 //!
+//! A second, cross-file pass ([`flow`], over the item index built by
+//! [`parse`]) checks the protocol rather than the code: every constructed
+//! `Net` variant has a handler arm (`net-variant-unhandled`), every emitted
+//! `Obs` variant is consumed by a simcheck oracle (`obs-variant-unaudited`),
+//! every appended `WalRecord` has a replay arm (`wal-variant-unreplayed`),
+//! WAL appends dominate ack sends (`write-ahead-ordering`), and the
+//! threaded runtime never blocks in a handler, holds a lock across a
+//! channel op (`actor-blocking`), or orders locks cyclically
+//! (`lock-order-cycle`). DESIGN.md §5 spells out which parts are proven
+//! and which are fail-closed heuristics.
+//!
 //! Escape hatch: `// detlint::allow(rule): reason` on the offending line or
 //! the line above. The reason is **mandatory** — a reason-less directive is
 //! itself a finding (`malformed-allow`) and suppresses nothing. A directive
@@ -33,7 +44,9 @@
 
 #![forbid(unsafe_code)]
 
+pub mod flow;
 pub mod lex;
+pub mod parse;
 pub mod rules;
 
 use std::fs;
@@ -45,35 +58,80 @@ pub use rules::{Finding, RULE_IDS};
 /// Lints one file's source text. `path` must be the workspace-relative path
 /// with `/` separators — it determines which rule scopes apply.
 ///
+/// Cross-file flow rules run over whatever file set is given, so on a
+/// single file they only see that file (coverage rules stay silent unless
+/// the file defines one of the protocol enums itself). Use [`lint_files`]
+/// or [`lint_workspace`] for the real analysis.
+pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
+    lint_files(&[(path.to_string(), source.to_string())])
+}
+
+/// Lints a set of files as one unit: the per-file token rules on each,
+/// plus the cross-file protocol-flow rules ([`flow`]) over the whole set.
+/// Findings come back sorted by (file, line, rule).
+///
 /// Escape-hatch semantics: a `detlint::allow(rule): reason` directive
 /// suppresses findings of `rule` on the directive's own line or the line
-/// directly below it. Directives without a reason, or naming an unknown
-/// rule, suppress nothing and are reported as `malformed-allow`; well-formed
+/// directly below it — including flow findings, which anchor at the
+/// location an allow belongs (a variant declaration, a send site, a
+/// blocking call). Directives without a reason, or naming an unknown rule,
+/// suppress nothing and are reported as `malformed-allow`; well-formed
 /// directives that suppress nothing are reported as `stale-allow`.
-pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
-    let lexed = lex(source);
-    let raw = rules::apply_rules(path, &lexed);
+pub fn lint_files(files: &[(String, String)]) -> Vec<Finding> {
+    let lexed: Vec<Lexed> = files.iter().map(|(_, src)| lex(src)).collect();
 
-    let mut used = vec![false; lexed.directives.len()];
-    let mut findings: Vec<Finding> = raw
-        .into_iter()
-        .filter(|f| {
-            let suppressed = lexed.directives.iter().enumerate().any(|(di, d)| {
-                let applicable = d.reason.is_some()
-                    && d.rule == f.rule
-                    && (d.line == f.line || d.line + 1 == f.line);
-                if applicable {
-                    used[di] = true;
-                }
-                applicable
-            });
-            !suppressed
-        })
+    // Per-file token rules.
+    let mut buckets: Vec<Vec<Finding>> = files
+        .iter()
+        .zip(&lexed)
+        .map(|((path, _), lx)| rules::apply_rules(path, lx))
         .collect();
+
+    // Cross-file flow rules, routed to their anchor file's bucket so that
+    // file's directives can suppress them.
+    let indexes: Vec<parse::FileIndex> = files
+        .iter()
+        .zip(&lexed)
+        .map(|((path, _), lx)| parse::index_file(path, &lx.tokens, flow::TRACKED_ENUMS))
+        .collect();
+    let mut orphans = Vec::new();
+    for f in flow::apply_flow_rules(&indexes) {
+        match files.iter().position(|(p, _)| *p == f.file) {
+            Some(i) => buckets[i].push(f),
+            None => orphans.push(f),
+        }
+    }
+
+    let mut findings = Vec::new();
+    for (((path, _), lx), raw) in files.iter().zip(&lexed).zip(buckets) {
+        suppress(path, lx, raw, &mut findings);
+    }
+    findings.extend(orphans);
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings
+}
+
+/// Applies one file's `detlint::allow` directives to its findings and
+/// accounts for the directives themselves (`malformed-allow`,
+/// `stale-allow`).
+fn suppress(path: &str, lexed: &Lexed, raw: Vec<Finding>, out: &mut Vec<Finding>) {
+    let mut used = vec![false; lexed.directives.len()];
+    out.extend(raw.into_iter().filter(|f| {
+        let suppressed = lexed.directives.iter().enumerate().any(|(di, d)| {
+            let applicable = d.reason.is_some()
+                && d.rule == f.rule
+                && (d.line == f.line || d.line + 1 == f.line);
+            if applicable {
+                used[di] = true;
+            }
+            applicable
+        });
+        !suppressed
+    }));
 
     for (di, d) in lexed.directives.iter().enumerate() {
         if d.reason.is_none() || !RULE_IDS.contains(&d.rule.as_str()) {
-            findings.push(Finding {
+            out.push(Finding {
                 file: path.to_string(),
                 line: d.line,
                 rule: "malformed-allow",
@@ -85,7 +143,7 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
                 hint: "write `// detlint::allow(<known-rule>): <why this exception is sound>`",
             });
         } else if !used[di] {
-            findings.push(Finding {
+            out.push(Finding {
                 file: path.to_string(),
                 line: d.line,
                 rule: "stale-allow",
@@ -97,9 +155,6 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
             });
         }
     }
-
-    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    findings
 }
 
 /// Recursively collects every `.rs` file under `root`, skipping `target/`
@@ -130,10 +185,11 @@ fn collect_rs_files(root: &Path) -> Vec<PathBuf> {
     files
 }
 
-/// Lints every `.rs` file in the workspace rooted at `root`. Findings come
-/// back sorted by (file, line, rule).
+/// Lints every `.rs` file in the workspace rooted at `root` as one unit
+/// (the flow rules see all files at once). Findings come back sorted by
+/// (file, line, rule).
 pub fn lint_workspace(root: &Path) -> Vec<Finding> {
-    let mut findings = Vec::new();
+    let mut files = Vec::new();
     for file in collect_rs_files(root) {
         let rel: String = file
             .strip_prefix(root)
@@ -145,10 +201,9 @@ pub fn lint_workspace(root: &Path) -> Vec<Finding> {
         let Ok(source) = fs::read_to_string(&file) else {
             continue;
         };
-        findings.extend(lint_source(&rel, &source));
+        files.push((rel, source));
     }
-    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    findings
+    lint_files(&files)
 }
 
 #[cfg(test)]

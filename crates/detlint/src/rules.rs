@@ -12,6 +12,11 @@
 //! | `no-unsafe` | the `unsafe` keyword | workspace-wide |
 //! | `panic-policy` | `unwrap()`, reason-less `expect()`, `todo!`/`unimplemented!` | protocol hot paths, non-test code |
 //! | `durable-io-boundary` | `OpenOptions`, `sync_all`, `sync_data` | everywhere except `cicero-node`'s disk boundary |
+//!
+//! The cross-file protocol-flow rules (`net-variant-unhandled`,
+//! `obs-variant-unaudited`, `wal-variant-unreplayed`,
+//! `write-ahead-ordering`, `actor-blocking`, `lock-order-cycle`) live in
+//! [`crate::flow`] — they run over the whole file set at once.
 
 use crate::lex::{Lexed, Tok, Token};
 
@@ -40,7 +45,9 @@ impl std::fmt::Display for Finding {
     }
 }
 
-/// Rule ids (also the set of names `detlint::allow` accepts).
+/// Rule ids (also the set of names `detlint::allow` accepts). The first
+/// six are per-file token rules ([`apply_rules`]); the rest are the
+/// cross-file protocol-flow rules ([`crate::flow`]).
 pub const RULE_IDS: &[&str] = &[
     "no-random-order-collections",
     "no-wall-clock",
@@ -48,6 +55,12 @@ pub const RULE_IDS: &[&str] = &[
     "no-unsafe",
     "panic-policy",
     "durable-io-boundary",
+    "net-variant-unhandled",
+    "obs-variant-unaudited",
+    "wal-variant-unreplayed",
+    "write-ahead-ordering",
+    "actor-blocking",
+    "lock-order-cycle",
 ];
 
 /// Crates whose execution must be a pure function of the seed. The facade

@@ -47,6 +47,7 @@ pub fn check_all(
     liveness(s, report, &mut v);
     agreement(obs, &mut v);
     recovery(s, obs, &mut v);
+    telemetry(s, obs, &mut v);
     v
 }
 
@@ -280,6 +281,295 @@ fn recovery(s: &Scenario, obs: &[Observation<Obs>], out: &mut Vec<Violation>) {
                  controller(s) completed state sync"
             ),
         );
+    }
+}
+
+/// **Telemetry** (protocol-flow audit): the reliable-delivery and
+/// cross-domain handshake observations must be internally consistent —
+/// every responsive observation is preceded by the stimulus it claims to
+/// answer, exhaustion/terminal observations fire at most once per subject,
+/// and counters carry sane values. This closes the audit loop demanded by
+/// `detlint`'s `obs-variant-unaudited` rule: an actor emitting one of
+/// these variants with wrong bookkeeping now fails the run instead of
+/// merely skewing a figure.
+///
+/// Pairing and at-most-once checks on *controller-side* observations are
+/// gated on runs without crash faults: WAL replay re-drives the delivery
+/// state machines with observations muted, so a restarted controller's
+/// "first send" can be invisible while its later retransmission is not.
+/// Switch-side observations (switches never crash) and pure value checks
+/// hold unconditionally. Flow resolutions are additionally exempted under
+/// `Fault::Duplicate`, which can legitimately double-fire them.
+fn telemetry(s: &Scenario, obs: &[Observation<Obs>], out: &mut Vec<Violation>) {
+    let clean_replay = !s.has_crash() && !s.has_crash_recover();
+    let no_dup = !s
+        .faults
+        .iter()
+        .any(|f| matches!(f, Fault::Duplicate { .. }));
+    let rogue = s
+        .faults
+        .iter()
+        .any(|f| matches!(f, Fault::RogueShares { .. }));
+
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut applied = BTreeSet::new(); // (switch, update)
+    let mut nacked = BTreeSet::new(); // update
+    let mut reported = BTreeSet::new(); // (event, segment)
+    let mut reported_once = BTreeSet::new(); // (domain, controller, event, segment)
+    let mut released_once = BTreeSet::new(); // (domain, controller, event, segment)
+    let mut processed_once = BTreeSet::new(); // (domain, event)
+    let mut upd_exhausted_once = BTreeSet::new(); // (domain, controller, update)
+    let mut ev_exhausted_once = BTreeSet::new(); // (switch, event)
+    let mut completed_once = BTreeSet::new(); // flow
+    let mut denied_once = BTreeSet::new(); // flow
+    let mut phases: BTreeMap<_, BTreeSet<u64>> = BTreeMap::new();
+
+    let bad = |out: &mut Vec<Violation>, detail: String| violation(out, "telemetry", detail);
+    for o in obs {
+        match o.value {
+            Obs::FlowCompleted { flow, start } => {
+                if o.at < start {
+                    bad(
+                        out,
+                        format!("flow {flow:?} completed at {:?}, before its arrival {start:?}", o.at),
+                    );
+                }
+                if clean_replay && no_dup && !completed_once.insert(flow) {
+                    bad(out, format!("flow {flow:?} reported completed twice"));
+                }
+            }
+            Obs::FlowDenied { flow } => {
+                if clean_replay && no_dup && !denied_once.insert(flow) {
+                    bad(out, format!("flow {flow:?} reported denied twice"));
+                }
+            }
+            Obs::UpdateApplied { switch, update, .. } => {
+                applied.insert((switch, update));
+            }
+            Obs::UpdateRejected { switch, update } => {
+                if !rogue {
+                    bad(
+                        out,
+                        format!(
+                            "switch {switch:?} rejected {update:?} though no rogue-share \
+                             fault was injected — a legitimate quorum failed validation"
+                        ),
+                    );
+                }
+            }
+            Obs::EventProcessed { domain, event } => {
+                if clean_replay && !processed_once.insert((domain, event)) {
+                    bad(
+                        out,
+                        format!("domain {domain:?} reported event {event:?} processed twice"),
+                    );
+                }
+            }
+            Obs::PhaseChanged { domain, phase } => {
+                phases.entry(domain).or_default().insert(phase);
+            }
+            Obs::UpdateRetransmitted {
+                domain,
+                controller,
+                update,
+                attempt,
+            } => {
+                if attempt < 1 {
+                    bad(
+                        out,
+                        format!(
+                            "domain {domain:?} controller {controller} retransmitted \
+                             {update:?} with attempt {attempt} (1-based counter)"
+                        ),
+                    );
+                }
+            }
+            Obs::UpdateRetryExhausted {
+                domain,
+                controller,
+                update,
+            } => {
+                if clean_replay && !upd_exhausted_once.insert((domain, controller, update)) {
+                    bad(
+                        out,
+                        format!(
+                            "domain {domain:?} controller {controller} exhausted \
+                             {update:?}'s retry budget twice"
+                        ),
+                    );
+                }
+            }
+            Obs::AckRetransmitted { switch, update } => {
+                if !applied.contains(&(switch, update)) {
+                    bad(
+                        out,
+                        format!("switch {switch:?} re-acked {update:?} without having applied it"),
+                    );
+                }
+            }
+            Obs::EventRetransmitted { switch, event, attempt } => {
+                if attempt < 1 {
+                    bad(
+                        out,
+                        format!(
+                            "switch {switch:?} retransmitted event {event:?} with \
+                             attempt {attempt} (1-based counter)"
+                        ),
+                    );
+                }
+            }
+            Obs::EventRetryExhausted { switch, event } => {
+                if !ev_exhausted_once.insert((switch, event)) {
+                    bad(
+                        out,
+                        format!(
+                            "switch {switch:?} exhausted event {event:?}'s retry budget twice"
+                        ),
+                    );
+                }
+            }
+            Obs::NackSent { update, .. } => {
+                nacked.insert(update);
+            }
+            Obs::ResyncReplied {
+                domain,
+                controller,
+                update,
+            } => {
+                if !nacked.contains(&update) {
+                    bad(
+                        out,
+                        format!(
+                            "domain {domain:?} controller {controller} answered a resync \
+                             for {update:?} that no switch ever NACKed"
+                        ),
+                    );
+                }
+            }
+            Obs::SegmentReported {
+                domain,
+                controller,
+                event,
+                segment,
+            } => {
+                if clean_replay && !reported_once.insert((domain, controller, event, segment)) {
+                    bad(
+                        out,
+                        format!(
+                            "domain {domain:?} controller {controller} reported segment \
+                             {segment} of {event:?} twice (retransmissions have their own \
+                             observation)"
+                        ),
+                    );
+                }
+                reported.insert((event, segment));
+            }
+            Obs::SegmentRetransmitted {
+                domain,
+                controller,
+                event,
+                segment,
+                attempt,
+            } => {
+                if attempt < 1 {
+                    bad(
+                        out,
+                        format!(
+                            "domain {domain:?} controller {controller} re-reported segment \
+                             {segment} of {event:?} with attempt {attempt} (1-based counter)"
+                        ),
+                    );
+                }
+                if clean_replay && !reported.contains(&(event, segment)) {
+                    bad(
+                        out,
+                        format!(
+                            "segment {segment} of {event:?} retransmitted before any \
+                             first report"
+                        ),
+                    );
+                }
+            }
+            Obs::BoundaryReleased {
+                domain,
+                controller,
+                event,
+                segment,
+            } => {
+                if clean_replay && !reported.contains(&(event, segment)) {
+                    bad(
+                        out,
+                        format!(
+                            "domain {domain:?} released the boundary for segment {segment} \
+                             of {event:?} without any downstream report"
+                        ),
+                    );
+                }
+                if clean_replay && !released_once.insert((domain, controller, event, segment)) {
+                    bad(
+                        out,
+                        format!(
+                            "domain {domain:?} controller {controller} released the boundary \
+                             for segment {segment} of {event:?} twice"
+                        ),
+                    );
+                }
+            }
+            Obs::SnapshotTaken {
+                domain,
+                controller,
+                compacted,
+            } => {
+                if compacted < 1 {
+                    bad(
+                        out,
+                        format!(
+                            "domain {domain:?} controller {controller} took a snapshot \
+                             compacting {compacted} records (quiescent-point snapshots \
+                             must compact at least one)"
+                        ),
+                    );
+                }
+            }
+            Obs::ForwardRetransmitted {
+                domain,
+                controller,
+                event,
+                attempt,
+            } => {
+                if attempt < 1 {
+                    bad(
+                        out,
+                        format!(
+                            "domain {domain:?} controller {controller} re-forwarded \
+                             {event:?} with attempt {attempt} (1-based counter)"
+                        ),
+                    );
+                }
+            }
+            Obs::EventDelivered { .. } | Obs::ControllerRecovered { .. } => {}
+        }
+    }
+    if clean_replay {
+        // Membership phases advance one step at a time; the distinct values
+        // a domain's controllers report must form a contiguous run.
+        for (domain, vals) in &phases {
+            let mut prev = None;
+            for &p in vals {
+                if let Some(q) = prev {
+                    if p != q + 1 {
+                        bad(
+                            out,
+                            format!(
+                                "domain {domain:?} skipped membership phases: saw {q} \
+                                 then {p} with nothing between"
+                            ),
+                        );
+                    }
+                }
+                prev = Some(p);
+            }
+        }
     }
 }
 

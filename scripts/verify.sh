@@ -56,12 +56,21 @@ if ! cargo test -q --offline; then
     exit 1
 fi
 
-echo "== detlint: determinism & protocol-safety static analysis =="
-# Token-level lint over every .rs file: no HashMap/HashSet in deterministic
-# crates, no wall-clock or OS entropy outside the allowlist, no unsafe,
-# explicit-reason expect() in protocol hot paths. Exceptions need
-# `// detlint::allow(rule): reason` — reason mandatory.
-cargo run -q --offline --release -p detlint
+echo "== detlint: determinism & protocol-flow static analysis =="
+# Two passes in one binary, workspace-wide, fail on any finding:
+#  * per-file token rules — no HashMap/HashSet in deterministic crates, no
+#    wall-clock or OS entropy outside the allowlist, no unsafe,
+#    explicit-reason expect() in protocol hot paths;
+#  * cross-file protocol-flow rules — every constructed Net variant has a
+#    handler arm, every emitted Obs variant has an oracle, every appended
+#    WalRecord has a replay arm, WAL appends precede acks, and the
+#    threaded runtime never blocks in a handler or orders locks cyclically.
+# Exceptions need `// detlint::allow(rule): reason` — reason mandatory.
+if ! cargo run -q --offline --release -p detlint; then
+    echo "verify.sh: detlint FAILED; machine-readable findings via:" >&2
+    echo "  cargo run -q --offline --release -p detlint -- --format json" >&2
+    exit 1
+fi
 
 echo "== crypto perf regression gate (benchkit compare vs BENCH_protocol.json) =="
 # Re-measure the crypto suite and diff the medians against the recorded
