@@ -4,6 +4,7 @@
 //! `CostModel` abstracts. Run with `BENCHKIT_OUT=BENCH_protocol.json` to
 //! merge the suite into the recorded baseline.
 
+use cicero_core::msg::{ReadyBody, SegwayBody};
 use controller::scheduler::{
     DependencyGraphScheduler, ReversePathScheduler, UpdateScheduler,
 };
@@ -53,6 +54,38 @@ fn bench_codec(c: &mut Harness) {
     });
 }
 
+fn bench_segway_codec(c: &mut Harness) {
+    // Segway's two new wire messages: the threshold-signed per-update
+    // metadata push and the switch-to-switch release. Their codec cost is
+    // the per-dependency-edge software overhead the mode adds.
+    let updates = sample_updates(9);
+    let body = SegwayBody {
+        update: updates[4].clone(),
+        gates: updates[..4]
+            .iter()
+            .map(|u| (u.id, u.switch))
+            .collect(),
+        notify: updates[5..].iter().map(|u| u.switch).collect(),
+    };
+    let bytes = body.to_wire();
+    c.bench_function("segway_encode_body_4gates", |b| {
+        b.iter(|| black_box(body.to_wire()))
+    });
+    c.bench_function("segway_decode_body_4gates", |b| {
+        b.iter(|| black_box(SegwayBody::from_wire(&bytes).unwrap()))
+    });
+    let ready = ReadyBody {
+        update: updates[4].id,
+        from: SwitchId(4),
+        to: SwitchId(5),
+    };
+    let rbytes = ready.to_wire();
+    c.bench_function("segway_encode_ready", |b| b.iter(|| black_box(ready.to_wire())));
+    c.bench_function("segway_decode_ready", |b| {
+        b.iter(|| black_box(ReadyBody::from_wire(&rbytes).unwrap()))
+    });
+}
+
 fn bench_schedulers(c: &mut Harness) {
     let updates = sample_updates(8);
     c.bench_function("schedule_reverse_path_8", |b| {
@@ -96,6 +129,7 @@ fn bench_routing(c: &mut Harness) {
 fn main() {
     let mut harness = Harness::new("protocol");
     bench_codec(&mut harness);
+    bench_segway_codec(&mut harness);
     bench_schedulers(&mut harness);
     bench_flow_table(&mut harness);
     bench_routing(&mut harness);

@@ -20,7 +20,7 @@ fn main() {
         .map(String::as_str)
         .collect();
 
-    let sections: [(&str, Box<dyn Fn() -> String>); 12] = [
+    let sections: [(&str, Box<dyn Fn() -> String>); 13] = [
         ("table2", Box::new(bench::table2)),
         ("calib", Box::new(bench::calibration)),
         ("ablation", Box::new(bench::ablation)),
@@ -33,6 +33,7 @@ fn main() {
         ("fig12b", Box::new(move || bench::fig12b(scale))),
         ("fig12c", Box::new(move || bench::fig12c(scale))),
         ("fig12d", Box::new(move || bench::fig12d(scale))),
+        ("segway", Box::new(move || bench::fig_segway(scale))),
     ];
 
     for (name, run) in sections {

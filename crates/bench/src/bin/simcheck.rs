@@ -9,6 +9,9 @@
 //!   simcheck recover [count] [--start N] # crash-recovery sweep: every
 //!                                        # seed crashes and restarts one
 //!                                        # controller mid-run
+//!   simcheck segway [count] [--start N]  # decentralized-execution sweep:
+//!                                        # every seed runs Segway mode
+//!                                        # (switch-to-switch readies)
 //!
 //! `replay` exits non-zero iff the scenario still violates an oracle, and
 //! is deterministic: two replays of one artifact print identical output.
@@ -23,10 +26,12 @@ fn main() {
         Some("run") => run(&args[1..], Scenario::generate, "seeds"),
         Some("secure") => run(&args[1..], Scenario::generate_secure, "secure seeds"),
         Some("recover") => run(&args[1..], Scenario::generate_recovery, "recovery seeds"),
+        Some("segway") => run(&args[1..], Scenario::generate_segway, "segway seeds"),
         _ => {
             eprintln!(
                 "usage: simcheck replay <artifact.json> | simcheck run [count] [--start N] \
-                 | simcheck secure [count] [--start N] | simcheck recover [count] [--start N]"
+                 | simcheck secure [count] [--start N] | simcheck recover [count] [--start N] \
+                 | simcheck segway [count] [--start N]"
             );
             2
         }

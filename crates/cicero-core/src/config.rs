@@ -18,6 +18,17 @@ pub enum Mode {
         /// Who collects and aggregates signature shares.
         aggregation: Aggregation,
     },
+    /// Decentralized execution after one controller round (ez-Segway,
+    /// Nguyen et al.): controllers threshold-sign each update *together
+    /// with* its dependency metadata and push everything at once; switches
+    /// then release their neighbors' next segment directly with signed
+    /// switch-to-switch ready messages. Lower latency than `Cicero`
+    /// (no controller round-trip per dependency edge) at the price of more
+    /// data-plane messages and a wider trust surface: a switch can now
+    /// stall a schedule by withholding a ready, though it still cannot
+    /// forge one (readies are switch-signed and target-bound) or alter
+    /// the threshold-signed order.
+    Segway,
 }
 
 impl Mode {
@@ -32,12 +43,20 @@ impl Mode {
             Mode::Cicero {
                 aggregation: Aggregation::Controller,
             } => "Cicero Agg",
+            Mode::Segway => "Segway",
         }
     }
 
     /// `true` for either Cicero variant.
     pub fn is_cicero(&self) -> bool {
         matches!(self, Mode::Cicero { .. })
+    }
+
+    /// `true` for the modes whose updates are threshold-signed and whose
+    /// switch traffic (events, acks, NACKs) is signature-checked: Cicero
+    /// and Segway. The unauthenticated baselines return `false`.
+    pub fn is_signed(&self) -> bool {
+        matches!(self, Mode::Cicero { .. } | Mode::Segway)
     }
 }
 
@@ -338,6 +357,19 @@ mod tests {
             .label(),
             "Cicero Agg"
         );
+        assert_eq!(Mode::Segway.label(), "Segway");
+    }
+
+    #[test]
+    fn signed_modes_cover_cicero_and_segway() {
+        assert!(Mode::Segway.is_signed());
+        assert!(!Mode::Segway.is_cicero());
+        assert!(Mode::Cicero {
+            aggregation: Aggregation::Switch
+        }
+        .is_signed());
+        assert!(!Mode::Centralized.is_signed());
+        assert!(!Mode::CrashTolerant.is_signed());
     }
 
     #[test]

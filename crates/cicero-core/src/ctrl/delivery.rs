@@ -35,6 +35,7 @@ impl ControllerActor {
             return;
         }
         let batch = self.pending.due_retries(ctx.now());
+        let mut stuck_events = Vec::new();
         for (u, attempt) in batch.resend {
             ctx.observe(Obs::UpdateRetransmitted {
                 domain: self.domain,
@@ -42,7 +43,17 @@ impl ControllerActor {
                 update: u.id,
                 attempt,
             });
+            if self.shared.cfg.mode == crate::config::Mode::Segway
+                && !stuck_events.contains(&u.id.event)
+            {
+                stuck_events.push(u.id.event);
+            }
             self.send_update_delayed(ctx, u, SimDuration::ZERO);
+        }
+        // Segway: a stuck update may mean the remote half of its gate chain
+        // never heard the event — re-forward alongside the retry wave.
+        for e in stuck_events {
+            self.reforward_segway(ctx, e);
         }
         for id in batch.failed {
             ctx.observe(Obs::UpdateRetryExhausted {
@@ -62,7 +73,7 @@ impl ControllerActor {
             return;
         }
         ctx.charge_cpu(self.shared.cfg.costs.ctrl_msg);
-        if self.shared.cfg.mode.is_cicero() && self.shared.real_crypto() {
+        if self.shared.cfg.mode.is_signed() && self.shared.real_crypto() {
             let pk = self.shared.keys.switch_pk.get(&SwitchId(m.msg_id.origin));
             let valid = pk.map(|pk| m.verify(labels::NACK, pk)).unwrap_or(false);
             if !valid {

@@ -4,15 +4,17 @@
 
 use super::ControllerActor;
 use crate::config::{Aggregation, Mode};
-use crate::msg::Net;
+use crate::msg::{Net, SegwayBody};
 use crate::obs::Obs;
 use crate::runtime::labels;
 use blscrypto::bls::PartialSignature;
 use controller::app::NetworkApp;
+use controller::scheduler::ScheduledUpdate;
 use simnet::node::Host;
 use simnet::time::SimDuration;
 use southbound::envelope::{ShareSigned, Signed};
-use southbound::types::{ControllerId, Event, EventKind, NetworkUpdate, SwitchId};
+use southbound::types::{ControllerId, Event, EventKind, NetworkUpdate, SwitchId, UpdateId};
+use std::collections::{BTreeMap, BTreeSet};
 
 impl ControllerActor {
     pub(super) fn process_event(&mut self, ctx: &mut dyn Host<Net, Obs>, event: Event) {
@@ -75,21 +77,78 @@ impl ControllerActor {
             return;
         }
         ctx.charge_cpu(self.shared.cfg.costs.event_process);
-        let schedule = if !self.shared.cfg.cross_domain_handshake || own.len() == all.len()
-        {
+        let schedule = if self.shared.cfg.mode == Mode::Segway {
+            // Segway: one controller round. Dependencies (own and foreign
+            // alike) are compiled into gate/notify metadata and enforced on
+            // the data plane by signed switch-to-switch readies, so every
+            // update is released immediately — no held releases, no
+            // cross-domain handshake.
+            self.segway_schedule(&event, &all)
+        } else if !self.shared.cfg.cross_domain_handshake || own.len() == all.len() {
             self.scheduler.schedule(&own)
         } else {
             self.cross_domain_schedule(ctx, &event, &all)
         };
         let ready = self.pending.admit(schedule, ctx.now());
         let mut pipeline = self.shared.cfg.costs.event_pipeline;
-        if self.shared.cfg.mode.is_cicero() {
+        if self.shared.cfg.mode.is_signed() {
             pipeline += self.shared.cfg.costs.bls_verify;
         }
         for u in ready {
             self.send_update_delayed(ctx, u, pipeline);
         }
         self.arm_retry(ctx);
+    }
+
+    /// Segway scheduling: runs the scheduler over the *full* update list,
+    /// then projects onto this domain, recording for each own update its
+    /// gates (the updates it waits for, with the switch that will announce
+    /// each) and its notify set (the switches whose updates it gates). The
+    /// returned schedule carries *no* dependencies: ordering moved to the
+    /// data plane, so the controller pushes everything in one round.
+    fn segway_schedule(
+        &mut self,
+        event: &Event,
+        all: &[NetworkUpdate],
+    ) -> Vec<ScheduledUpdate> {
+        let full = self.scheduler.schedule(all);
+        let switch_of: BTreeMap<UpdateId, SwitchId> =
+            all.iter().map(|u| (u.id, u.switch)).collect();
+        let cross_domain = all.iter().any(|u| {
+            self.shared.dir.domain_of_switch.get(&u.switch) != Some(&self.domain)
+        });
+        if cross_domain {
+            // Retained so a stuck own update can re-drive the forward
+            // (`reforward_segway`) — Segway has no handshake sweep to
+            // recover a dropped `ForwardedEvent`.
+            self.segway_events.insert(event.id, (*event, 0));
+        }
+        let mut out = Vec::new();
+        for su in &full {
+            if self.shared.dir.domain_of_switch.get(&su.update.switch)
+                != Some(&self.domain)
+            {
+                continue;
+            }
+            let gates: Vec<(UpdateId, SwitchId)> = su
+                .deps
+                .iter()
+                .filter_map(|d| switch_of.get(d).map(|&s| (*d, s)))
+                .collect();
+            let mut notify: Vec<SwitchId> = full
+                .iter()
+                .filter(|v| v.deps.contains(&su.update.id))
+                .map(|v| v.update.switch)
+                .collect();
+            notify.sort();
+            notify.dedup();
+            self.segway_meta.insert(su.update.id, (gates, notify));
+            out.push(ScheduledUpdate {
+                update: su.update,
+                deps: BTreeSet::new(),
+            });
+        }
+        out
     }
 
     /// Forwards `event` to the first member of every other affected domain,
@@ -99,6 +158,13 @@ impl ControllerActor {
         if !self.forwarded_events.insert(event.id) {
             return;
         }
+        self.send_forward(ctx, event);
+    }
+
+    /// Sends the signed forward of `event` to the first member of every
+    /// other affected domain. No dedup — [`Self::forward_event`] guards the
+    /// first copy, [`Self::reforward_segway`] deliberately repeats it.
+    fn send_forward(&mut self, ctx: &mut dyn Host<Net, Obs>, event: &Event) {
         let affected = self
             .shared
             .policy
@@ -126,6 +192,35 @@ impl ControllerActor {
         }
     }
 
+    /// Segway's replacement for the handshake sweep's re-forwards: while
+    /// this (lowest) controller is still retrying an own update of a
+    /// cross-domain event, the remote domain may have lost the one
+    /// `ForwardedEvent` copy and with it the whole gate chain — so the
+    /// event is re-forwarded alongside each retry wave. Receivers absorb
+    /// duplicates through their event dedup; the update retry budget
+    /// bounds the re-forward count.
+    pub(super) fn reforward_segway(
+        &mut self,
+        ctx: &mut dyn Host<Net, Obs>,
+        event_id: southbound::types::EventId,
+    ) {
+        if !self.is_lowest() {
+            return;
+        }
+        let Some((event, attempts)) = self.segway_events.get_mut(&event_id) else {
+            return;
+        };
+        *attempts += 1;
+        let (event, attempt) = (*event, *attempts);
+        ctx.observe(Obs::ForwardRetransmitted {
+            domain: self.domain,
+            controller: self.id.0,
+            event: event_id,
+            attempt,
+        });
+        self.send_forward(ctx, &event);
+    }
+
     pub(super) fn sign_forward(
         &mut self,
         ctx: &mut dyn Host<Net, Obs>,
@@ -133,10 +228,10 @@ impl ControllerActor {
     ) -> Signed<Event> {
         let phase = self.view.phase();
         let msg_id = self.msg_id();
-        if self.shared.cfg.mode.is_cicero() {
+        if self.shared.cfg.mode.is_signed() {
             ctx.charge_cpu(self.shared.cfg.costs.event_sign);
         }
-        if self.shared.real_crypto() && self.shared.cfg.mode.is_cicero() {
+        if self.shared.real_crypto() && self.shared.cfg.mode.is_signed() {
             let key = self.identity.as_ref().expect("real mode identity");
             Signed::sign(labels::FORWARD, event, phase, msg_id, key)
         } else {
@@ -201,6 +296,38 @@ impl ControllerActor {
                     }
                 }
             }
+            Mode::Segway => {
+                let sign = self.shared.cfg.costs.update_sign;
+                ctx.charge_cpu(SimDuration::from_nanos(sign.as_nanos() / 3));
+                let extra = extra + sign;
+                let (gates, notify) = self
+                    .segway_meta
+                    .get(&update.id)
+                    .cloned()
+                    .unwrap_or_default();
+                let body = SegwayBody {
+                    update,
+                    gates,
+                    notify,
+                };
+                let phase = self.view.phase();
+                let msg_id = self.msg_id();
+                let msg = if self.shared.real_crypto() {
+                    let share = self.share.as_ref().expect("real mode share");
+                    ShareSigned::sign(labels::SEGWAY, body, phase, msg_id, share)
+                } else {
+                    ShareSigned {
+                        payload: body,
+                        phase,
+                        msg_id,
+                        partial: PartialSignature {
+                            index: self.id.0,
+                            sig: self.shared.keys.dummy.0,
+                        },
+                    }
+                };
+                ctx.send_delayed(switch_node, Net::SegwayUpdate(msg), extra);
+            }
         }
     }
 
@@ -212,7 +339,7 @@ impl ControllerActor {
         msg: &Signed<Event>,
         forwarded: bool,
     ) -> bool {
-        if !self.shared.cfg.mode.is_cicero() {
+        if !self.shared.cfg.mode.is_signed() {
             return true;
         }
         // Verification cost is latency, not serialized CPU, on the paper's

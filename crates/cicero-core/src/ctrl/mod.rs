@@ -86,6 +86,15 @@ pub struct ControllerActor {
     detector: HeartbeatDetector,
     barriers: DetMap<(EventId, u32), BarrierState>,
     seg_watch: DetMap<(EventId, u32), SegWatch>,
+    /// Segway mode: per-update gate/notify metadata derived once from the
+    /// full schedule at `process_event` time, consumed (and re-consumed on
+    /// retransmission and NACK resync) by `send_update_delayed`.
+    segway_meta: DetMap<UpdateId, (Vec<(UpdateId, SwitchId)>, Vec<SwitchId>)>,
+    /// Segway mode: cross-domain events retained for re-forwarding, with a
+    /// re-forward attempt counter. Segway has no handshake sweep to re-drive
+    /// a dropped `ForwardedEvent`, so a stuck own update doubles as the
+    /// signal (`reforward_segway`).
+    segway_events: DetMap<EventId, (Event, u32)>,
     msg_seq: u64,
     retry_armed: bool,
     // ---- durability (ctrl/durable.rs) --------------------------------
@@ -171,6 +180,8 @@ impl ControllerActor {
             detector,
             barriers: DetMap::new(),
             seg_watch: DetMap::new(),
+            segway_meta: DetMap::new(),
+            segway_events: DetMap::new(),
             msg_seq: 0,
             retry_armed: false,
             disk: None,
@@ -400,7 +411,7 @@ impl Actor<Net, Obs> for ControllerActor {
                 }
                 ctx.charge_cpu(self.shared.cfg.costs.ctrl_msg);
                 let mut extra = SimDuration::ZERO;
-                if self.shared.cfg.mode.is_cicero() {
+                if self.shared.cfg.mode.is_signed() {
                     // Verification latency rides on the released updates
                     // (parallelizable on the controller's cores).
                     extra = self.shared.cfg.costs.bls_verify;

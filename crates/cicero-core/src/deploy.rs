@@ -9,6 +9,7 @@
 
 use crate::config::{EngineConfig, Mode};
 use crate::ctrl::ControllerActor;
+use crate::msg::PhaseInfo;
 use crate::runtime::{bootstrap_keys, Directory, Shared};
 use crate::switch::{initial_phase_info, SwitchActor};
 use blscrypto::bls::KeyShare;
@@ -65,6 +66,20 @@ pub struct ControllerSeed {
     pub active: bool,
 }
 
+/// Everything needed to reconstruct one switch actor after a restart
+/// (clones of the identity material taken before the originals moved into
+/// the first-life actor). Data-plane recovery is WAL-driven, so the seed
+/// only carries what [`SwitchActor::new`] consumes.
+#[derive(Clone)]
+pub struct SwitchSeed {
+    /// Domain the switch belongs to.
+    pub domain: DomainId,
+    /// Per-switch signing identity (real-crypto modes).
+    pub key: Option<SecretKey>,
+    /// Plan-time control-plane phase info.
+    pub phase: PhaseInfo,
+}
+
 /// A fully planned deployment: shared runtime context plus every actor in
 /// node-id order, ready for an executor to schedule.
 pub struct Deployment {
@@ -81,6 +96,10 @@ pub struct Deployment {
     pub seeds: BTreeMap<(DomainId, ControllerId), ControllerSeed>,
     /// Durable disks per controller node, once provisioned.
     pub disks: BTreeMap<NodeId, DiskHandle>,
+    /// Rebuild seeds per switch (restart recovery).
+    pub switch_seeds: BTreeMap<SwitchId, SwitchSeed>,
+    /// Durable disks per switch node, once provisioned.
+    pub switch_disks: BTreeMap<NodeId, DiskHandle>,
 }
 
 /// The retained slice of a [`Deployment`] an executor needs to rebuild a
@@ -91,6 +110,8 @@ pub struct RecoveryKit {
     shared: Arc<Shared>,
     seeds: BTreeMap<(DomainId, ControllerId), ControllerSeed>,
     disks: BTreeMap<NodeId, DiskHandle>,
+    switch_seeds: BTreeMap<SwitchId, SwitchSeed>,
+    switch_disks: BTreeMap<NodeId, DiskHandle>,
     customize: Option<Arc<dyn Fn(&mut ControllerActor) + Send + Sync>>,
 }
 
@@ -144,6 +165,37 @@ impl RecoveryKit {
         actor.attach_disk(disk, true);
         (node, actor)
     }
+
+    /// Rebuilds switch `s` from its seed and durable disk, in the
+    /// recovering state: WAL replay restores the flow table and the
+    /// Segway release/receipt journal, so the new life never re-releases
+    /// a neighbor its previous life already released. The disk survives
+    /// the restart — a switch that loses its disk is a replacement
+    /// machine, which the protocol treats as a fresh (empty-table)
+    /// switch instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` was not planned or switch storage was never
+    /// provisioned.
+    pub fn rebuild_switch(&self, s: SwitchId) -> (NodeId, SwitchActor) {
+        let seed = self.switch_seeds.get(&s).expect("planned switch");
+        let node = self.shared.dir.switch(s);
+        let disk = self
+            .switch_disks
+            .get(&node)
+            .expect("switch storage provisioned")
+            .clone();
+        let mut actor = SwitchActor::new(
+            Arc::clone(&self.shared),
+            s,
+            seed.domain,
+            seed.key.clone(),
+            seed.phase,
+        );
+        actor.attach_disk(disk, true);
+        (node, actor)
+    }
 }
 
 impl Deployment {
@@ -163,12 +215,27 @@ impl Deployment {
         }
     }
 
+    /// Provisions per-switch durable storage: creates a disk via `factory`
+    /// for every switch, attaches it to the actor (fresh boot: empty WAL),
+    /// and records it for restart rebuilds.
+    pub fn provision_switch_storage<F: FnMut(SwitchId) -> DiskHandle>(&mut self, mut factory: F) {
+        for n in &mut self.nodes {
+            if let NodeRole::Switch { id, actor } = &mut n.role {
+                let disk = factory(*id);
+                actor.attach_disk(disk.clone(), false);
+                self.switch_disks.insert(n.node, disk);
+            }
+        }
+    }
+
     /// The rebuild context an executor retains for crash recovery.
     pub fn recovery_kit(&self) -> RecoveryKit {
         RecoveryKit {
             shared: Arc::clone(&self.shared),
             seeds: self.seeds.clone(),
             disks: self.disks.clone(),
+            switch_seeds: self.switch_seeds.clone(),
+            switch_disks: self.switch_disks.clone(),
             customize: None,
         }
     }
@@ -200,10 +267,11 @@ pub fn plan(
         Mode::Centralized => 1,
         _ => cfg.controllers_per_domain,
     };
-    if cfg.mode.is_cicero() {
+    if cfg.mode.is_signed() {
         assert!(
             controllers_per_domain >= 4,
-            "Cicero requires at least 4 controllers per domain (paper §3.2)"
+            "threshold-signed modes (Cicero, Segway) require at least 4 \
+             controllers per domain (paper §3.2)"
         );
     }
     let topo = Arc::new(topo);
@@ -340,18 +408,22 @@ pub fn plan(
             });
         }
     }
+    let mut switch_seeds: BTreeMap<SwitchId, SwitchSeed> = BTreeMap::new();
     for s in topo.switches() {
         let d = shared.dir.domain_of_switch[&s.id];
         let n_members = members_per_domain[&d].len() as u32;
         let view = ControlPlaneView::initial(n_members);
         let key = secrets.switch_sk.remove(&s.id);
-        let actor = SwitchActor::new(
-            Arc::clone(&shared),
+        let phase = initial_phase_info(&view);
+        switch_seeds.insert(
             s.id,
-            d,
-            key,
-            initial_phase_info(&view),
+            SwitchSeed {
+                domain: d,
+                key: key.clone(),
+                phase,
+            },
         );
+        let actor = SwitchActor::new(Arc::clone(&shared), s.id, d, key, phase);
         nodes.push(PlannedNode {
             node: shared.dir.switch(s.id),
             role: NodeRole::Switch {
@@ -369,5 +441,7 @@ pub fn plan(
         bootstrap_nodes,
         seeds,
         disks: BTreeMap::new(),
+        switch_seeds,
+        switch_disks: BTreeMap::new(),
     }
 }

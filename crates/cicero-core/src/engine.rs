@@ -142,13 +142,27 @@ struct Outstanding {
     recovering: usize,
 }
 
-/// A scheduled controller restart (crash-recovery experiments).
+/// A scheduled node restart (crash-recovery experiments).
 #[derive(Clone, Copy, Debug)]
-struct PlannedRestart {
-    at: SimTime,
-    domain: DomainId,
-    controller: ControllerId,
-    disk_lost: bool,
+enum PlannedRestart {
+    Controller {
+        at: SimTime,
+        domain: DomainId,
+        controller: ControllerId,
+        disk_lost: bool,
+    },
+    Switch {
+        at: SimTime,
+        switch: SwitchId,
+    },
+}
+
+impl PlannedRestart {
+    fn at(&self) -> SimTime {
+        match *self {
+            PlannedRestart::Controller { at, .. } | PlannedRestart::Switch { at, .. } => at,
+        }
+    }
 }
 
 /// A fully built deployment ready to run.
@@ -160,7 +174,7 @@ pub struct Engine {
     bootstrap_nodes: BTreeMap<DomainId, NodeId>,
     injected_flows: usize,
     kit: RecoveryKit,
-    /// Pending controller restarts, kept sorted by time.
+    /// Pending node restarts, kept sorted by time.
     restarts: Vec<PlannedRestart>,
 }
 
@@ -181,9 +195,11 @@ impl Engine {
         standby_controllers: u32,
     ) -> Engine {
         let mut dep = deploy::plan(cfg, topo, domain_map, standby_controllers);
-        // In-memory durable storage: controllers WAL every transition and
-        // can crash-recover, while the simulation stays deterministic.
+        // In-memory durable storage: controllers and switches WAL every
+        // transition and can crash-recover, while the simulation stays
+        // deterministic.
         dep.provision_storage(|_, _| substrate::storage::mem_disk());
+        dep.provision_switch_storage(|_| substrate::storage::mem_disk());
         let kit = dep.recovery_kit();
         let seed = dep.shared.cfg.seed;
         let mut sim: Simulation<Net, Obs> =
@@ -279,13 +295,22 @@ impl Engine {
         c: ControllerId,
         disk_lost: bool,
     ) {
-        self.restarts.push(PlannedRestart {
+        self.restarts.push(PlannedRestart::Controller {
             at,
             domain: d,
             controller: c,
             disk_lost,
         });
-        self.restarts.sort_by_key(|r| r.at);
+        self.restarts.sort_by_key(PlannedRestart::at);
+    }
+
+    /// Schedules switch `s` to restart at `at` from its durable disk
+    /// (crash it first via the fault plan). Switch disks always survive —
+    /// a switch that loses its disk is a replacement machine and models as
+    /// a fresh switch.
+    pub fn schedule_switch_restart(&mut self, at: SimTime, s: SwitchId) {
+        self.restarts.push(PlannedRestart::Switch { at, switch: s });
+        self.restarts.sort_by_key(PlannedRestart::at);
     }
 
     /// Registers a customization re-applied to every controller rebuilt
@@ -307,18 +332,36 @@ impl Engine {
         self.sim.revive_node(node, actor);
     }
 
+    /// Rebuilds and revives switch `s` right now from its durable disk
+    /// (the imperative form of [`Engine::schedule_switch_restart`]): WAL
+    /// replay restores the flow table and the Segway release journal, so
+    /// the revived switch never re-releases a neighbor it already
+    /// released.
+    pub fn restart_switch(&mut self, s: SwitchId) {
+        let (node, actor) = self.kit.rebuild_switch(s);
+        self.sim.revive_node(node, actor);
+    }
+
     /// Performs every scheduled restart due by `cursor`. All events up to
     /// `cursor` have been run, so the clock can coast to each restart's
     /// exact instant even when the queue is empty (a drained network must
     /// not leave a scheduled restart forever in the future).
     fn perform_due_restarts(&mut self, cursor: SimTime) {
         while let Some(&r) = self.restarts.first() {
-            if r.at > cursor {
+            if r.at() > cursor {
                 break;
             }
-            self.sim.advance_to(r.at);
+            self.sim.advance_to(r.at());
             self.restarts.remove(0);
-            self.restart_controller(r.domain, r.controller, r.disk_lost);
+            match r {
+                PlannedRestart::Controller {
+                    domain,
+                    controller,
+                    disk_lost,
+                    ..
+                } => self.restart_controller(domain, controller, disk_lost),
+                PlannedRestart::Switch { switch, .. } => self.restart_switch(switch),
+            }
         }
     }
 
@@ -391,7 +434,7 @@ impl Engine {
             }
             // A pending scheduled restart keeps the run alive even when the
             // event queue drains: the revived controller creates new events.
-            let next_restart = self.restarts.first().map(|r| r.at);
+            let next_restart = self.restarts.first().map(PlannedRestart::at);
             let restart_pending = next_restart.map(|t| t <= horizon).unwrap_or(false);
             match self.sim.next_event_at() {
                 // Drained queue with outstanding work: nothing will ever
@@ -503,6 +546,12 @@ impl Engine {
     /// Observations so far.
     pub fn observations(&self) -> &[Observation<Obs>] {
         self.sim.observations()
+    }
+
+    /// Total control-plane messages delivered so far (experiment message
+    /// cost; includes retransmissions, excludes drops and timers).
+    pub fn delivered_messages(&self) -> u64 {
+        self.sim.delivered_count()
     }
 
     /// CPU utilization series of a switch (paper Fig. 11d).

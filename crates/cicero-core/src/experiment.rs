@@ -395,6 +395,62 @@ pub fn fig12d_runs(spec: &WorkloadSpec, dcs: u16, seed: u64) -> Vec<(String, Cdf
     out
 }
 
+/// One series of the Segway comparison: flow-completion CDF plus the
+/// run's total control-plane message cost (deliveries, including
+/// retransmissions).
+#[derive(Clone, Debug)]
+pub struct ModeCost {
+    /// Series label.
+    pub label: String,
+    /// Flow-completion CDF.
+    pub cdf: Cdf,
+    /// Control-plane messages delivered over the whole run.
+    pub messages: u64,
+}
+
+/// The decentralized-execution comparison (ez-Segway-style mode vs the
+/// paper's protocol), on the Fig. 12d WAN fabric at *equal consistency*:
+/// both series order boundary-crossing installs destination-first —
+/// Cicero MD via the controller-to-controller handshake, Segway via
+/// switch-to-switch signed readies. One controller round per update in
+/// Segway (all segments pushed at once, gated locally) versus a
+/// round-trip per dependency edge through the control plane, so Segway
+/// completes flows faster; the message counts expose each mode's total
+/// control-plane cost alongside.
+pub fn segway_vs_cicero_md(spec: &WorkloadSpec, dcs: u16, seed: u64) -> Vec<ModeCost> {
+    let topo = Topology::multi_dc(dcs, 4, 6, 4, 2, 2, telekom::wan(dcs));
+    let mut out = Vec::new();
+    for (label, mode) in [
+        (
+            "Cicero MD",
+            Mode::Cicero {
+                aggregation: Aggregation::Switch,
+            },
+        ),
+        ("Segway MD", Mode::Segway),
+    ] {
+        let mut cfg = EngineConfig::for_mode(mode);
+        cfg.rule_reuse = true;
+        cfg.seed = seed;
+        cfg.crypto = CryptoMode::Modeled;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let flows = workload::gen::generate(&topo, spec, &mut rng);
+        let mut engine = Engine::build(cfg, topo.clone(), DomainMap::by_pod(&topo), 0);
+        engine.inject_flows(&flows);
+        let horizon = flows
+            .last()
+            .map(|f| f.start + SimDuration::from_secs(30))
+            .unwrap_or(SimTime::ZERO + SimDuration::from_secs(60));
+        engine.run(horizon);
+        out.push(ModeCost {
+            label: label.to_string(),
+            cdf: Cdf::from_latencies(&flow_latencies(engine.observations())),
+            messages: engine.delivered_messages(),
+        });
+    }
+    out
+}
+
 /// The mean flow *setup* latency of a mode: first-flow completion minus the
 /// pure data-plane time. Used by the calibration test against the paper's
 /// §6.2 anchors (≈2.9 / 4.3 / 8.3 / 11.6 ms).

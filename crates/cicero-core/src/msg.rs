@@ -134,6 +134,86 @@ impl Wire for ReleaseBody {
     }
 }
 
+/// A Segway update: the network update plus the dependency metadata the
+/// scheduler computed for it, threshold-signed *as one body* so a switch
+/// cannot be lied to about what must precede it or whom to release next.
+/// `gates` are the updates that must be applied (and announced by their
+/// switch) before this one may go in; `notify` are the switches waiting on
+/// *this* update, to be released with a signed [`ReadyBody`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SegwayBody {
+    /// The network update itself.
+    pub update: NetworkUpdate,
+    /// Prerequisites: `(update, the switch that applies it)`.
+    pub gates: Vec<(UpdateId, SwitchId)>,
+    /// Switches whose next segment this update releases.
+    pub notify: Vec<SwitchId>,
+}
+
+impl Wire for SegwayBody {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.update.encode(buf);
+        (self.gates.len() as u32).encode(buf);
+        for (u, s) in &self.gates {
+            u.encode(buf);
+            s.encode(buf);
+        }
+        (self.notify.len() as u32).encode(buf);
+        for s in &self.notify {
+            s.encode(buf);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        let update = NetworkUpdate::decode(buf)?;
+        let n = u32::decode(buf)?;
+        let mut gates = Vec::with_capacity(n.min(1024) as usize);
+        for _ in 0..n {
+            gates.push((UpdateId::decode(buf)?, SwitchId::decode(buf)?));
+        }
+        let n = u32::decode(buf)?;
+        let mut notify = Vec::with_capacity(n.min(1024) as usize);
+        for _ in 0..n {
+            notify.push(SwitchId::decode(buf)?);
+        }
+        Ok(SegwayBody {
+            update,
+            gates,
+            notify,
+        })
+    }
+}
+
+/// A Segway switch-to-switch release: switch `from` applied `update` and
+/// tells switch `to` (named in `from`'s threshold-signed `notify` list)
+/// that the corresponding gate is open. Signed with `from`'s identity key;
+/// the `to` binding stops a rogue switch replaying a captured ready at a
+/// different victim. The same body, re-signed by the *recipient*, serves
+/// as the receipt that stops `from`'s retransmission.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ReadyBody {
+    /// The applied (gating) update.
+    pub update: UpdateId,
+    /// The switch that applied it.
+    pub from: SwitchId,
+    /// The released switch.
+    pub to: SwitchId,
+}
+
+impl Wire for ReadyBody {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.update.encode(buf);
+        self.from.encode(buf);
+        self.to.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(ReadyBody {
+            update: UpdateId::decode(buf)?,
+            from: SwitchId::decode(buf)?,
+            to: SwitchId::decode(buf)?,
+        })
+    }
+}
+
 /// The per-domain control-plane state switches must track across
 /// membership changes: phase, quorum size, aggregator. Distributed to
 /// switches under the (membership-invariant) group public key, replacing
@@ -335,6 +415,97 @@ impl Wire for WalRecord {
     }
 }
 
+/// Durable switch-side journal records.
+///
+/// Switches keep a small WAL mirroring the controller one: applied updates
+/// (so a restarted switch reboots with its flow table and dedup set intact)
+/// plus the Segway release ledger. A ready is journaled *before* it goes on
+/// the wire and its receipt *when* it arrives, so a switch restarting
+/// mid-update resumes retransmitting un-receipted readies without ever
+/// re-releasing a neighbor it already released (exactly-once release), and
+/// an accepted incoming ready survives the restart — the receipt we sent
+/// for it is a promise to remember it, since the sender stops
+/// retransmitting on receipt.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SwitchWalRecord {
+    /// The switch applied `update`, backed by `signers` signature shares.
+    Applied {
+        /// The applied update (full body: replay rebuilds the flow table).
+        update: NetworkUpdate,
+        /// Distinct signers backing the apply.
+        signers: u32,
+    },
+    /// A Segway ready for gating update `update` was released to `to`.
+    ReadySent {
+        /// The gating update.
+        update: UpdateId,
+        /// The released neighbor.
+        to: SwitchId,
+    },
+    /// `to` receipted the ready — retransmission can stop for good.
+    ReadyReceipted {
+        /// The gating update.
+        update: UpdateId,
+        /// The receipting neighbor.
+        to: SwitchId,
+    },
+    /// A verified ready from `from` announcing `update` was accepted.
+    ReadyIn {
+        /// The gating update.
+        update: UpdateId,
+        /// The designated releaser that announced it.
+        from: SwitchId,
+    },
+}
+
+impl Wire for SwitchWalRecord {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            SwitchWalRecord::Applied { update, signers } => {
+                0u8.encode(buf);
+                update.encode(buf);
+                signers.encode(buf);
+            }
+            SwitchWalRecord::ReadySent { update, to } => {
+                1u8.encode(buf);
+                update.encode(buf);
+                to.encode(buf);
+            }
+            SwitchWalRecord::ReadyReceipted { update, to } => {
+                2u8.encode(buf);
+                update.encode(buf);
+                to.encode(buf);
+            }
+            SwitchWalRecord::ReadyIn { update, from } => {
+                3u8.encode(buf);
+                update.encode(buf);
+                from.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::decode(buf)? {
+            0 => Ok(SwitchWalRecord::Applied {
+                update: NetworkUpdate::decode(buf)?,
+                signers: u32::decode(buf)?,
+            }),
+            1 => Ok(SwitchWalRecord::ReadySent {
+                update: UpdateId::decode(buf)?,
+                to: SwitchId::decode(buf)?,
+            }),
+            2 => Ok(SwitchWalRecord::ReadyReceipted {
+                update: UpdateId::decode(buf)?,
+                to: SwitchId::decode(buf)?,
+            }),
+            3 => Ok(SwitchWalRecord::ReadyIn {
+                update: UpdateId::decode(buf)?,
+                from: SwitchId::decode(buf)?,
+            }),
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+}
+
 /// Everything that travels between simulated nodes.
 #[derive(Clone, Debug)]
 pub enum Net {
@@ -392,6 +563,17 @@ pub enum Net {
     },
     /// Controller → aggregator: a share-signed update to aggregate.
     UpdateToAggregator(ShareSigned<NetworkUpdate>),
+    /// Controller → switch (Segway): a share-signed update *with* its
+    /// gate/notify metadata; the switch quorum-aggregates and then gates
+    /// application on signed neighbor readies instead of controller order.
+    SegwayUpdate(ShareSigned<SegwayBody>),
+    /// Switch → switch (Segway): a signed release — the sender applied the
+    /// gating update named inside; retransmitted with backoff until
+    /// receipted by a [`Net::SegwayReadyAck`].
+    SegwayReady(Signed<ReadyBody>),
+    /// Switch → switch (Segway): receipt for a [`Net::SegwayReady`] (the
+    /// echoed body, signed by the recipient); stops its retransmission.
+    SegwayReadyAck(Signed<ReadyBody>),
     /// Aggregator → switch: the quorum-aggregated update.
     UpdateAggregated(QuorumSigned<NetworkUpdate>),
     /// Switch → controller(s): signed application acknowledgement.
@@ -573,6 +755,112 @@ mod tests {
             switch: SwitchId(7),
         };
         assert_eq!(AckBody::from_wire(&a.to_wire()).unwrap(), a);
+    }
+
+    #[test]
+    fn segway_body_round_trip() {
+        use southbound::types::{FlowAction, FlowMatch, FlowRule, NetworkUpdate, NextHop, UpdateKind};
+        let b = SegwayBody {
+            update: NetworkUpdate {
+                id: UpdateId {
+                    event: EventId(9),
+                    seq: 2,
+                },
+                switch: SwitchId(3),
+                kind: UpdateKind::Install(FlowRule {
+                    matcher: FlowMatch {
+                        src: HostId(1),
+                        dst: HostId(5),
+                    },
+                    action: FlowAction::Forward(NextHop::Switch(SwitchId(4))),
+                }),
+            },
+            gates: vec![
+                (
+                    UpdateId {
+                        event: EventId(9),
+                        seq: 3,
+                    },
+                    SwitchId(4),
+                ),
+                (
+                    UpdateId {
+                        event: EventId(9),
+                        seq: 4,
+                    },
+                    SwitchId(5),
+                ),
+            ],
+            notify: vec![SwitchId(1), SwitchId(2)],
+        };
+        assert_eq!(SegwayBody::from_wire(&b.to_wire()).unwrap(), b);
+        let empty = SegwayBody {
+            gates: Vec::new(),
+            notify: Vec::new(),
+            ..b
+        };
+        assert_eq!(SegwayBody::from_wire(&empty.to_wire()).unwrap(), empty);
+    }
+
+    #[test]
+    fn ready_body_round_trip() {
+        let r = ReadyBody {
+            update: UpdateId {
+                event: EventId(11),
+                seq: 0,
+            },
+            from: SwitchId(6),
+            to: SwitchId(2),
+        };
+        assert_eq!(ReadyBody::from_wire(&r.to_wire()).unwrap(), r);
+    }
+
+    #[test]
+    fn switch_wal_record_round_trip() {
+        use southbound::types::{FlowAction, FlowMatch, FlowRule, NextHop, UpdateKind};
+        let records = [
+            SwitchWalRecord::Applied {
+                update: NetworkUpdate {
+                    id: UpdateId {
+                        event: EventId(3),
+                        seq: 1,
+                    },
+                    switch: SwitchId(2),
+                    kind: UpdateKind::Install(FlowRule {
+                        matcher: FlowMatch {
+                            src: HostId(0),
+                            dst: HostId(7),
+                        },
+                        action: FlowAction::Forward(NextHop::Switch(SwitchId(3))),
+                    }),
+                },
+                signers: 4,
+            },
+            SwitchWalRecord::ReadySent {
+                update: UpdateId {
+                    event: EventId(3),
+                    seq: 1,
+                },
+                to: SwitchId(5),
+            },
+            SwitchWalRecord::ReadyReceipted {
+                update: UpdateId {
+                    event: EventId(3),
+                    seq: 1,
+                },
+                to: SwitchId(5),
+            },
+            SwitchWalRecord::ReadyIn {
+                update: UpdateId {
+                    event: EventId(3),
+                    seq: 2,
+                },
+                from: SwitchId(1),
+            },
+        ];
+        for r in records {
+            assert_eq!(SwitchWalRecord::from_wire(&r.to_wire()).unwrap(), r);
+        }
     }
 
     #[test]

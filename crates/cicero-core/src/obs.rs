@@ -203,6 +203,43 @@ pub enum Obs {
         /// WAL records compacted away.
         compacted: u64,
     },
+    /// A Segway switch released a neighbor: it applied a gating update and
+    /// sent the neighbor a signed ready message. Emitted exactly once per
+    /// `(from, update, to)` — the exactly-once-release invariant the
+    /// telemetry oracle audits (duplicated quorum deliveries and restarts
+    /// must not re-release an already-released neighbor).
+    ReadySent {
+        /// The releasing switch.
+        from: SwitchId,
+        /// The released switch.
+        to: SwitchId,
+        /// The gating update the sender applied.
+        update: UpdateId,
+    },
+    /// A Segway switch retransmitted an un-receipted ready message
+    /// (ready-loss recovery; `attempt` is 1-based).
+    ReadyRetransmitted {
+        /// The retransmitting switch.
+        from: SwitchId,
+        /// The target switch.
+        to: SwitchId,
+        /// The gating update.
+        update: UpdateId,
+        /// Which retransmission this is.
+        attempt: u32,
+    },
+    /// A Segway switch rejected a ready message: bad signature, a `to`
+    /// field naming a different switch (replay at the wrong victim), or a
+    /// sender that is not the gate's designated switch — the Segway
+    /// analogue of [`Obs::UpdateRejected`].
+    ReadyRejected {
+        /// The rejecting switch.
+        switch: SwitchId,
+        /// The gating update the message claimed.
+        update: UpdateId,
+        /// The claimed sender.
+        from: SwitchId,
+    },
     /// An upstream controller re-forwarded a signed event to the remaining
     /// members of a downstream domain whose segment report is overdue (the
     /// initial single-target forward, or its processing, was evidently
@@ -240,6 +277,8 @@ pub struct RetransmitStats {
     pub segment_retransmits: u64,
     /// Cross-domain event re-forwards to overdue downstream domains.
     pub forward_retransmits: u64,
+    /// Segway switch-to-switch ready retransmissions.
+    pub ready_retransmits: u64,
 }
 
 impl RetransmitStats {
@@ -252,6 +291,7 @@ impl RetransmitStats {
             + self.resyncs
             + self.segment_retransmits
             + self.forward_retransmits
+            + self.ready_retransmits
     }
 }
 
@@ -269,6 +309,7 @@ pub fn retransmit_stats(obs: &[Observation<Obs>]) -> RetransmitStats {
             Obs::ResyncReplied { .. } => s.resyncs += 1,
             Obs::SegmentRetransmitted { .. } => s.segment_retransmits += 1,
             Obs::ForwardRetransmitted { .. } => s.forward_retransmits += 1,
+            Obs::ReadyRetransmitted { .. } => s.ready_retransmits += 1,
             _ => {}
         }
     }

@@ -34,6 +34,12 @@ pub mod labels {
     pub const SEGMENT: &str = "CICERO_SEGMENT_V1";
     /// Cross-domain boundary-release receipts.
     pub const RELEASE: &str = "CICERO_RELEASE_V1";
+    /// Segway updates (threshold-signed update + gate/notify metadata).
+    pub const SEGWAY: &str = "CICERO_SEGWAY_UPDATE_V1";
+    /// Segway switch-to-switch ready messages (switch identity keys).
+    pub const READY: &str = "CICERO_SEGWAY_READY_V1";
+    /// Segway ready receipts (stop the sender's retransmission).
+    pub const READY_RECEIPT: &str = "CICERO_SEGWAY_RECEIPT_V1";
 }
 
 /// Who lives where in the simulation.

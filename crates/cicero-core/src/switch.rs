@@ -8,7 +8,7 @@
 //! simulated CPU time so Fig. 11d's utilization comparison is reproducible.
 
 use crate::config::{Aggregation, Mode};
-use crate::msg::{AckBody, NackBody, Net, PhaseInfo};
+use crate::msg::{AckBody, NackBody, Net, PhaseInfo, ReadyBody, SegwayBody, SwitchWalRecord};
 use crate::obs::Obs;
 use crate::runtime::{labels, Shared};
 use blscrypto::bls::{self, PartialSignature, SecretKey};
@@ -17,13 +17,15 @@ use controller::pending::RetryPolicy;
 use netmodel::flowtable::{FlowTable, Lookup};
 use simnet::node::{Actor, Host, NodeId, TimerToken};
 use simnet::time::{SimDuration, SimTime};
-use southbound::envelope::{signing_digest, MsgId, QuorumSigned, Signed};
+use southbound::envelope::{signing_digest, verify_signed_batch, MsgId, QuorumSigned, Signed};
 use southbound::types::{
     ControllerId, DomainId, Event, EventId, EventKind, FlowAction, FlowId, FlowMatch,
     HostId, NetworkUpdate, Phase, SwitchId, UpdateKind,
 };
+use southbound::codec::Wire;
 use std::collections::BTreeMap;
 use substrate::collections::{DetMap, DetSet};
+use substrate::storage::{DiskHandle, Wal};
 use std::sync::Arc;
 
 const RETRY: TimerToken = TimerToken(1);
@@ -70,6 +72,27 @@ struct QuorumBucket {
     blacklisted: DetSet<u32>,
 }
 
+/// A Segway update body accumulating signature shares: the same quorum
+/// logic as [`QuorumBucket`], but over the update *plus* its gate/notify
+/// metadata so a quorum also vouches for the release order.
+#[derive(Clone, Debug)]
+struct SegBucket {
+    body: SegwayBody,
+    phase: Phase,
+    partials: BTreeMap<u32, PartialSignature>,
+    blacklisted: DetSet<u32>,
+}
+
+/// An un-receipted Segway ready message, retransmitted with backoff until
+/// the target switch's signed receipt arrives or the budget runs out.
+#[derive(Clone, Debug)]
+struct ReadyOut {
+    signed: Signed<ReadyBody>,
+    target: NodeId,
+    attempts: u32,
+    next_due: SimTime,
+}
+
 /// The switch actor.
 pub struct SwitchActor {
     shared: Arc<Shared>,
@@ -93,6 +116,27 @@ pub struct SwitchActor {
     event_policy: RetryPolicy,
     nack_policy: RetryPolicy,
     retry_armed: bool,
+    // ----- Segway state (Mode::Segway only) -------------------------------
+    /// Share buckets over `SegwayBody` (update + gate/notify metadata).
+    seg_buckets: DetMap<(southbound::types::UpdateId, Phase), Vec<SegBucket>>,
+    /// Quorum-verified bodies whose gates are not all open yet, with the
+    /// signer count backing them.
+    parked: DetMap<southbound::types::UpdateId, (SegwayBody, u32)>,
+    /// Verified readies received: gating update → switches that announced
+    /// applying it (a ready may arrive before its gated body does).
+    ready_in: DetMap<southbound::types::UpdateId, DetSet<SwitchId>>,
+    /// Outgoing readies awaiting a receipt, keyed `(gating update, target)`.
+    ready_out: DetMap<(southbound::types::UpdateId, SwitchId), ReadyOut>,
+    /// Every `(update, target)` ever released — the exactly-once-release
+    /// guard. Survives receipt-driven `ready_out` removal, so duplicated
+    /// quorum deliveries and replayed state never re-release a neighbor.
+    ready_sent: DetSet<(southbound::types::UpdateId, SwitchId)>,
+    ready_policy: RetryPolicy,
+    /// Durable journal (attached by the executor; `None` = diskless).
+    wal: Option<Wal>,
+    /// Readies the WAL says were sent but never receipted, re-armed for
+    /// retransmission on the post-restart `on_start`.
+    recovered_readies: Vec<(southbound::types::UpdateId, SwitchId)>,
 }
 
 impl SwitchActor {
@@ -117,6 +161,12 @@ impl SwitchActor {
             budget: if rel.enabled { rel.nack_budget } else { 0 },
             jitter_seed: shared.cfg.seed ^ u64::from(id.0).rotate_left(47),
         };
+        let ready_policy = RetryPolicy {
+            base: rel.retry_base,
+            max_backoff: rel.retry_max_backoff,
+            budget: if rel.enabled { rel.retry_budget } else { 0 },
+            jitter_seed: shared.cfg.seed ^ u64::from(id.0).rotate_left(13),
+        };
         SwitchActor {
             shared,
             id,
@@ -136,12 +186,82 @@ impl SwitchActor {
             event_policy,
             nack_policy,
             retry_armed: false,
+            seg_buckets: DetMap::new(),
+            parked: DetMap::new(),
+            ready_in: DetMap::new(),
+            ready_out: DetMap::new(),
+            ready_sent: DetSet::new(),
+            ready_policy,
+            wal: None,
+            recovered_readies: Vec::new(),
         }
     }
 
-    /// Signed events still awaiting their effect (watchdog / tests).
+    /// Attaches durable storage. Opens (and torn-tail-repairs) the WAL;
+    /// with `recovering` set the records replay first — restoring the flow
+    /// table, the applied-update dedup set, and the Segway release ledger
+    /// (`ready_sent` / `ready_in`) — so a restarted switch never
+    /// re-releases a neighbor it already released, and never forgets a
+    /// ready it receipted (the sender stopped retransmitting on that
+    /// receipt). Sent-but-unreceipted readies are queued for retransmission
+    /// on the next `on_start`. A fresh boot finds an empty WAL and this is
+    /// a no-op beyond arming the log.
+    pub fn attach_disk(&mut self, disk: DiskHandle, recovering: bool) {
+        let (wal, tail) = Wal::open(disk, "switch.wal");
+        self.wal = Some(wal);
+        if !recovering {
+            return;
+        }
+        let mut records = Vec::new();
+        for frame in tail {
+            if let Ok(r) = SwitchWalRecord::from_wire(&frame) {
+                records.push(r);
+            }
+        }
+        let mut receipted: DetSet<(southbound::types::UpdateId, SwitchId)> = DetSet::new();
+        for r in &records {
+            if let SwitchWalRecord::ReadyReceipted { update, to } = r {
+                receipted.insert((*update, *to));
+            }
+        }
+        for r in records {
+            match r {
+                SwitchWalRecord::Applied { update, .. } => {
+                    if self.applied.insert(update.id) {
+                        self.table.apply(&update);
+                    }
+                }
+                SwitchWalRecord::ReadySent { update, to } => {
+                    if self.ready_sent.insert((update, to)) && !receipted.contains(&(update, to))
+                    {
+                        self.recovered_readies.push((update, to));
+                    }
+                }
+                SwitchWalRecord::ReadyReceipted { .. } => {}
+                SwitchWalRecord::ReadyIn { update, from } => {
+                    self.ready_in.entry(update).or_default().insert(from);
+                }
+            }
+        }
+    }
+
+    /// Appends one record to the WAL (no-op without attached storage).
+    fn log_record(&mut self, rec: &SwitchWalRecord) {
+        if let Some(w) = self.wal.as_mut() {
+            w.append(&rec.to_wire());
+        }
+    }
+
+    /// Signed events still awaiting their effect, plus un-receipted Segway
+    /// readies still being retransmitted (watchdog / tests).
     pub fn outstanding_event_count(&self) -> usize {
-        self.pending_events.len()
+        self.pending_events.len() + self.ready_out.len()
+    }
+
+    /// Segway readies sent so far, as `(gating update, released switch)` —
+    /// the exactly-once-release set (tests).
+    pub fn readies_sent(&self) -> Vec<(southbound::types::UpdateId, SwitchId)> {
+        self.ready_sent.iter().copied().collect()
     }
 
     /// Read access to the flow table (tests, examples).
@@ -192,10 +312,10 @@ impl SwitchActor {
     fn sign_event(&mut self, ctx: &mut dyn Host<Net, Obs>, event: Event) -> Signed<Event> {
         let phase = self.phase_info.phase;
         let msg_id = self.msg_id();
-        if self.shared.cfg.mode.is_cicero() {
+        if self.shared.cfg.mode.is_signed() {
             ctx.charge_cpu(self.shared.cfg.costs.event_sign);
         }
-        if self.shared.real_crypto() && self.shared.cfg.mode.is_cicero() {
+        if self.shared.real_crypto() && self.shared.cfg.mode.is_signed() {
             let key = self.key.as_ref().expect("real mode has switch keys");
             Signed::sign(labels::EVENT, event, phase, msg_id, key)
         } else {
@@ -299,6 +419,7 @@ impl SwitchActor {
         }
         self.nacks.remove(&update.id);
         self.table.apply(&update);
+        self.log_record(&SwitchWalRecord::Applied { update, signers });
         ctx.observe(Obs::UpdateApplied {
             switch: self.id,
             update: update.id,
@@ -328,7 +449,7 @@ impl SwitchActor {
         };
         let phase = self.phase_info.phase;
         let msg_id = self.msg_id();
-        let signed = if self.shared.cfg.mode.is_cicero() {
+        let signed = if self.shared.cfg.mode.is_signed() {
             ctx.charge_cpu(self.shared.cfg.costs.event_sign);
             if self.shared.real_crypto() {
                 let key = self.key.as_ref().expect("real mode has switch keys");
@@ -392,6 +513,7 @@ impl SwitchActor {
             .values()
             .map(|p| p.next_due)
             .chain(self.nacks.values().map(|n| n.next_due))
+            .chain(self.ready_out.values().map(|r| r.next_due))
             .min();
         let Some(due) = next else {
             return;
@@ -452,7 +574,13 @@ impl SwitchActor {
                 .buckets
                 .get(&(id, self.phase_info.phase))
                 .map(|bs| bs.iter().map(|b| b.partials.len()).max().unwrap_or(0))
-                .unwrap_or(0);
+                .unwrap_or(0)
+                .max(
+                    self.seg_buckets
+                        .get(&(id, self.phase_info.phase))
+                        .map(|bs| bs.iter().map(|b| b.partials.len()).max().unwrap_or(0))
+                        .unwrap_or(0),
+                );
             if self.applied.contains(&id) || have == 0 {
                 self.nacks.remove(&id);
                 continue;
@@ -484,7 +612,7 @@ impl SwitchActor {
         };
         let phase = self.phase_info.phase;
         let msg_id = self.msg_id();
-        let signed = if self.shared.cfg.mode.is_cicero() && self.shared.real_crypto() {
+        let signed = if self.shared.cfg.mode.is_signed() && self.shared.real_crypto() {
             ctx.charge_cpu(self.shared.cfg.costs.event_sign);
             let key = self.key.as_ref().expect("real mode has switch keys");
             Signed::sign(labels::NACK, body, phase, msg_id, key)
@@ -668,6 +796,373 @@ impl SwitchActor {
         }
     }
 
+    // ----- Segway: decentralized release via switch-to-switch readies ------
+
+    /// Ready-gating is the Segway analogue of the cross-domain ordering
+    /// handshake, so the same config knob disables it for control runs
+    /// (which then exhibit the transient black holes gating prevents).
+    fn gating_enabled(&self) -> bool {
+        self.shared.cfg.cross_domain_handshake
+    }
+
+    /// All of `body`'s gates are open: each prerequisite update was either
+    /// applied locally or announced by its designated switch with a
+    /// verified ready.
+    fn gates_open(&self, body: &SegwayBody) -> bool {
+        if !self.gating_enabled() {
+            return true;
+        }
+        body.gates.iter().all(|&(u, s)| {
+            (s == self.id && self.applied.contains(&u))
+                || self.ready_in.get(&u).is_some_and(|set| set.contains(&s))
+        })
+    }
+
+    /// Segway ingest: same quorum accumulation as [`Self::on_share_signed`],
+    /// over the update *plus* its threshold-signed gate/notify metadata.
+    fn on_segway_signed(
+        &mut self,
+        ctx: &mut dyn Host<Net, Obs>,
+        msg: southbound::envelope::ShareSigned<SegwayBody>,
+    ) {
+        ctx.charge_cpu(self.shared.cfg.costs.switch_msg);
+        let id = msg.payload.update.id;
+        if self.applied.contains(&id) {
+            let fresh = self
+                .applied_signers
+                .entry(id)
+                .or_default()
+                .insert(msg.partial.index);
+            if !fresh {
+                self.reack(ctx, msg.payload.update);
+            }
+            return;
+        }
+        if msg.phase != self.phase_info.phase {
+            return;
+        }
+        if self.parked.get(&id).is_some() {
+            // Quorum already proven; the body is just waiting on its gates.
+            return;
+        }
+        if self.shared.cfg.reliability.enabled {
+            let due = ctx.now() + self.nack_policy.backoff(id, 1);
+            self.nacks.entry(id).or_insert(NackState {
+                attempts: 0,
+                next_due: due,
+            });
+            self.arm_retry(ctx);
+        }
+        let buckets = self.seg_buckets.entry((id, msg.phase)).or_default();
+        let bucket = match buckets.iter_mut().find(|b| b.body == msg.payload) {
+            Some(b) => b,
+            None => {
+                buckets.push(SegBucket {
+                    body: msg.payload,
+                    phase: msg.phase,
+                    partials: BTreeMap::new(),
+                    blacklisted: DetSet::new(),
+                });
+                buckets.last_mut().expect("just pushed")
+            }
+        };
+        if bucket.blacklisted.contains(&msg.partial.index) {
+            return;
+        }
+        bucket.partials.insert(msg.partial.index, msg.partial);
+        self.try_seg_quorum(ctx, (id, msg.phase));
+    }
+
+    fn try_seg_quorum(
+        &mut self,
+        ctx: &mut dyn Host<Net, Obs>,
+        key: (southbound::types::UpdateId, Phase),
+    ) {
+        let quorum = self.quorum();
+        let Some(buckets) = self.seg_buckets.get_mut(&key) else {
+            return;
+        };
+        let Some(idx) = buckets.iter().position(|b| b.partials.len() >= quorum) else {
+            return;
+        };
+        let costs = self.shared.cfg.costs;
+        let real = self.shared.real_crypto();
+        let group = self.shared.keys.domains[&self.domain].clone();
+
+        let bucket = &mut buckets[idx];
+        let partials: Vec<PartialSignature> = bucket.partials.values().copied().collect();
+        ctx.charge_cpu(costs.aggregate_per_share.saturating_mul(partials.len() as u64));
+        ctx.charge_cpu(costs.bls_verify);
+
+        let valid = if real {
+            let digest = signing_digest(labels::SEGWAY, bucket.phase, &bucket.body);
+            match bls::aggregate(&partials) {
+                Ok(sig) => {
+                    if bls::verify(&group.public_key, &digest, &sig) {
+                        true
+                    } else {
+                        for p in &partials {
+                            ctx.charge_cpu(costs.bls_verify);
+                            let mpk = group.group.member_public_key(p.index);
+                            if !bls::verify_partial(&mpk, &digest, p) {
+                                bucket.blacklisted.insert(p.index);
+                                bucket.partials.remove(&p.index);
+                            }
+                        }
+                        false
+                    }
+                }
+                Err(_) => false,
+            }
+        } else {
+            true
+        };
+
+        if valid {
+            let body = bucket.body.clone();
+            let signers: DetSet<u32> = bucket.partials.keys().copied().collect();
+            let n_signers = signers.len() as u32;
+            self.seg_buckets.remove(&key);
+            self.applied_signers.insert(key.0, signers);
+            if self.gates_open(&body) {
+                self.seg_apply(ctx, body, n_signers);
+                self.release_parked(ctx);
+            } else {
+                self.parked.insert(key.0, (body, n_signers));
+            }
+        } else {
+            ctx.observe(Obs::UpdateRejected {
+                switch: self.id,
+                update: key.0,
+            });
+        }
+    }
+
+    /// Applies a gated body and releases the switches its threshold-signed
+    /// `notify` list names.
+    fn seg_apply(&mut self, ctx: &mut dyn Host<Net, Obs>, body: SegwayBody, signers: u32) {
+        if self.applied.contains(&body.update.id) {
+            return;
+        }
+        self.apply_update(ctx, body.update, signers);
+        if !self.gating_enabled() {
+            return;
+        }
+        for i in 0..body.notify.len() {
+            let to = body.notify[i];
+            if to == self.id {
+                continue;
+            }
+            // Exactly-once release: a neighbor is released at most once per
+            // gating update no matter how often the quorum re-fires.
+            if !self.ready_sent.insert((body.update.id, to)) {
+                continue;
+            }
+            // Write-ahead: the release is durable before it can be observed,
+            // so a crash between journal and send re-sends (at-least-once on
+            // the wire) rather than re-releasing (exactly-once in the set).
+            self.log_record(&SwitchWalRecord::ReadySent {
+                update: body.update.id,
+                to,
+            });
+            let ready = ReadyBody {
+                update: body.update.id,
+                from: self.id,
+                to,
+            };
+            let phase = self.phase_info.phase;
+            let msg_id = self.msg_id();
+            ctx.charge_cpu(self.shared.cfg.costs.event_sign);
+            let signed = if self.shared.real_crypto() {
+                let key = self.key.as_ref().expect("real mode has switch keys");
+                Signed::sign(labels::READY, ready, phase, msg_id, key)
+            } else {
+                Signed {
+                    payload: ready,
+                    phase,
+                    msg_id,
+                    signature: self.shared.keys.dummy,
+                }
+            };
+            ctx.observe(Obs::ReadySent {
+                from: self.id,
+                to,
+                update: body.update.id,
+            });
+            let target = self.shared.dir.switch(to);
+            ctx.send(target, Net::SegwayReady(signed.clone()));
+            if self.shared.cfg.reliability.enabled {
+                let next_due = ctx.now() + self.ready_policy.backoff(body.update.id, 1);
+                self.ready_out.insert(
+                    (body.update.id, to),
+                    ReadyOut {
+                        signed,
+                        target,
+                        attempts: 0,
+                        next_due,
+                    },
+                );
+                self.arm_retry(ctx);
+            }
+        }
+    }
+
+    /// A verified ready may open gates of parked bodies; applying one may
+    /// in turn open local gates of another, so drain to a fixpoint.
+    fn release_parked(&mut self, ctx: &mut dyn Host<Net, Obs>) {
+        loop {
+            let next = self
+                .parked
+                .iter()
+                .find(|(_, (b, _))| self.gates_open(b))
+                .map(|(&k, _)| k);
+            let Some(k) = next else {
+                return;
+            };
+            let (body, signers) = self.parked.remove(&k).expect("just found");
+            self.seg_apply(ctx, body, signers);
+        }
+    }
+
+    /// A neighbor announces it applied a gating update. Verified through
+    /// the batch-verification path with the simulation RNG; rejected when
+    /// the signature fails, the `to` binding names someone else (a replay
+    /// at the wrong victim), or the sender is not the gate's designated
+    /// switch — the latter two structural checks also bite under
+    /// [`crate::config::CryptoMode::Modeled`], where signatures are vacuous.
+    fn on_ready(&mut self, ctx: &mut dyn Host<Net, Obs>, msg: Signed<ReadyBody>) {
+        ctx.charge_cpu(self.shared.cfg.costs.switch_msg);
+        let body = msg.payload;
+        let reject = |ctx: &mut dyn Host<Net, Obs>, switch: SwitchId| {
+            ctx.observe(Obs::ReadyRejected {
+                switch,
+                update: body.update,
+                from: body.from,
+            });
+        };
+        if body.to != self.id || body.from == self.id {
+            reject(ctx, self.id);
+            return;
+        }
+        ctx.charge_cpu(self.shared.cfg.costs.bls_verify);
+        let valid = if self.shared.real_crypto() {
+            match self.shared.keys.switch_pk.get(&body.from) {
+                Some(&pk) => verify_signed_batch(labels::READY, &[(&msg, pk)], ctx.rng()),
+                None => false,
+            }
+        } else {
+            self.shared.dir.switch_node.contains_key(&body.from)
+        };
+        if !valid {
+            reject(ctx, self.id);
+            return;
+        }
+        // If a parked body names a different switch for this gate, the
+        // sender is impersonating the designated releaser.
+        let impersonated = self.parked.values().any(|(b, _)| {
+            b.gates
+                .iter()
+                .any(|&(u, s)| u == body.update && s != body.from)
+        });
+        if impersonated {
+            reject(ctx, self.id);
+            return;
+        }
+        // Receipt every valid ready (idempotent for duplicates) so the
+        // sender stops retransmitting.
+        let phase = self.phase_info.phase;
+        let msg_id = self.msg_id();
+        ctx.charge_cpu(self.shared.cfg.costs.event_sign);
+        let receipt = if self.shared.real_crypto() {
+            let key = self.key.as_ref().expect("real mode has switch keys");
+            Signed::sign(labels::READY_RECEIPT, body, phase, msg_id, key)
+        } else {
+            Signed {
+                payload: body,
+                phase,
+                msg_id,
+                signature: self.shared.keys.dummy,
+            }
+        };
+        // The receipt promises the sender it can stop retransmitting, so
+        // the accepted ready must be durable before the receipt is sent.
+        if self
+            .ready_in
+            .entry(body.update)
+            .or_default()
+            .insert(body.from)
+        {
+            self.log_record(&SwitchWalRecord::ReadyIn {
+                update: body.update,
+                from: body.from,
+            });
+        }
+        let sender = self.shared.dir.switch(body.from);
+        ctx.send(sender, Net::SegwayReadyAck(receipt));
+        self.release_parked(ctx);
+    }
+
+    /// The target switch receipted a ready we sent: stop retransmitting it.
+    fn on_ready_ack(&mut self, ctx: &mut dyn Host<Net, Obs>, msg: Signed<ReadyBody>) {
+        ctx.charge_cpu(self.shared.cfg.costs.switch_msg);
+        let body = msg.payload;
+        if body.from != self.id {
+            return;
+        }
+        let key = (body.update, body.to);
+        if self.ready_out.get(&key).is_none() {
+            return;
+        }
+        ctx.charge_cpu(self.shared.cfg.costs.bls_verify);
+        let valid = if self.shared.real_crypto() {
+            match self.shared.keys.switch_pk.get(&body.to) {
+                Some(pk) => msg.verify(labels::READY_RECEIPT, pk),
+                None => false,
+            }
+        } else {
+            true
+        };
+        if valid {
+            self.ready_out.remove(&key);
+            self.log_record(&SwitchWalRecord::ReadyReceipted {
+                update: key.0,
+                to: key.1,
+            });
+        }
+    }
+
+    fn sweep_readies(&mut self, ctx: &mut dyn Host<Net, Obs>, now: SimTime) {
+        let budget = self.ready_policy.budget;
+        let due: Vec<(southbound::types::UpdateId, SwitchId)> = self
+            .ready_out
+            .iter()
+            .filter(|(_, r)| r.next_due <= now)
+            .map(|(&k, _)| k)
+            .collect();
+        for key in due {
+            let r = self.ready_out.get_mut(&key).expect("present");
+            if r.attempts >= budget {
+                // Stop retransmitting; the controller's own update retry
+                // (and its exhaustion report) remains the backstop for the
+                // stalled downstream segment.
+                self.ready_out.remove(&key);
+                continue;
+            }
+            r.attempts += 1;
+            let attempt = r.attempts;
+            let signed = r.signed.clone();
+            let target = r.target;
+            r.next_due = now + self.ready_policy.backoff(key.0, attempt + 1);
+            ctx.observe(Obs::ReadyRetransmitted {
+                from: self.id,
+                to: key.1,
+                update: key.0,
+                attempt,
+            });
+            ctx.send(target, Net::SegwayReady(signed));
+        }
+    }
+
     fn on_flow_arrival(
         &mut self,
         ctx: &mut dyn Host<Net, Obs>,
@@ -720,6 +1215,45 @@ impl SwitchActor {
 }
 
 impl Actor<Net, Obs> for SwitchActor {
+    fn on_start(&mut self, ctx: &mut dyn Host<Net, Obs>) {
+        // The restart half of crash recovery: resume retransmitting readies
+        // the WAL says were sent but never receipted. No new `ReadySent` is
+        // observed — the release already happened in a previous life; the
+        // sweep emits `ReadyRetransmitted` like any other retry.
+        let pairs = std::mem::take(&mut self.recovered_readies);
+        for (update, to) in pairs {
+            let ready = ReadyBody {
+                update,
+                from: self.id,
+                to,
+            };
+            let phase = self.phase_info.phase;
+            let msg_id = self.msg_id();
+            let signed = if self.shared.real_crypto() {
+                let key = self.key.as_ref().expect("real mode has switch keys");
+                Signed::sign(labels::READY, ready, phase, msg_id, key)
+            } else {
+                Signed {
+                    payload: ready,
+                    phase,
+                    msg_id,
+                    signature: self.shared.keys.dummy,
+                }
+            };
+            let next_due = ctx.now() + self.ready_policy.backoff(update, 1);
+            self.ready_out.insert(
+                (update, to),
+                ReadyOut {
+                    signed,
+                    target: self.shared.dir.switch(to),
+                    attempts: 0,
+                    next_due,
+                },
+            );
+        }
+        self.arm_retry(ctx);
+    }
+
     fn on_timer(&mut self, ctx: &mut dyn Host<Net, Obs>, token: TimerToken) {
         if token != RETRY {
             return;
@@ -728,6 +1262,7 @@ impl Actor<Net, Obs> for SwitchActor {
         let now = ctx.now();
         self.sweep_pending_events(ctx, now);
         self.sweep_nacks(ctx, now);
+        self.sweep_readies(ctx, now);
         self.arm_retry(ctx);
     }
 
@@ -754,6 +1289,9 @@ impl Actor<Net, Obs> for SwitchActor {
             }
             Net::UpdateMsg(m) => self.on_share_signed(ctx, m),
             Net::UpdateAggregated(m) => self.on_quorum_signed(ctx, m),
+            Net::SegwayUpdate(m) => self.on_segway_signed(ctx, m),
+            Net::SegwayReady(m) => self.on_ready(ctx, m),
+            Net::SegwayReadyAck(m) => self.on_ready_ack(ctx, m),
             Net::UpdatePlain { update, from: _ } => {
                 ctx.charge_cpu(self.shared.cfg.costs.switch_msg);
                 if self.applied.contains(&update.id) {
@@ -778,6 +1316,7 @@ impl Actor<Net, Obs> for SwitchActor {
                     self.phase_info = m.payload;
                     // Stale aggregation buckets from the old phase die here.
                     self.buckets.retain(|(_, p), _| *p == m.payload.phase);
+                    self.seg_buckets.retain(|(_, p), _| *p == m.payload.phase);
                 }
             }
             // Messages not addressed to switches are ignored defensively.

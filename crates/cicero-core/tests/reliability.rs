@@ -366,6 +366,117 @@ fn handshake_survives_segment_ack_loss() {
     );
 }
 
+// ---------------------------------------------------------------------
+// Segway ready-message reliability (DESIGN.md §3, decentralized mode).
+// ---------------------------------------------------------------------
+
+/// Every `ReadySent` in the trace is unique per `(update, from, to)`:
+/// releases are exactly-once no matter how many times the quorum body or
+/// a ready was duplicated, retransmitted, or replayed across a restart
+/// (recovered readies surface as `ReadyRetransmitted`, never a second
+/// `ReadySent`).
+fn assert_exactly_once_releases(engine: &Engine) {
+    let mut seen = std::collections::BTreeSet::new();
+    for o in engine.observations() {
+        if let Obs::ReadySent { from, to, update } = o.value {
+            assert!(
+                seen.insert((update, from, to)),
+                "release ({update:?}, {from:?} -> {to:?}) emitted twice"
+            );
+        }
+    }
+}
+
+/// Segway's switch-to-switch ready messages ride the same reliability
+/// machinery as everything else: 30% loss on every switch-switch link
+/// plus 10% duplication, all flows still converge, releases stay
+/// exactly-once, and the ready retransmit counter proves the recovery
+/// path carried them.
+#[test]
+fn segway_ready_loss_and_duplication_recovers() {
+    let mut ready_rtx = 0u64;
+    substrate::forall!(cases = 6, |g| {
+        let seed = g.u64();
+        let (mut engine, topo) =
+            lossy_engine(Mode::Segway, seed, ReliabilityConfig::default());
+        let sw_nodes: Vec<simnet::node::NodeId> = topo
+            .switches()
+            .iter()
+            .map(|s| engine.switch_node(s.id))
+            .collect();
+        let mut plan = FaultPlan::none().with_duplicate_probability(0.10);
+        for (i, &a) in sw_nodes.iter().enumerate() {
+            for &b in &sw_nodes[i + 1..] {
+                plan = plan.with_link_drop_probability(a, b, 0.30);
+            }
+        }
+        engine.set_faults(plan);
+        for (i, (src, dst)) in cross_rack_pairs(&topo, 3).into_iter().enumerate() {
+            inject_one_flow(&mut engine, &topo, src, dst, i as u64 + 1);
+        }
+        let report = engine.run_reporting(SimTime::ZERO + SimDuration::from_secs(120));
+        assert!(report.completed, "seed={seed:#x}: {report}");
+        assert_eq!(report.resolved_flows, 3, "seed={seed:#x}");
+        assert_exactly_once_releases(&engine);
+        ready_rtx += report.stats.ready_retransmits;
+    });
+    assert!(
+        ready_rtx > 0,
+        "30% switch-link loss never exercised ready retransmission"
+    );
+}
+
+/// A Segway switch restarting mid-update must not re-release a neighbor
+/// it already released: the release journal is replayed from the WAL, so
+/// the revived switch resumes un-receipted readies as retransmissions
+/// and never double-applies its segment. The restart victim is a path
+/// switch other than the flow's ingress ToR (the waiting flow itself is
+/// RAM-only by design; the WAL protects protocol state, not workload).
+#[test]
+fn segway_switch_restart_mid_update_releases_exactly_once() {
+    let mut journaled_crashes = 0u32;
+    substrate::forall!(cases = 6, |g| {
+        let seed = g.u64();
+        // Releases land around 6-8 ms after the 1 ms flow start on this
+        // fabric; the window straddles them so the sweep covers crashes
+        // both before and after the victim's journaled release.
+        let crash_ms = g.u64_in(6..12);
+        let (mut engine, topo) =
+            lossy_engine(Mode::Segway, seed, ReliabilityConfig::default());
+        let (src, dst) = cross_rack_pairs(&topo, 1)[0];
+        let r = route(&topo, src, dst).unwrap();
+        let ingress = topo.host(src).unwrap().attached;
+        let victim = *r
+            .path
+            .iter()
+            .find(|&&s| s != ingress)
+            .expect("cross-rack route has a non-ingress switch");
+        let node = engine.switch_node(victim);
+        let at = SimTime::ZERO + SimDuration::from_millis(crash_ms);
+        engine.set_faults(FaultPlan::none().with_crash(at, node));
+        engine.schedule_switch_restart(at + SimDuration::from_millis(5), victim);
+        inject_one_flow(&mut engine, &topo, src, dst, 1);
+        let report = engine.run_reporting(SimTime::ZERO + SimDuration::from_secs(120));
+        assert!(
+            report.completed,
+            "crash at {crash_ms}ms seed={seed:#x}: {report}"
+        );
+        assert_eq!(report.resolved_flows, 1, "seed={seed:#x}");
+        assert_exactly_once_releases(&engine);
+        // Did this case actually crash *after* the victim journaled a
+        // release? Only then does the replay path carry any weight.
+        let released_before_crash = engine.observations().iter().any(|o| {
+            o.at <= at && matches!(o.value, Obs::ReadySent { from, .. } if from == victim)
+        });
+        journaled_crashes += u32::from(released_before_crash);
+    });
+    assert!(
+        journaled_crashes > 0,
+        "no swept case crashed the victim after a journaled release; the \
+         WAL-replay path was never exercised"
+    );
+}
+
 /// The downstream domain's consensus primary crashes mid-handshake (while
 /// its segment is installing, before the upstream release). The remaining
 /// replicas change views, finish the segment, and report it applied; the

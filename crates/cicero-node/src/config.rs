@@ -20,7 +20,7 @@ use workload::spec::LocalityClass;
 #[derive(Clone, Debug)]
 pub struct NodeSpec {
     /// Protocol mode (`"centralized"`, `"crash-tolerant"`, `"cicero"`,
-    /// `"cicero-agg"`).
+    /// `"cicero-agg"`, `"segway"`).
     pub mode: Mode,
     /// Crypto execution (`"modeled"` or `"real"`).
     pub crypto: CryptoMode,
@@ -150,6 +150,7 @@ impl NodeSpec {
             Some("cicero-agg") => Mode::Cicero {
                 aggregation: Aggregation::Controller,
             },
+            Some("segway") => Mode::Segway,
             Some(other) => return Err(format!("unknown mode `{other}`")),
         };
         let crypto = match doc.get("crypto").and_then(|v| v.as_str()) {
@@ -352,5 +353,11 @@ mod tests {
             }
         );
         assert_eq!(c.crypto, CryptoMode::Real);
+    }
+
+    #[test]
+    fn parses_segway_mode() {
+        let c = NodeSpec::from_json(r#"{"mode": "segway"}"#).expect("valid spec");
+        assert_eq!(c.mode, Mode::Segway);
     }
 }

@@ -121,6 +121,77 @@ fn sim_and_threads_apply_the_same_updates() {
     );
 }
 
+/// The decentralized-execution outcome: which neighbor releases happened.
+fn release_set(obs: &[Observation<Obs>]) -> BTreeSet<(SwitchId, SwitchId, UpdateId)> {
+    obs.iter()
+        .filter_map(|o| match o.value {
+            Obs::ReadySent { from, to, update } => Some((from, to, update)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Satellite: executor equivalence extends to Segway mode. The same
+/// scenario run decentralized under both executors must install the same
+/// rules, release the same dependency edges (switch-to-switch readies are
+/// real messages under both), and audit clean end to end.
+#[test]
+fn sim_and_threads_agree_in_segway_mode() {
+    let mut spec = spec();
+    spec.mode = cicero_core::prelude::Mode::Segway;
+
+    // ---- simulated run -----------------------------------------------
+    let topo = spec.topology();
+    let flows = spec.workload(&topo);
+    let mut engine = Engine::build(
+        spec.engine_config(),
+        spec.topology(),
+        spec.domain_map(&topo),
+        0,
+    );
+    engine.inject_flows(&flows);
+    let sim_report = engine.run_reporting(SimTime::from_nanos(60_000_000_000));
+    assert!(
+        sim_report.completed,
+        "simulated Segway run must complete: {sim_report}"
+    );
+    let sim_applied = applied_set(engine.observations());
+    let sim_released = release_set(engine.observations());
+    assert!(
+        !sim_released.is_empty(),
+        "a multi-hop Segway run must release dependency edges"
+    );
+    assert_eq!(audit_hazards(engine.observations(), &spec), 0);
+
+    // ---- threaded run ------------------------------------------------
+    let mut dep = cicero_core::deploy::plan(
+        spec.engine_config(),
+        spec.topology(),
+        spec.domain_map(&topo),
+        0,
+    );
+    dep.provision_storage(|_, _| substrate::storage::mem_disk());
+    dep.provision_switch_storage(|_| substrate::storage::mem_disk());
+    let mut threaded = ThreadedDeployment::launch(dep);
+    threaded.inject_flows(&flows);
+    let report = threaded.run_to_convergence(SimDuration::from_secs(20));
+    let obs = threaded.shutdown();
+    assert!(report.completed, "threaded Segway run must converge: {report}");
+    assert_eq!(audit_hazards(&obs, &spec), 0);
+
+    // ---- equivalence --------------------------------------------------
+    assert_eq!(
+        sim_applied,
+        applied_set(&obs),
+        "the applied-update set must not depend on the executor"
+    );
+    assert_eq!(
+        sim_released,
+        release_set(&obs),
+        "the released dependency edges must not depend on the executor"
+    );
+}
+
 fn recoveries(obs: &[Observation<Obs>]) -> usize {
     obs.iter()
         .filter(|o| matches!(o.value, Obs::ControllerRecovered { .. }))

@@ -214,6 +214,16 @@ fn fault_to_json(f: &Fault) -> JsonValue {
             ("from_ms", num(from_ms)),
             ("until_ms", num(until_ms)),
         ]),
+        Fault::CrashRecoverSwitch {
+            switch,
+            at_ms,
+            after_ms,
+        } => JsonValue::object([
+            ("kind", JsonValue::Str("crash_recover_switch".into())),
+            ("switch", num(switch as u64)),
+            ("at_ms", num(at_ms)),
+            ("after_ms", num(after_ms)),
+        ]),
         Fault::RogueShares {
             controller,
             victim,
@@ -221,6 +231,16 @@ fn fault_to_json(f: &Fault) -> JsonValue {
         } => JsonValue::object([
             ("kind", JsonValue::Str("rogue_shares".into())),
             ("controller", num(controller as u64)),
+            ("victim", num(victim as u64)),
+            ("at_ms", num(at_ms)),
+        ]),
+        Fault::RogueReady {
+            switch,
+            victim,
+            at_ms,
+        } => JsonValue::object([
+            ("kind", JsonValue::Str("rogue_ready".into())),
+            ("switch", num(switch as u64)),
             ("victim", num(victim as u64)),
             ("at_ms", num(at_ms)),
         ]),
@@ -260,8 +280,18 @@ fn fault_from_json(v: &JsonValue) -> Result<Fault, String> {
             from_ms: get_u64(v, "from_ms")?,
             until_ms: get_u64(v, "until_ms")?,
         },
+        "crash_recover_switch" => Fault::CrashRecoverSwitch {
+            switch: get_u64(v, "switch")? as u32,
+            at_ms: get_u64(v, "at_ms")?,
+            after_ms: get_u64(v, "after_ms")?,
+        },
         "rogue_shares" => Fault::RogueShares {
             controller: get_u64(v, "controller")? as u32,
+            victim: get_u64(v, "victim")? as u32,
+            at_ms: get_u64(v, "at_ms")?,
+        },
+        "rogue_ready" => Fault::RogueReady {
+            switch: get_u64(v, "switch")? as u32,
             victim: get_u64(v, "victim")? as u32,
             at_ms: get_u64(v, "at_ms")?,
         },

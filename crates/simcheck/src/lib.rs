@@ -140,7 +140,7 @@ fn run_inner(s: &Scenario, handshake: bool) -> (RunOutcome, Vec<Observation<Obs>
 
     let plan = build_fault_plan(&engine, s, &topo);
     engine.set_faults(plan);
-    schedule_restarts(&mut engine, s);
+    schedule_restarts(&mut engine, s, &topo);
     inject_byzantine(&mut engine, s, &topo);
 
     let flows = s.flow_specs(&topo);
@@ -265,10 +265,52 @@ fn build_fault_plan(engine: &Engine, s: &Scenario, topo: &Topology) -> simnet::f
                     at_ms(until_ms),
                 );
             }
-            Fault::RogueShares { .. } => {} // handled by inject_byzantine
+            Fault::CrashRecoverSwitch {
+                switch,
+                at_ms: at,
+                ..
+            } => {
+                // Same victim mapping as the restart half scheduled by
+                // `schedule_restarts`; skipped when every switch is some
+                // flow's ingress ToR.
+                if let Some(v) = switch_restart_victim(s, topo, switch) {
+                    plan = plan.with_crash(at_ms(at), engine.switch_node(v));
+                }
+            }
+            // Handled by inject_byzantine.
+            Fault::RogueShares { .. } | Fault::RogueReady { .. } => {}
         }
     }
     plan
+}
+
+/// Resolves a [`Fault::CrashRecoverSwitch`] victim: the abstract index
+/// wraps over the switches that are *not* any flow's ingress ToR. Waiting
+/// flows and their pending `PacketIn` events are deliberately RAM-only
+/// (the switch WAL protects protocol state, not workload), so restarting
+/// an ingress would break liveness by design — the fault models a restart
+/// of a forwarding switch mid-update. `None` when every switch is an
+/// ingress.
+fn switch_restart_victim(
+    s: &Scenario,
+    topo: &Topology,
+    idx: u32,
+) -> Option<southbound::types::SwitchId> {
+    let ingress: std::collections::BTreeSet<_> = s
+        .flow_specs(topo)
+        .iter()
+        .map(|f| topo.host(f.src).expect("known host").attached)
+        .collect();
+    let candidates: Vec<_> = topo
+        .switches()
+        .iter()
+        .map(|sw| sw.id)
+        .filter(|id| !ingress.contains(id))
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    Some(candidates[idx as usize % candidates.len()])
 }
 
 /// Schedules the restart half of every crash-recover fault. The crash
@@ -276,86 +318,142 @@ fn build_fault_plan(engine: &Engine, s: &Scenario, topo: &Topology) -> simnet::f
 /// mapping); `after_ms` later the engine revives the controller, which
 /// replays its WAL — or, with `disk_lost`, state-syncs a snapshot from a
 /// peer — before rejoining.
-fn schedule_restarts(engine: &mut Engine, s: &Scenario) {
+fn schedule_restarts(engine: &mut Engine, s: &Scenario, topo: &Topology) {
     let domains = s.domain_ids(engine);
     let n = s.controllers_per_domain;
     for f in &s.faults {
-        let Fault::CrashRecoverController {
-            domain,
-            controller,
-            at_ms: at,
-            after_ms,
-            disk_lost,
-        } = *f
-        else {
-            continue;
-        };
-        if n < 2 {
-            continue;
+        match *f {
+            Fault::CrashRecoverController {
+                domain,
+                controller,
+                at_ms: at,
+                after_ms,
+                disk_lost,
+            } => {
+                if n < 2 {
+                    continue;
+                }
+                let d = domains[domain as usize % domains.len()];
+                let c = ControllerId(2 + controller % (n - 1));
+                engine.schedule_restart(at_ms(at + after_ms), d, c, disk_lost);
+            }
+            Fault::CrashRecoverSwitch {
+                switch,
+                at_ms: at,
+                after_ms,
+            } => {
+                if let Some(v) = switch_restart_victim(s, topo, switch) {
+                    engine.schedule_switch_restart(at_ms(at + after_ms), v);
+                }
+            }
+            _ => {}
         }
-        let d = domains[domain as usize % domains.len()];
-        let c = ControllerId(2 + controller % (n - 1));
-        engine.schedule_restart(at_ms(at + after_ms), d, c, disk_lost);
     }
 }
 
-/// Injects the Byzantine faults: a compromised controller sending
-/// share-signed rogue updates straight to a victim switch. A correct
-/// switch buckets the share, sees a single signer below quorum, and never
-/// applies it — the security oracle flags any run where one slips through.
+/// Injects the Byzantine faults.
+///
+/// * [`Fault::RogueShares`]: a compromised controller sends a share-signed
+///   rogue update straight to a victim switch. A correct switch buckets the
+///   share, sees a single signer below quorum, and never applies it — the
+///   security oracle flags any run where one slips through.
+/// * [`Fault::RogueReady`] (Segway mode): a rogue switch sends a forged
+///   ready message to a victim it was never scheduled to release. The
+///   message is misdirected by construction (its `to` binding names the
+///   rogue, not the victim), so a correct victim rejects it
+///   (`Obs::ReadyRejected`) instead of opening a gate early.
 fn inject_byzantine(engine: &mut Engine, s: &Scenario, topo: &Topology) {
     use blscrypto::bls::PartialSignature;
     use blscrypto::curves::g1_generator;
-    use southbound::envelope::{MsgId, ShareSigned};
+    use southbound::envelope::{MsgId, ShareSigned, Signed};
     use southbound::types::*;
 
-    if !s.mode.to_mode().is_cicero() {
+    if !s.mode.to_mode().is_signed() {
         return;
     }
     let switches = topo.switches();
     let n = s.controllers_per_domain;
     for (k, f) in s.faults.iter().enumerate() {
-        let Fault::RogueShares {
-            controller,
-            victim,
-            at_ms: at,
-        } = *f
-        else {
-            continue;
-        };
-        let sw = switches[victim as usize % switches.len()].id;
-        let d = engine.shared().dir.domain_of_switch[&sw];
-        let c = ControllerId(1 + controller % n);
-        let update = NetworkUpdate {
-            id: scenario::rogue_update_id(k as u64),
-            switch: sw,
-            kind: UpdateKind::Install(FlowRule {
-                // A matcher no generated flow can collide with.
-                matcher: FlowMatch {
-                    src: HostId(u32::MAX),
-                    dst: HostId(u32::MAX - 1),
-                },
-                action: FlowAction::Deny,
-            }),
-        };
-        let from = engine.controller_node(d, c);
-        engine.inject_raw(
-            at_ms(at),
-            from,
-            engine.switch_node(sw),
-            Net::UpdateMsg(ShareSigned {
-                payload: update,
-                phase: southbound::types::Phase(0),
-                msg_id: MsgId {
-                    origin: c.0,
-                    seq: 0xBAD0_0000 + k as u64,
-                },
-                partial: PartialSignature {
-                    index: c.0,
-                    sig: g1_generator().to_affine(),
-                },
-            }),
-        );
+        match *f {
+            Fault::RogueShares {
+                controller,
+                victim,
+                at_ms: at,
+            } => {
+                let sw = switches[victim as usize % switches.len()].id;
+                let d = engine.shared().dir.domain_of_switch[&sw];
+                let c = ControllerId(1 + controller % n);
+                let update = NetworkUpdate {
+                    id: scenario::rogue_update_id(k as u64),
+                    switch: sw,
+                    kind: UpdateKind::Install(FlowRule {
+                        // A matcher no generated flow can collide with.
+                        matcher: FlowMatch {
+                            src: HostId(u32::MAX),
+                            dst: HostId(u32::MAX - 1),
+                        },
+                        action: FlowAction::Deny,
+                    }),
+                };
+                let from = engine.controller_node(d, c);
+                engine.inject_raw(
+                    at_ms(at),
+                    from,
+                    engine.switch_node(sw),
+                    Net::UpdateMsg(ShareSigned {
+                        payload: update,
+                        phase: southbound::types::Phase(0),
+                        msg_id: MsgId {
+                            origin: c.0,
+                            seq: 0xBAD0_0000 + k as u64,
+                        },
+                        partial: PartialSignature {
+                            index: c.0,
+                            sig: g1_generator().to_affine(),
+                        },
+                    }),
+                );
+            }
+            Fault::RogueReady {
+                switch,
+                victim,
+                at_ms: at,
+            } if s.mode == ModeTag::Segway => {
+                let victim_sw = switches[victim as usize % switches.len()].id;
+                let mut rogue_idx = switch as usize % switches.len();
+                if switches[rogue_idx].id == victim_sw {
+                    rogue_idx = (rogue_idx + 1) % switches.len();
+                }
+                let rogue_sw = switches[rogue_idx].id;
+                if rogue_sw == victim_sw {
+                    continue; // single-switch fabric: no rogue peer exists
+                }
+                let body = cicero_core::msg::ReadyBody {
+                    update: scenario::rogue_update_id(k as u64),
+                    from: rogue_sw,
+                    // Deliberately bound to the rogue itself, not the
+                    // victim: the victim's target check must fire.
+                    to: rogue_sw,
+                };
+                engine.inject_raw(
+                    at_ms(at),
+                    engine.switch_node(rogue_sw),
+                    engine.switch_node(victim_sw),
+                    Net::SegwayReady(Signed {
+                        payload: body,
+                        phase: southbound::types::Phase(0),
+                        msg_id: MsgId {
+                            origin: rogue_sw.0,
+                            seq: 0xBAD0_1000 + k as u64,
+                        },
+                        signature: blscrypto::bls::Signature(
+                            g1_generator().to_affine(),
+                        ),
+                    }),
+                );
+            }
+            _ => {}
+        }
     }
 }
 

@@ -102,7 +102,10 @@ fn consistency(
 /// read from the engine, so a regression in the engine's own quorum
 /// arithmetic is caught too.
 fn security(s: &Scenario, obs: &[Observation<Obs>], out: &mut Vec<Violation>) {
-    let cicero = matches!(s.mode, ModeTag::Cicero | ModeTag::CiceroAgg);
+    let cicero = matches!(
+        s.mode,
+        ModeTag::Cicero | ModeTag::CiceroAgg | ModeTag::Segway
+    );
     let quorum = (s.controllers_per_domain - 1) / 3 + 1;
     for o in obs {
         let Obs::UpdateApplied {
@@ -249,6 +252,7 @@ fn liveness(s: &Scenario, report: &RunReport, out: &mut Vec<Violation>) {
 ///   peer the restarted controller would sync its snapshot from.
 fn recovery(s: &Scenario, obs: &[Observation<Obs>], out: &mut Vec<Violation>) {
     let mut seen = std::collections::BTreeSet::new();
+    let mut released = std::collections::BTreeSet::new();
     for o in obs {
         if let Obs::UpdateApplied { switch, update, .. } = o.value {
             if !seen.insert((switch, update)) {
@@ -256,6 +260,23 @@ fn recovery(s: &Scenario, obs: &[Observation<Obs>], out: &mut Vec<Violation>) {
                     out,
                     "recovery",
                     format!("switch {switch:?} applied update {update:?} twice"),
+                );
+            }
+        }
+        // Exactly-once release (Segway): no switch ever announces the same
+        // applied update to the same neighbor twice — re-delivered metadata
+        // and retries must be absorbed by the release dedup. (Bare
+        // retransmissions of an announced ready have their own
+        // observation and are legitimate.)
+        if let Obs::ReadySent { from, to, update } = o.value {
+            if !released.insert((from, to, update)) {
+                violation(
+                    out,
+                    "recovery",
+                    format!(
+                        "switch {from:?} released {update:?} to {to:?} twice \
+                         (exactly-once release violated)"
+                    ),
                 );
             }
         }
@@ -297,8 +318,11 @@ fn recovery(s: &Scenario, obs: &[Observation<Obs>], out: &mut Vec<Violation>) {
 /// gated on runs without crash faults: WAL replay re-drives the delivery
 /// state machines with observations muted, so a restarted controller's
 /// "first send" can be invisible while its later retransmission is not.
-/// Switch-side observations (switches never crash) and pure value checks
-/// hold unconditionally. Flow resolutions are additionally exempted under
+/// Switch-side observations and pure value checks hold unconditionally:
+/// a restarted switch replays its WAL with no observation muting, so its
+/// trace stays pairable (recovered releases resume as retransmissions of
+/// the pre-crash `ReadySent`, pending events are RAM-only and die with
+/// the first life). Flow resolutions are additionally exempted under
 /// `Fault::Duplicate`, which can legitimately double-fire them.
 fn telemetry(s: &Scenario, obs: &[Observation<Obs>], out: &mut Vec<Violation>) {
     let clean_replay = !s.has_crash() && !s.has_crash_recover();
@@ -310,6 +334,10 @@ fn telemetry(s: &Scenario, obs: &[Observation<Obs>], out: &mut Vec<Violation>) {
         .faults
         .iter()
         .any(|f| matches!(f, Fault::RogueShares { .. }));
+    let rogue_ready = s
+        .faults
+        .iter()
+        .any(|f| matches!(f, Fault::RogueReady { .. }));
 
     use std::collections::{BTreeMap, BTreeSet};
     let mut applied = BTreeSet::new(); // (switch, update)
@@ -322,6 +350,7 @@ fn telemetry(s: &Scenario, obs: &[Observation<Obs>], out: &mut Vec<Violation>) {
     let mut ev_exhausted_once = BTreeSet::new(); // (switch, event)
     let mut completed_once = BTreeSet::new(); // flow
     let mut denied_once = BTreeSet::new(); // flow
+    let mut ready_sent = BTreeSet::new(); // (from, to, update)
     let mut phases: BTreeMap<_, BTreeSet<u64>> = BTreeMap::new();
 
     let bad = |out: &mut Vec<Violation>, detail: String| violation(out, "telemetry", detail);
@@ -543,6 +572,48 @@ fn telemetry(s: &Scenario, obs: &[Observation<Obs>], out: &mut Vec<Violation>) {
                         format!(
                             "domain {domain:?} controller {controller} re-forwarded \
                              {event:?} with attempt {attempt} (1-based counter)"
+                        ),
+                    );
+                }
+            }
+            Obs::ReadySent { from, to, update } => {
+                // At-most-once per (from, to, update) is the *recovery*
+                // oracle's check; here it only seeds retransmission pairing.
+                ready_sent.insert((from, to, update));
+            }
+            Obs::ReadyRetransmitted {
+                from,
+                to,
+                update,
+                attempt,
+            } => {
+                if attempt < 1 {
+                    bad(
+                        out,
+                        format!(
+                            "switch {from:?} retransmitted ready for {update:?} to \
+                             {to:?} with attempt {attempt} (1-based counter)"
+                        ),
+                    );
+                }
+                if !ready_sent.contains(&(from, to, update)) {
+                    bad(
+                        out,
+                        format!(
+                            "switch {from:?} retransmitted a ready for {update:?} to \
+                             {to:?} it never first announced"
+                        ),
+                    );
+                }
+            }
+            Obs::ReadyRejected { switch, update, from } => {
+                if !rogue_ready {
+                    bad(
+                        out,
+                        format!(
+                            "switch {switch:?} rejected a ready for {update:?} from \
+                             {from:?} though no rogue-ready fault was injected — a \
+                             legitimate neighbor release failed validation"
                         ),
                     );
                 }

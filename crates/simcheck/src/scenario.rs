@@ -25,6 +25,9 @@ pub enum ModeTag {
     Cicero,
     /// Full Cicero, the aggregator controller combines shares.
     CiceroAgg,
+    /// Decentralized (ez-Segway style) execution: threshold-signed
+    /// gate/notify metadata pushed in one round, switch-to-switch readies.
+    Segway,
 }
 
 impl ModeTag {
@@ -39,6 +42,7 @@ impl ModeTag {
             ModeTag::CiceroAgg => Mode::Cicero {
                 aggregation: Aggregation::Controller,
             },
+            ModeTag::Segway => Mode::Segway,
         }
     }
 
@@ -49,6 +53,7 @@ impl ModeTag {
             ModeTag::CrashTolerant => "crash_tolerant",
             ModeTag::Cicero => "cicero",
             ModeTag::CiceroAgg => "cicero_agg",
+            ModeTag::Segway => "segway",
         }
     }
 
@@ -59,6 +64,7 @@ impl ModeTag {
             "crash_tolerant" => ModeTag::CrashTolerant,
             "cicero" => ModeTag::Cicero,
             "cicero_agg" => ModeTag::CiceroAgg,
+            "segway" => ModeTag::Segway,
             _ => return None,
         })
     }
@@ -193,6 +199,33 @@ pub enum Fault {
         /// Injection time in milliseconds.
         at_ms: u64,
     },
+    /// Crash one switch *and restart it later* from its durable disk — the
+    /// switch-side recovery path (WAL replay of the flow table and, in
+    /// Segway mode, the exactly-once release journal). Resolution skips
+    /// any switch that is a flow's ingress ToR: waiting flows are RAM-only
+    /// by design, so restarting an ingress breaks liveness by
+    /// construction, not by bug. Crash and restart are one fault, so the
+    /// shrinker can never orphan the restart.
+    CrashRecoverSwitch {
+        /// Abstract switch index (resolved over non-ingress switches).
+        switch: u32,
+        /// Crash time in milliseconds.
+        at_ms: u64,
+        /// Restart delay after the crash, milliseconds.
+        after_ms: u64,
+    },
+    /// A rogue switch sends a forged Segway ready message to a victim
+    /// switch — structurally bogus (addressed to a different switch), so a
+    /// correct victim must reject it (`Obs::ReadyRejected`) and never
+    /// treat it as a gate release. Segway mode only.
+    RogueReady {
+        /// Abstract compromised-switch index (forced distinct from victim).
+        switch: u32,
+        /// Abstract victim-switch index.
+        victim: u32,
+        /// Injection time in milliseconds.
+        at_ms: u64,
+    },
 }
 
 impl Fault {
@@ -203,9 +236,12 @@ impl Fault {
         matches!(self, Fault::CrashController { .. })
     }
 
-    /// `true` for the crash-and-restart variant.
+    /// `true` for the crash-and-restart variants (controller or switch).
     pub fn is_crash_recover(&self) -> bool {
-        matches!(self, Fault::CrashRecoverController { .. })
+        matches!(
+            self,
+            Fault::CrashRecoverController { .. } | Fault::CrashRecoverSwitch { .. }
+        )
     }
 }
 
@@ -399,6 +435,38 @@ impl Scenario {
             s.flows[0].src = 0;
             s.flows[0].dst = (s.racks as u32 - 1) * s.hosts_per_rack as u32;
         }
+        // A second quarter goes to Segway mode: decentralized execution is
+        // audited by every oracle in every bounded sweep, not only when the
+        // dice land there. Multi-domain plus a boundary flow makes the
+        // switch-to-switch ready chain cross a domain boundary, and every
+        // other biased seed plants a rogue-ready fault so the signed-ready
+        // rejection surface is exercised continuously too.
+        if seed % 4 == 1 {
+            s.mode = ModeTag::Segway;
+            s.controllers_per_domain = s.controllers_per_domain.max(4);
+            s.domains = s.domains.max(2);
+            s.flows[0].src = 0;
+            s.flows[0].dst = (s.racks as u32 - 1) * s.hosts_per_rack as u32;
+            if seed % 8 == 1 {
+                s.faults.push(Fault::RogueReady {
+                    switch: (seed >> 16) as u32,
+                    victim: (seed >> 24) as u32,
+                    at_ms: 1 + seed % 900,
+                });
+            }
+            // Another slice of the biased seeds restarts a (non-ingress)
+            // switch mid-update, so the switch WAL-replay path — apply
+            // dedup, exactly-once release — is fuzzed continuously. The
+            // time bounds keep the fault inside the benign envelope
+            // (at + after + 25 s ≤ the 30 s horizon).
+            if seed % 8 == 5 {
+                s.faults.push(Fault::CrashRecoverSwitch {
+                    switch: (seed >> 16) as u32,
+                    at_ms: 1 + seed % 800,
+                    after_ms: 50 + (seed >> 8) % 400,
+                });
+            }
+        }
         s
     }
 
@@ -449,6 +517,35 @@ impl Scenario {
                 ModeTag::CiceroAgg
             };
             s.controllers_per_domain = s.controllers_per_domain.max(4);
+        }
+        s
+    }
+
+    /// [`Scenario::generate`], forced into Segway mode — the focused sweep
+    /// behind `simcheck segway`. Guarantees the ≥ 4-controller threshold
+    /// control plane Segway's signed metadata requires, keeps the sampled
+    /// fault plan, and plants a rogue-ready fault on a quarter of the
+    /// seeds so the signed-ready rejection path is audited continuously.
+    pub fn generate_segway(seed: u64) -> Scenario {
+        let mut s = Scenario::generate(seed);
+        s.mode = ModeTag::Segway;
+        s.controllers_per_domain = s.controllers_per_domain.max(4);
+        if seed % 4 == 0 {
+            s.faults.push(Fault::RogueReady {
+                switch: (seed >> 12) as u32,
+                victim: (seed >> 20) as u32,
+                at_ms: 1 + seed % 900,
+            });
+        }
+        // A second quarter restarts a non-ingress switch mid-update,
+        // putting the switch WAL-replay path (apply dedup, exactly-once
+        // release) under the focused sweep's recovery oracle.
+        if seed % 4 == 2 {
+            s.faults.push(Fault::CrashRecoverSwitch {
+                switch: (seed >> 12) as u32,
+                at_ms: 1 + seed % 800,
+                after_ms: 50 + (seed >> 6) % 400,
+            });
         }
         s
     }
@@ -517,13 +614,25 @@ impl Scenario {
                         return false;
                     }
                 }
+                // A switch restart keeps its disk and replays its WAL; it
+                // does not draw on the controller crash budget. Liveness
+                // rides the controller retransmission backstop, so only
+                // the re-drain margin matters.
+                Fault::CrashRecoverSwitch { at_ms, after_ms, .. } => {
+                    if at_ms + after_ms + 25_000 > self.horizon_ms {
+                        return false;
+                    }
+                }
                 Fault::SeverControllers { until_ms, .. }
                 | Fault::SeverUplink { until_ms, .. } => {
                     if until_ms + 25_000 > self.horizon_ms {
                         return false;
                     }
                 }
-                Fault::RogueShares { .. } => {}
+                // Rogue injections are harmless to a correct receiver by
+                // construction: a single share never reaches quorum, and a
+                // misdirected ready fails the target binding check.
+                Fault::RogueShares { .. } | Fault::RogueReady { .. } => {}
             }
         }
         true

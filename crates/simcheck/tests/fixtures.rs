@@ -36,6 +36,44 @@ fn cross_domain_blackhole_fixture_replays_green() {
     assert!(out.report.completed, "fixture flow must converge");
 }
 
+/// The Segway analogue, found by the fuzz generator once `ModeTag::Segway`
+/// joined the seed pool: a two-domain reverse-path scenario whose first
+/// flow crosses the boundary, run in the decentralized execution mode.
+/// With ready-gating the switches themselves order the boundary
+/// (destination-first, one signed ready per dependency edge) and the full
+/// end-to-end audit passes.
+#[test]
+fn segway_ungated_blackhole_fixture_replays_green() {
+    let (scenario, violations) =
+        simcheck::artifact::read_artifact(&fixture("segway_ungated_blackhole.json")).unwrap();
+    assert!(
+        violations.is_empty(),
+        "fixture was committed post-fix; it must carry no recorded violations"
+    );
+    let out = run_scenario(&scenario);
+    assert!(out.passed(), "fixture regressed: {:?}", out.violations);
+    assert!(out.report.completed, "fixture flows must converge");
+}
+
+/// Companion: the same Segway scenario with ready-gating disabled (the
+/// same knob that disables the Cicero handshake) must black-hole — every
+/// switch applies its segment the moment the threshold-signed update
+/// arrives, so the upstream domain can forward into a switch with no rule
+/// yet. Guards that the gates are load-bearing, not decorative.
+#[test]
+fn segway_ungated_blackhole_fixture_fails_without_gating() {
+    let (scenario, _) =
+        simcheck::artifact::read_artifact(&fixture("segway_ungated_blackhole.json")).unwrap();
+    let out = run_scenario_no_handshake(&scenario);
+    assert!(
+        out.violations
+            .iter()
+            .any(|v| v.oracle == "consistency" && v.detail.contains("BlackHole")),
+        "ungated Segway must black-hole this boundary-crossing flow; got {:?}",
+        out.violations
+    );
+}
+
 /// Companion: the same scenario under the OLD per-domain-only schedule
 /// (handshake disabled) must still fail the end-to-end consistency audit
 /// with a black hole. This guards two things at once: that the oracle is

@@ -106,6 +106,7 @@ pub struct Simulation<M, O = ()> {
     cpu_bucket: SimDuration,
     max_events: u64,
     processed: u64,
+    delivered: u64,
 }
 
 impl<M: Clone + 'static, O: 'static> Simulation<M, O> {
@@ -123,6 +124,7 @@ impl<M: Clone + 'static, O: 'static> Simulation<M, O> {
             cpu_bucket: SimDuration::from_secs(1),
             max_events: u64::MAX,
             processed: 0,
+            delivered: 0,
         }
     }
 
@@ -181,6 +183,13 @@ impl<M: Clone + 'static, O: 'static> Simulation<M, O> {
     /// (indexed by node id) — surfaces silent loss for diagnostics.
     pub fn dropped_counts(&self) -> Vec<u64> {
         self.nodes.iter().map(|n| n.dropped).collect()
+    }
+
+    /// Total messages delivered to actors so far — the control-plane
+    /// message cost of the run (includes retransmissions and duplicates;
+    /// excludes dropped messages and timer fires).
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered
     }
 
     /// Number of registered nodes.
@@ -357,6 +366,7 @@ impl<M: Clone + 'static, O: 'static> Simulation<M, O> {
                     return;
                 }
                 self.now = ev.at;
+                self.delivered += 1;
                 self.dispatch_with(to, |actor, ctx| actor.on_message(ctx, from, msg));
             }
         }

@@ -105,6 +105,14 @@ echo "== secure-mode crash-recovery sweep (256 seeds) =="
 # crash-and-restart on top of the secure update path.
 cargo run -q --offline --release -p bench --bin simcheck -- recover 256
 
+echo "== segway-mode fuzzer sweep (256 seeds, decentralized execution) =="
+# All 256 seeds forced into Mode::Segway so every scenario exercises the
+# switch-to-switch release path: threshold-signed gate/notify metadata,
+# signed readies with receipts and retransmission, ready loss/duplication,
+# rogue and replayed readies, and (every fourth seed) a switch crashed and
+# restarted from its WAL mid-release.
+cargo run -q --offline --release -p bench --bin simcheck -- segway 256
+
 echo "== simulation fuzzer smoke (bounded seed sweep) =="
 # A bounded exploration of fresh seeds beyond the fixed forall! sweep the
 # test suite already ran; failures are shrunk and written as replayable

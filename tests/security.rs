@@ -256,3 +256,175 @@ fn forged_acks_cannot_accelerate_the_reverse_path_pipeline() {
         "forged acks must not accelerate completion ({attacked} < {honest})"
     );
 }
+
+fn build_segway() -> (Engine, Topology) {
+    let topo = Topology::single_pod(2, 2, 2);
+    let engine = harness::build_engine(Mode::Segway, CryptoMode::Real, &topo);
+    (engine, topo)
+}
+
+/// Segway sanity anchor under real crypto: the decentralized mode completes
+/// a cross-rack flow, and it demonstrably did so via switch-to-switch
+/// releases (a verified `ReadySent` on the wire), not by accident.
+#[test]
+fn segway_flow_completes_under_real_crypto() {
+    let (mut engine, topo) = build_segway();
+    let hosts = topo.hosts();
+    let src = hosts[0].id;
+    let dst = hosts
+        .iter()
+        .find(|h| h.attached != hosts[0].attached)
+        .unwrap()
+        .id;
+    let start = SimTime::ZERO + SimDuration::from_millis(1);
+    harness::inject_flow(&mut engine, &topo, FlowId(1), src, dst, 500, start).unwrap();
+    engine.run(start + SimDuration::from_secs(10));
+    let obs = engine.observations();
+    assert!(
+        obs.iter()
+            .any(|o| matches!(o.value, Obs::FlowCompleted { .. })),
+        "segway flow must complete under real crypto"
+    );
+    assert!(
+        obs.iter().any(|o| matches!(o.value, Obs::ReadySent { .. })),
+        "completion must have been ordered by signed readies"
+    );
+    assert!(
+        !obs.iter()
+            .any(|o| matches!(o.value, Obs::ReadyRejected { .. })),
+        "no ready is rejected in a fault-free run"
+    );
+}
+
+/// A rogue switch forging a neighbor's ready (wrong key) must not release
+/// the gated upstream segment early: every forged ready is rejected with a
+/// `ReadyRejected` observation, and completion with the forgery in flight
+/// is never earlier than the honest run.
+#[test]
+fn forged_readies_cannot_release_gated_segments_early() {
+    fn run(with_forged_readies: bool) -> SimDuration {
+        let (mut engine, topo) = build_segway();
+        let hosts = topo.hosts();
+        let src = hosts[0].id;
+        let dst = hosts
+            .iter()
+            .find(|h| h.attached != hosts[0].attached)
+            .unwrap()
+            .id;
+        let r = route(&topo, src, dst).unwrap();
+        assert_eq!(r.path.len(), 3);
+        let start = SimTime::ZERO + SimDuration::from_millis(1);
+        harness::inject_flow(&mut engine, &topo, FlowId(1), src, dst, 500, start).unwrap();
+        if with_forged_readies {
+            let mut rng = StdRng::seed_from_u64(77);
+            let attacker_key = SecretKey::generate(&mut rng);
+            // PacketIn event ids are (switch << 32 | 1); under the
+            // reverse-path schedule, update seq i targets r.path[i] and is
+            // gated on (seq i+1, r.path[i+1]). Forge the ready each
+            // upstream switch is waiting for, from the designated releaser
+            // but under the attacker's key, and spray it across the window
+            // in which the real bodies sit parked.
+            let event = EventId(((r.path[0].0 as u64) << 32) | 1);
+            for seq in 0..2u32 {
+                let body = cicero_core::msg::ReadyBody {
+                    update: UpdateId {
+                        event,
+                        seq: seq + 1,
+                    },
+                    from: r.path[seq as usize + 1],
+                    to: r.path[seq as usize],
+                };
+                let forged = Signed::sign(
+                    "CICERO_SEGWAY_READY_V1",
+                    body,
+                    Phase(0),
+                    MsgId {
+                        origin: r.path[seq as usize + 1].0,
+                        seq: 200 + seq as u64,
+                    },
+                    &attacker_key,
+                );
+                for ms in [1u64, 3, 6, 10, 20] {
+                    engine.inject_raw(
+                        start + SimDuration::from_millis(ms),
+                        ENVIRONMENT,
+                        engine.switch_node(r.path[seq as usize]),
+                        Net::SegwayReady(forged.clone()),
+                    );
+                }
+            }
+        }
+        engine.run(start + SimDuration::from_secs(10));
+        if with_forged_readies {
+            assert!(
+                engine
+                    .observations()
+                    .iter()
+                    .any(|o| matches!(o.value, Obs::ReadyRejected { .. })),
+                "forged readies must surface as ReadyRejected"
+            );
+        }
+        engine
+            .observations()
+            .iter()
+            .find_map(|o| match o.value {
+                Obs::FlowCompleted { start, .. } => Some(o.at.since(start)),
+                _ => None,
+            })
+            .expect("flow completes despite the attack")
+    }
+
+    let honest = run(false);
+    let attacked = run(true);
+    assert!(
+        attacked >= honest,
+        "forged readies must not accelerate completion ({attacked} < {honest})"
+    );
+}
+
+/// A captured ready replayed at a switch other than its signed `to` target
+/// is rejected by the target binding alone — before any gate state is
+/// touched. This is what stops a rogue switch from re-using one neighbor's
+/// legitimate release to unlock a different victim.
+#[test]
+fn replayed_ready_at_the_wrong_victim_is_rejected() {
+    let (mut engine, topo) = build_segway();
+    let intended = topo.switches()[2].id;
+    let victim = topo.switches()[3].id;
+    assert_ne!(intended, victim);
+    let mut rng = StdRng::seed_from_u64(55);
+    let attacker_key = SecretKey::generate(&mut rng);
+    let body = cicero_core::msg::ReadyBody {
+        update: UpdateId {
+            event: EventId(0xbad),
+            seq: 1,
+        },
+        from: topo.switches()[0].id,
+        to: intended,
+    };
+    let replayed = Signed::sign(
+        "CICERO_SEGWAY_READY_V1",
+        body,
+        Phase(0),
+        MsgId {
+            origin: topo.switches()[0].id.0,
+            seq: 9,
+        },
+        &attacker_key,
+    );
+    engine.inject_raw(
+        SimTime::ZERO + SimDuration::from_millis(1),
+        ENVIRONMENT,
+        engine.switch_node(victim),
+        Net::SegwayReady(replayed),
+    );
+    engine.run(SimTime::ZERO + SimDuration::from_secs(3));
+    assert!(
+        engine.observations().iter().any(|o| matches!(
+            o.value,
+            Obs::ReadyRejected { switch, .. } if switch == victim
+        )),
+        "misdirected ready must be rejected at the wrong victim"
+    );
+    assert_eq!(applied(&engine), 0);
+}
